@@ -1,0 +1,119 @@
+// Experiment: Figs 1-2 building blocks — structural cost ablation.
+//
+// Measures how the §3.3 building blocks scale: net size (places,
+// transitions, arcs) and translation time as functions of task count,
+// block style (compact vs the literal Fig 2 structure) and scheduling
+// mode (the preemptive block fans computation out into unit chunks but
+// keeps the *structure* constant — only arc weights change).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "builder/tpn_builder.hpp"
+#include "tpn/analysis.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ezrt;
+
+[[nodiscard]] spec::Specification workload_of(std::uint32_t tasks,
+                                              double preemptive) {
+  workload::WorkloadConfig config;
+  config.tasks = tasks;
+  config.utilization = 0.5;
+  config.preemptive_fraction = preemptive;
+  config.seed = 1234;
+  return workload::generate(config).value();
+}
+
+void BM_Blocks_BuildScaling(benchmark::State& state) {
+  const auto tasks = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s = workload_of(tasks, 0.0);
+  tpn::NetStats stats{};
+  for (auto _ : state) {
+    auto model = builder::build_tpn(s);
+    stats = tpn::stats(model.value().net);
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["places"] = static_cast<double>(stats.places);
+  state.counters["transitions"] = static_cast<double>(stats.transitions);
+  state.counters["arcs"] = static_cast<double>(stats.arcs);
+}
+BENCHMARK(BM_Blocks_BuildScaling)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Blocks_StyleComparison(benchmark::State& state) {
+  const auto style = static_cast<builder::BlockStyle>(state.range(0));
+  const spec::Specification s = workload_of(10, 0.0);
+  builder::BuildOptions options;
+  options.style = style;
+  tpn::NetStats stats{};
+  for (auto _ : state) {
+    auto model = builder::build_tpn(s, options);
+    stats = tpn::stats(model.value().net);
+  }
+  state.SetLabel(builder::to_string(style));
+  state.counters["places"] = static_cast<double>(stats.places);
+  state.counters["transitions"] = static_cast<double>(stats.transitions);
+}
+BENCHMARK(BM_Blocks_StyleComparison)
+    ->Arg(static_cast<int>(builder::BlockStyle::kCompact))
+    ->Arg(static_cast<int>(builder::BlockStyle::kPaper))
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Blocks_PreemptiveFraction(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  const spec::Specification s = workload_of(10, fraction);
+  tpn::NetStats stats{};
+  for (auto _ : state) {
+    auto model = builder::build_tpn(s);
+    stats = tpn::stats(model.value().net);
+  }
+  state.counters["transitions"] = static_cast<double>(stats.transitions);
+}
+BENCHMARK(BM_Blocks_PreemptiveFraction)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_report() {
+  std::printf(
+      "== Figs 1-2: building-block structural costs "
+      "=================================\n"
+      "  per-task inventory (compact style): 8 places, 6 transitions\n"
+      "  per-task inventory (paper style):   9 places, 7 transitions\n"
+      "  plus fork/join (2 places, 2 transitions) and one place per\n"
+      "  processor/bus/lock/precedence.\n\n"
+      "  %-10s %-8s %8s %12s %8s\n",
+      "tasks", "style", "places", "transitions", "arcs");
+  for (const auto style :
+       {builder::BlockStyle::kCompact, builder::BlockStyle::kPaper}) {
+    for (std::uint32_t tasks : {5u, 10u, 20u, 40u}) {
+      builder::BuildOptions options;
+      options.style = style;
+      auto model =
+          builder::build_tpn(workload_of(tasks, 0.0), options).value();
+      const tpn::NetStats stats = tpn::stats(model.net);
+      std::printf("  %-10u %-8s %8zu %12zu %8zu\n", tasks,
+                  builder::to_string(style), stats.places,
+                  stats.transitions, stats.arcs);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

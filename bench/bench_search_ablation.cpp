@@ -1,0 +1,104 @@
+// Experiment: §4.4.1 search ablation — what each state-space control buys.
+//
+// The paper's scheduler combines a priority-filtered fireable set
+// (FT_P(s)), partial-order pruning after Lilius, and deadline-miss
+// pruning. This harness runs the mine-pump study under every combination
+// of { priority filter, partial-order reduction } x { compact, paper }
+// block styles and reports visited states and wall time, quantifying the
+// "state space growth kept under control" claim.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "builder/tpn_builder.hpp"
+#include "sched/dfs.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ezrt;
+
+struct Config {
+  bool priority_filter;
+  bool por;
+  builder::BlockStyle style;
+};
+
+[[nodiscard]] sched::SearchOutcome run(const Config& config,
+                                       std::uint64_t max_states = 0) {
+  builder::BuildOptions build;
+  build.style = config.style;
+  auto model =
+      builder::build_tpn(workload::mine_pump_specification(), build)
+          .value();
+  sched::SchedulerOptions options;
+  options.pruning = config.priority_filter
+                        ? sched::PruningMode::kPriorityFilter
+                        : sched::PruningMode::kNone;
+  options.partial_order_reduction = config.por;
+  options.max_states = max_states;
+  return sched::DfsScheduler(model.net, options).search();
+}
+
+void BM_SearchAblation(benchmark::State& state) {
+  const Config config{state.range(0) != 0, state.range(1) != 0,
+                      static_cast<builder::BlockStyle>(state.range(2))};
+  std::uint64_t states = 0;
+  std::uint64_t trace = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = run(config, /*max_states=*/2'000'000);
+    states = out.stats.states_visited;
+    trace = out.trace.size();
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(std::string(config.priority_filter ? "FTP" : "full") +
+                 "/" + (config.por ? "POR" : "noPOR") + "/" +
+                 builder::to_string(config.style) + "/" + verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+  state.counters["schedule_length"] = static_cast<double>(trace);
+}
+BENCHMARK(BM_SearchAblation)
+    ->Args({1, 1, 0})  // paper configuration, compact blocks
+    ->Args({1, 0, 0})
+    ->Args({0, 1, 0})
+    ->Args({1, 1, 1})  // paper configuration, literal Fig 2 blocks
+    ->Args({1, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void print_report() {
+  std::printf(
+      "== Search ablation: mine pump under each pruning combination "
+      "================\n"
+      "  %-8s %-6s %-8s %10s %10s %10s %12s\n",
+      "filter", "POR", "style", "verdict", "states", "firings",
+      "time (ms)");
+  for (const Config& config :
+       {Config{true, true, builder::BlockStyle::kCompact},
+        Config{true, false, builder::BlockStyle::kCompact},
+        Config{false, true, builder::BlockStyle::kCompact},
+        Config{true, true, builder::BlockStyle::kPaper},
+        Config{true, false, builder::BlockStyle::kPaper}}) {
+    const auto out = run(config, /*max_states=*/2'000'000);
+    std::printf("  %-8s %-6s %-8s %10s %10llu %10zu %12.2f\n",
+                config.priority_filter ? "FT_P" : "full",
+                config.por ? "on" : "off",
+                builder::to_string(config.style),
+                sched::to_string(out.status),
+                static_cast<unsigned long long>(out.stats.states_visited),
+                out.trace.size(), out.stats.elapsed_ms);
+  }
+  std::printf(
+      "  (paper: 3268 states, minimum 3130, with its pruning enabled;\n"
+      "   the full-search row shows what the pruning avoids)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment (extension): WCET robustness of synthesized schedules.
+//
+// Hard real-time budgets are estimates; this harness measures how much
+// budget headroom the pre-runtime schedules leave — the uniform scaling
+// factor and per-task absolute headroom for the mine-pump study, and the
+// cost of computing them (each probe is a full schedule synthesis).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "runtime/sensitivity.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ezrt;
+
+void BM_Sensitivity_MinePumpUniform(benchmark::State& state) {
+  const spec::Specification s = workload::mine_pump_specification();
+  std::uint32_t scaling = 0;
+  for (auto _ : state) {
+    runtime::SensitivityOptions options;
+    options.scaling_resolution_permille = 50;
+    const runtime::SensitivityReport report =
+        runtime::analyze_sensitivity(s, options);
+    scaling = report.max_scaling_permille;
+  }
+  state.counters["max_scaling_permille"] = static_cast<double>(scaling);
+}
+BENCHMARK(BM_Sensitivity_MinePumpUniform)->Unit(benchmark::kMillisecond);
+
+void BM_Sensitivity_RandomSet(benchmark::State& state) {
+  workload::WorkloadConfig config;
+  config.tasks = static_cast<std::uint32_t>(state.range(0));
+  config.utilization = 0.5;
+  config.seed = 77;
+  const spec::Specification s = workload::generate(config).value();
+  for (auto _ : state) {
+    const runtime::SensitivityReport report =
+        runtime::analyze_sensitivity(s);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Sensitivity_RandomSet)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void print_report() {
+  const spec::Specification s = workload::mine_pump_specification();
+  const runtime::SensitivityReport report =
+      runtime::analyze_sensitivity(s);
+  std::printf(
+      "== WCET sensitivity: mine pump "
+      "===============================================\n"
+      "  baseline schedulable: %s\n"
+      "  max uniform WCET scaling: x%.3f\n"
+      "  per-task headroom (absolute WCET increase tolerated):\n",
+      report.baseline_schedulable ? "yes" : "NO",
+      report.max_scaling_permille / 1000.0);
+  for (const runtime::TaskHeadroom& h : report.headroom) {
+    std::printf("    %-6s c=%-3llu  +%llu units\n",
+                s.task(h.task).name.c_str(),
+                static_cast<unsigned long long>(
+                    s.task(h.task).timing.computation),
+                static_cast<unsigned long long>(h.extra_wcet));
+  }
+  std::printf(
+      "  expected shape: U = 0.30 leaves scaling headroom; PMC (10-of-20\n"
+      "  window against 25-unit CH4H blocking) is the binding task.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The model-driven flow of the paper's Fig 6: a system arrives as an
+// ez-spec XML document (the DSML's interchange form, Fig 7), is mapped to
+// a time Petri net, exported as PNML for third-party analyzers, scheduled,
+// and synthesized into C code — no C++ API calls needed to *describe* the
+// system, only to drive the pipeline.
+//
+//   $ ./dsl_roundtrip
+#include <iostream>
+
+#include "core/project.hpp"
+
+namespace {
+
+// A small telemetry node: sample -> filter -> transmit over a CAN bus,
+// written directly in the DSL dialect.
+constexpr const char* kDocument = R"(<?xml version="1.0" encoding="UTF-8"?>
+<rt:ez-spec xmlns:rt="http://pnmp.sf.net/EZRealtime" name="telemetry-node">
+  <Processor identifier="cpu"><name>cortex-m0</name></Processor>
+  <Task identifier="sample" precedesTasks="#filter">
+    <processor>cpu</processor>
+    <name>sample</name>
+    <period>50</period>
+    <schedulingMode>NP</schedulingMode>
+    <computing>4</computing>
+    <deadline>20</deadline>
+    <code>adc_read(&amp;raw);</code>
+  </Task>
+  <Task identifier="filter" precedesMsgs="#frame">
+    <processor>cpu</processor>
+    <name>filter</name>
+    <period>50</period>
+    <schedulingMode>NP</schedulingMode>
+    <computing>6</computing>
+    <deadline>35</deadline>
+    <code>filtered = iir(raw);</code>
+  </Task>
+  <Task identifier="transmit">
+    <processor>cpu</processor>
+    <name>transmit</name>
+    <period>50</period>
+    <schedulingMode>NP</schedulingMode>
+    <computing>3</computing>
+    <deadline>50</deadline>
+    <code>can_send(frame);</code>
+  </Task>
+  <Message identifier="frame" precedes="#transmit">
+    <name>frame</name>
+    <bus>can0</bus>
+    <grantBus>1</grantBus>
+    <communication>2</communication>
+  </Message>
+</rt:ez-spec>)";
+
+}  // namespace
+
+int main() {
+  using namespace ezrt;
+
+  auto project = core::Project::from_ezspec(kDocument);
+  if (!project.ok()) {
+    std::cerr << "DSL parse failed: " << project.error() << "\n";
+    return 1;
+  }
+
+  std::cout << "Parsed '" << project.value().specification().name()
+            << "': " << project.value().specification().task_count()
+            << " tasks, " << project.value().specification().message_count()
+            << " message(s)\n";
+
+  if (auto status = project.value().schedule(); !status.ok()) {
+    std::cerr << "scheduling failed: " << status.error() << "\n";
+    return 1;
+  }
+
+  auto table = project.value().table();
+  std::cout << "\nSchedule (sample -> filter -> [CAN transfer] -> "
+               "transmit):\n"
+            << sched::to_string(table.value(),
+                                project.value().specification());
+
+  // The net also round-trips through PNML for external TPN analyzers
+  // (TINA, Romeo) — print just the document size as proof of life.
+  auto pnml = project.value().export_pnml();
+  std::cout << "\nPNML export: " << pnml.value().size() << " bytes\n";
+
+  auto code = project.value().generate_code();
+  std::cout << "Generated " << code.value().files.size()
+            << " C files; task bodies carry the DSL's behavioral code.\n";
+  return 0;
+}

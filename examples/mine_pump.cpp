@@ -1,0 +1,86 @@
+// The paper's §5 case study: the mine pump control system (Burns &
+// Wellings' HRT-HOOD example). Ten tasks monitor methane/CO levels, water
+// flow and the sump water level, and drive the pump — 782 task instances
+// over the 30000-unit hyper-period.
+//
+//   $ ./mine_pump [output-dir]
+//
+// Reproduces the paper's result (a feasible pre-runtime schedule; the
+// paper reports 3268 visited states, minimum 3130, 330 ms on a 2001-era
+// Athlon) and writes the interchange artifacts:
+//   <dir>/mine_pump.ezspec  — the DSL document (Fig 7 dialect)
+//   <dir>/mine_pump.pnml    — the composed time Petri net (ISO 15909-2)
+//   <dir>/schedule.h, tasks.c, dispatcher.c — the scheduled C program
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/project.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "tpn/analysis.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ezrt;
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() /
+                               "ezrt_mine_pump";
+  std::filesystem::create_directories(out_dir);
+
+  spec::Specification system = workload::mine_pump_specification();
+  std::cout << "Mine pump control system (paper Table 1)\n"
+            << "  tasks:           " << system.task_count() << "\n"
+            << "  utilization:     " << system.utilization() << "\n"
+            << "  schedule period: " << system.schedule_period().value()
+            << "\n  task instances:  " << system.total_instances().value()
+            << "  (paper: 782)\n\n";
+
+  core::Project project(system);
+  if (auto status = project.build(); !status.ok()) {
+    std::cerr << "build failed: " << status.error() << "\n";
+    return 1;
+  }
+  const tpn::NetStats net_stats = tpn::stats(project.model().net);
+  std::cout << "Composed TPN: " << net_stats.places << " places, "
+            << net_stats.transitions << " transitions, " << net_stats.arcs
+            << " arcs\n";
+
+  if (auto status = project.schedule(); !status.ok()) {
+    std::cerr << "scheduling failed: " << status.error() << "\n";
+    return 1;
+  }
+  const auto& stats = project.outcome().stats;
+  std::cout << "DFS schedule synthesis:\n"
+            << "  feasible firing schedule length: "
+            << project.outcome().trace.size() << "  (paper minimum: 3130)\n"
+            << "  states visited:                  " << stats.states_visited
+            << "  (paper: 3268)\n"
+            << "  search time:                     " << stats.elapsed_ms
+            << " ms  (paper: 330 ms on an Athlon 1800)\n\n";
+
+  auto table = project.table();
+  auto report = project.validate();
+  std::cout << "Schedule table: " << table.value().items.size()
+            << " dispatch points, makespan " << table.value().makespan
+            << "\nValidation: " << report.value().summary() << "\n";
+
+  const runtime::DispatcherRun run =
+      runtime::simulate_dispatcher(system, table.value());
+  std::cout << "Dispatcher simulation: " << run.outcomes.size()
+            << " instances executed, "
+            << (run.all_deadlines_met ? "all deadlines met"
+                                      : "DEADLINE MISSED")
+            << ", busy " << run.busy_time << " / idle " << run.idle_time
+            << "\n\n";
+
+  // Interchange + code artifacts.
+  std::ofstream(out_dir / "mine_pump.ezspec")
+      << project.export_ezspec().value();
+  std::ofstream(out_dir / "mine_pump.pnml") << project.export_pnml().value();
+  const auto code = project.generate_code();
+  for (const codegen::GeneratedFile& file : code.value().files) {
+    std::ofstream(out_dir / file.name) << file.content;
+  }
+  std::cout << "Artifacts written to " << out_dir << "\n";
+  return run.ok() ? 0 : 1;
+}

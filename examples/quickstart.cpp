@@ -1,0 +1,56 @@
+// Quickstart: specify two periodic tasks, synthesize a pre-runtime
+// schedule, and print the Fig 8-style schedule table plus the generated,
+// deployable C dispatcher.
+//
+//   $ ./quickstart
+//
+// This is the one-screen tour of the ezRealtime pipeline:
+//   specification -> time Petri net -> DFS schedule -> table -> C code.
+#include <iostream>
+
+#include "core/project.hpp"
+
+int main() {
+  using namespace ezrt;
+
+  // 1. Specify the system (normally loaded from an ez-spec XML document).
+  spec::Specification system("quickstart");
+  system.add_processor("mcu");
+
+  // Task(name, {phase, release, computation, deadline, period}).
+  const TaskId sensor = system.add_task(
+      "sensor", spec::TimingConstraints{0, 0, 2, 8, 10});
+  const TaskId control = system.add_task(
+      "control", spec::TimingConstraints{0, 0, 3, 10, 10});
+  system.add_precedence(sensor, control);  // control consumes sensor data
+  system.set_task_code(sensor, "adc_sample();");
+  system.set_task_code(control, "update_pid();\nset_pwm();");
+
+  // 2. Build + schedule + validate through the facade.
+  core::Project project(std::move(system));
+  if (auto status = project.schedule(); !status.ok()) {
+    std::cerr << "scheduling failed: " << status.error() << "\n";
+    return 1;
+  }
+
+  const auto& stats = project.outcome().stats;
+  std::cout << "feasible schedule found: " << project.outcome().trace.size()
+            << " firings, " << stats.states_visited << " states visited in "
+            << stats.elapsed_ms << " ms\n\n";
+
+  auto table = project.table();
+  std::cout << sched::to_string(table.value(), project.specification())
+            << "\n";
+
+  auto report = project.validate();
+  std::cout << "independent validation: " << report.value().summary()
+            << "\n\n";
+
+  // 3. Emit the scheduled C program (host-simulation backend).
+  auto code = project.generate_code();
+  for (const codegen::GeneratedFile& file : code.value().files) {
+    std::cout << "===== " << file.name << " =====\n"
+              << file.content << "\n";
+  }
+  return 0;
+}

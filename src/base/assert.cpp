@@ -1,0 +1,17 @@
+#include "base/assert.hpp"
+
+#include <sstream>
+
+namespace ezrt::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " violated: `" << expr << "` at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ezrt::detail

@@ -1,0 +1,49 @@
+// Contract-checking macros.
+//
+// EZRT_ASSERT documents internal invariants (compiled out in NDEBUG builds);
+// EZRT_CHECK enforces preconditions at API boundaries and is always active.
+// Both throw ezrt::ContractViolation so tests can observe failures without
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ezrt {
+
+/// Thrown when a precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace ezrt
+
+#define EZRT_CHECK(expr, message)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ezrt::detail::contract_failure("precondition", #expr, __FILE__, \
+                                       __LINE__, (message));            \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define EZRT_ASSERT(expr, message) \
+  do {                             \
+  } while (false)
+#else
+#define EZRT_ASSERT(expr, message)                                   \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::ezrt::detail::contract_failure("invariant", #expr, __FILE__, \
+                                       __LINE__, (message));         \
+    }                                                                \
+  } while (false)
+#endif

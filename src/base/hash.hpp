@@ -1,0 +1,46 @@
+// Hashing utilities for TLTS state deduplication.
+//
+// The scheduler keeps a visited set of (marking, clock-vector) states; the
+// hot path hashes two dense integer vectors. We use a FNV-1a-based combiner
+// with a final avalanche mix, which is deterministic across runs (benchmark
+// state counts must be reproducible).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ezrt {
+
+/// FNV-1a offset basis (64-bit).
+inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ull;
+
+/// Mixes one 64-bit word into a running hash.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h,
+                                               std::uint64_t v) {
+  // FNV-1a on the 8 bytes of v, unrolled via multiply; then a xorshift to
+  // spread low-entropy counter values (markings are mostly 0/1).
+  h ^= v;
+  h *= 0x100000001b3ull;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  return h;
+}
+
+/// Hashes a span of integral values.
+template <typename T>
+[[nodiscard]] constexpr std::uint64_t hash_span(std::span<const T> values,
+                                                std::uint64_t seed =
+                                                    kHashSeed) {
+  std::uint64_t h = seed;
+  for (const T& v : values) {
+    h = hash_mix(h, static_cast<std::uint64_t>(v));
+  }
+  // Finalizer (splitmix64 tail) so short vectors still avalanche.
+  h ^= h >> 31;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace ezrt

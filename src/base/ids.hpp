@@ -1,0 +1,125 @@
+// Strong identifier types used across the ezRealtime libraries.
+//
+// All entity references (places, transitions, tasks, processors, ...) are
+// index-based strong IDs: a thin wrapper around a 32-bit index with a tag
+// type, so that a PlaceId cannot be passed where a TransitionId is expected.
+// Containers indexed by an ID use IdVector, which only accepts the matching
+// ID type as a subscript.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ezrt {
+
+/// A typed index. `Tag` is an empty struct unique to each entity kind.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel for "no entity". Default-constructed IDs are invalid.
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct PlaceTag {};
+struct TransitionTag {};
+struct TaskTag {};
+struct ProcessorTag {};
+struct MessageTag {};
+
+using PlaceId = Id<PlaceTag>;
+using TransitionId = Id<TransitionTag>;
+using TaskId = Id<TaskTag>;
+using ProcessorId = Id<ProcessorTag>;
+using MessageId = Id<MessageTag>;
+
+/// std::vector whose subscript operator is typed by an Id.
+template <typename IdT, typename T>
+class IdVector {
+ public:
+  using id_type = IdT;
+  using value_type = T;
+
+  IdVector() = default;
+  explicit IdVector(std::size_t n, const T& init = T{}) : data_(n, init) {}
+
+  [[nodiscard]] T& operator[](IdT id) { return data_[id.value()]; }
+  [[nodiscard]] const T& operator[](IdT id) const { return data_[id.value()]; }
+
+  /// Appends an element and returns its freshly minted ID.
+  IdT push_back(T value) {
+    data_.push_back(std::move(value));
+    return IdT(static_cast<typename IdT::underlying_type>(data_.size() - 1));
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  void resize(std::size_t n, const T& init = T{}) { data_.resize(n, init); }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  /// Access to the untyped storage (for hashing / serialization).
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+  [[nodiscard]] std::vector<T>& raw() { return data_; }
+
+  /// Iterates IDs 0..size-1.
+  class IdRange {
+   public:
+    explicit IdRange(std::size_t n) : n_(n) {}
+    class iterator {
+     public:
+      explicit iterator(typename IdT::underlying_type v) : v_(v) {}
+      IdT operator*() const { return IdT(v_); }
+      iterator& operator++() {
+        ++v_;
+        return *this;
+      }
+      friend bool operator==(iterator, iterator) = default;
+
+     private:
+      typename IdT::underlying_type v_;
+    };
+    [[nodiscard]] iterator begin() const { return iterator(0); }
+    [[nodiscard]] iterator end() const {
+      return iterator(static_cast<typename IdT::underlying_type>(n_));
+    }
+
+   private:
+    std::size_t n_;
+  };
+
+  [[nodiscard]] IdRange ids() const { return IdRange(data_.size()); }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace ezrt
+
+template <typename Tag>
+struct std::hash<ezrt::Id<Tag>> {
+  std::size_t operator()(ezrt::Id<Tag> id) const noexcept {
+    return std::hash<typename ezrt::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,51 @@
+#include "base/math.hpp"
+
+#include <string>
+
+namespace ezrt {
+
+Result<Time> checked_mul(Time a, Time b) {
+  Time out = 0;
+  if (__builtin_mul_overflow(a, b, &out) || out == kTimeInfinity) {
+    return make_error(ErrorCode::kLimitExceeded,
+                      "multiplication overflow: " + std::to_string(a) + " * " +
+                          std::to_string(b));
+  }
+  return out;
+}
+
+Result<Time> checked_add(Time a, Time b) {
+  Time out = 0;
+  if (__builtin_add_overflow(a, b, &out) || out == kTimeInfinity) {
+    return make_error(ErrorCode::kLimitExceeded,
+                      "addition overflow: " + std::to_string(a) + " + " +
+                          std::to_string(b));
+  }
+  return out;
+}
+
+Result<Time> checked_lcm(Time a, Time b) {
+  if (a == 0 || b == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "lcm requires positive operands");
+  }
+  return checked_mul(a / gcd(a, b), b);
+}
+
+Result<Time> schedule_period(std::span<const Time> periods) {
+  if (periods.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "schedule period of an empty task set is undefined");
+  }
+  Time ps = 1;
+  for (Time p : periods) {
+    auto next = checked_lcm(ps, p);
+    if (!next.ok()) {
+      return next;
+    }
+    ps = next.value();
+  }
+  return ps;
+}
+
+}  // namespace ezrt

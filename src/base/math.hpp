@@ -1,0 +1,39 @@
+// Checked integer arithmetic for hyper-period computation.
+//
+// Pre-runtime scheduling unrolls every task over the schedule period
+// PS = lcm(periods) (§3.3). Unfortunate period choices make PS overflow
+// 64 bits, so lcm/multiplication are checked and reported as errors rather
+// than silently wrapping.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "base/result.hpp"
+#include "base/time.hpp"
+
+namespace ezrt {
+
+/// Greatest common divisor; gcd(0, x) == x.
+[[nodiscard]] constexpr Time gcd(Time a, Time b) { return std::gcd(a, b); }
+
+/// a * b, or kLimitExceeded on 64-bit overflow.
+[[nodiscard]] Result<Time> checked_mul(Time a, Time b);
+
+/// a + b, or kLimitExceeded on 64-bit overflow.
+[[nodiscard]] Result<Time> checked_add(Time a, Time b);
+
+/// Least common multiple of two positive values, overflow-checked.
+[[nodiscard]] Result<Time> checked_lcm(Time a, Time b);
+
+/// Least common multiple of a non-empty set of positive periods —
+/// the schedule period (hyper-period) PS of §3.3.
+[[nodiscard]] Result<Time> schedule_period(std::span<const Time> periods);
+
+/// Ceiling division for positive divisors.
+[[nodiscard]] constexpr Time ceil_div(Time a, Time b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace ezrt

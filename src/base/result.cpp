@@ -1,0 +1,38 @@
+#include "base/result.hpp"
+
+namespace ezrt {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kParseError:
+      return "parse-error";
+    case ErrorCode::kValidationError:
+      return "validation-error";
+    case ErrorCode::kInfeasible:
+      return "infeasible";
+    case ErrorCode::kLimitExceeded:
+      return "limit-exceeded";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = ezrt::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Error& error) {
+  return os << error.to_string();
+}
+
+}  // namespace ezrt

@@ -1,0 +1,116 @@
+// Minimal Result<T> / Error types for recoverable failures.
+//
+// Recoverable conditions (malformed XML, inconsistent specifications,
+// infeasible schedules) are reported by value through Result<T>;
+// programming errors use the contract macros in assert.hpp instead.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/assert.hpp"
+
+namespace ezrt {
+
+/// Machine-readable failure category.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller provided inconsistent data
+  kParseError,        ///< malformed input document
+  kValidationError,   ///< specification violates the model's constraints
+  kInfeasible,        ///< no feasible schedule exists under the search mode
+  kLimitExceeded,     ///< a configured resource bound was hit
+  kUnsupported,       ///< feature not available for the requested target
+  kIoError,           ///< filesystem failure
+  kInternal,          ///< invariant-adjacent failure surfaced as a value
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// A failure: category plus human-readable context.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "<category>: <message>" for logs and exceptions.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Error& error);
+
+/// Either a value or an Error. A deliberately small subset of
+/// std::expected (which libstdc++ 12 does not ship yet).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(*explicit*)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(*explicit*)
+
+  [[nodiscard]] bool ok() const {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    EZRT_CHECK(ok(), error_unchecked().to_string());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    EZRT_CHECK(ok(), error_unchecked().to_string());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    EZRT_CHECK(ok(), error_unchecked().to_string());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    EZRT_CHECK(!ok(), "Result holds a value, not an error");
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  [[nodiscard]] const Error& error_unchecked() const {
+    return std::get<Error>(storage_);
+  }
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                     // success
+  Status(Error error) : error_(std::move(error)) {}       // NOLINT(*explicit*)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    EZRT_CHECK(!ok(), "Status is OK, no error to read");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factories.
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string message) {
+  return Error(code, std::move(message));
+}
+
+}  // namespace ezrt

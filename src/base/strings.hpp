@@ -1,0 +1,39 @@
+// Small string helpers shared by the XML, PNML and codegen layers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.hpp"
+
+namespace ezrt {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative decimal integer; rejects trailing garbage.
+[[nodiscard]] Result<std::uint64_t> parse_uint(std::string_view s);
+
+/// Parses a decimal integer that may be negative.
+[[nodiscard]] Result<std::int64_t> parse_int(std::string_view s);
+
+/// True if `name` is usable as a C identifier (codegen symbol safety).
+[[nodiscard]] bool is_c_identifier(std::string_view name);
+
+/// Rewrites an arbitrary name into a valid C identifier (best effort:
+/// non-identifier characters become '_', a leading digit gains a prefix).
+[[nodiscard]] std::string sanitize_c_identifier(std::string_view name);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s,
+                                      std::string_view from,
+                                      std::string_view to);
+
+}  // namespace ezrt

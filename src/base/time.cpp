@@ -1,0 +1,24 @@
+#include "base/time.hpp"
+
+#include <sstream>
+
+namespace ezrt {
+
+std::string TimeInterval::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& interval) {
+  os << '[' << interval.eft() << ',';
+  if (interval.bounded()) {
+    os << interval.lft();
+  } else {
+    os << "inf";
+  }
+  os << ']';
+  return os;
+}
+
+}  // namespace ezrt

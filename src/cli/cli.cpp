@@ -1,0 +1,649 @@
+#include "cli/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "tpn/dot.hpp"
+
+#include "core/project.hpp"
+#include "runtime/cyclic.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/latency.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/online_sched.hpp"
+#include "sched/reachability.hpp"
+#include "sched/trace_io.hpp"
+#include "tpn/state_class.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::cli {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kFailure = 1;
+constexpr int kUsage = 2;
+
+/// Parsed command line: positionals plus --flag[=value] options.
+class Args {
+ public:
+  Args(const std::vector<std::string>& argv, std::size_t first) {
+    for (std::size_t i = first; i < argv.size(); ++i) {
+      const std::string& arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0 &&
+                   wants_value(arg.substr(2))) {
+          options_[arg.substr(2)] = argv[++i];
+        } else {
+          options_[arg.substr(2)] = "";
+        }
+      } else if (arg == "-o" && i + 1 < argv.size()) {
+        options_["output"] = argv[++i];
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return options_.contains(name);
+  }
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& name) const {
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+ private:
+  [[nodiscard]] static bool wants_value(const std::string& name) {
+    return name == "target" || name == "mcu" || name == "max-states" ||
+           name == "policy" || name == "trace" || name == "output" ||
+           name == "timer-hz" || name == "cycles" || name == "tasks" ||
+           name == "utilization" || name == "seed" || name == "preemptive" ||
+           name == "precedence" || name == "exclusion" ||
+           name == "optimize";
+  }
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+[[nodiscard]] Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kIoError, "cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+[[nodiscard]] Status write_file(const std::filesystem::path& path,
+                                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError,
+                      "cannot write '" + path.string() + "'");
+  }
+  out << content;
+  return Status();
+}
+
+/// Loads the project from the spec file named by the first positional.
+[[nodiscard]] Result<core::Project> load_project(const Args& args) {
+  if (args.positional().empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "missing <spec.xml> argument");
+  }
+  auto document = read_file(args.positional()[0]);
+  if (!document.ok()) {
+    return document.error();
+  }
+  builder::BuildOptions build;
+  if (args.has("paper-blocks")) {
+    build.style = builder::BlockStyle::kPaper;
+  }
+  sched::SchedulerOptions scheduler;
+  if (args.has("complete")) {
+    scheduler.pruning = sched::PruningMode::kNone;
+  }
+  if (auto objective = args.value("optimize")) {
+    // Optimizing objectives explore exhaustively: imply the complete mode.
+    scheduler.pruning = sched::PruningMode::kNone;
+    if (*objective == "makespan") {
+      scheduler.objective = sched::Objective::kMinimizeMakespan;
+    } else if (*objective == "switches") {
+      scheduler.objective = sched::Objective::kMinimizeSwitches;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "--optimize expects makespan|switches");
+    }
+  }
+  if (auto max_states = args.value("max-states")) {
+    auto parsed = parse_uint(*max_states);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    scheduler.max_states = parsed.value();
+  }
+  auto parsed = pnml::read_ezspec(document.value());
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  return core::Project(std::move(parsed).value(), build, scheduler);
+}
+
+int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  const spec::Specification& s = project.value().specification();
+  out << "specification: " << s.name() << "\n"
+      << "  processors: " << s.processor_count() << "\n"
+      << "  tasks:      " << s.task_count() << "\n"
+      << "  messages:   " << s.message_count() << "\n"
+      << "  utilization: " << s.utilization() << "\n";
+  if (auto ps = s.schedule_period(); ps.ok()) {
+    out << "  schedule period: " << ps.value() << "\n"
+        << "  task instances:  " << s.total_instances().value() << "\n";
+  }
+  out << "  tasks (name c d p ph r mode):\n";
+  for (TaskId id : s.task_ids()) {
+    const spec::Task& t = s.task(id);
+    out << "    " << t.name << " " << t.timing.computation << " "
+        << t.timing.deadline << " " << t.timing.period << " "
+        << t.timing.phase << " " << t.timing.release << " "
+        << (t.scheduling == spec::SchedulingType::kPreemptive ? "P" : "NP")
+        << "\n";
+  }
+  out << "  analytic schedulability pre-checks:\n"
+      << runtime::format_admission(runtime::check_admission(s));
+  return kOk;
+}
+
+int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  out << "specification is valid\n";
+  return kOk;
+}
+
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  core::Project& p = project.value();
+  if (auto status = p.schedule(); !status.ok()) {
+    err << "error: " << status.error() << "\n";
+    if (p.scheduled()) {
+      err << "  states visited: " << p.outcome().stats.states_visited
+          << ", backtracks: " << p.outcome().stats.backtracks << "\n";
+    }
+    return kFailure;
+  }
+  const sched::SearchStats& stats = p.outcome().stats;
+  out << "feasible schedule: " << p.outcome().trace.size() << " firings, "
+      << stats.states_visited << " states, " << stats.elapsed_ms << " ms\n";
+  if (args.has("optimize")) {
+    out << "optimized: best cost " << p.outcome().best_cost << " over "
+        << p.outcome().solutions_found << " schedule(s) considered\n";
+  }
+  auto table = p.table();
+  if (!table.ok()) {
+    err << "error: " << table.error() << "\n";
+    return kFailure;
+  }
+  out << sched::to_string(table.value(), p.specification());
+  if (auto trace_path = args.value("trace")) {
+    const std::string document =
+        sched::write_trace(p.model().net, p.outcome().trace);
+    if (auto status = write_file(*trace_path, document); !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "trace written to " << *trace_path << "\n";
+  }
+  return kOk;
+}
+
+int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  const auto dir = args.value("output");
+  if (!dir.has_value()) {
+    err << "error: codegen requires -o <dir>\n";
+    return kUsage;
+  }
+  codegen::CodegenOptions options;
+  if (auto target = args.value("target")) {
+    if (*target == "bare-metal") {
+      options.target = codegen::Target::kBareMetal;
+    } else if (*target == "host-sim") {
+      options.target = codegen::Target::kHostSim;
+    } else {
+      err << "error: unknown target '" << *target << "'\n";
+      return kUsage;
+    }
+  }
+  if (auto mcu = args.value("mcu")) {
+    auto family = codegen::mcu_family_from_string(*mcu);
+    if (!family.ok()) {
+      err << "error: " << family.error() << "\n";
+      return kUsage;
+    }
+    options.mcu = family.value();
+  }
+  if (auto hz = args.value("timer-hz")) {
+    auto parsed = parse_uint(*hz);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error() << "\n";
+      return kUsage;
+    }
+    options.timer_hz = parsed.value();
+  }
+  auto code = project.value().generate_code(options);
+  if (!code.ok()) {
+    err << "error: " << code.error() << "\n";
+    return kFailure;
+  }
+  std::filesystem::create_directories(*dir);
+  for (const codegen::GeneratedFile& file : code.value().files) {
+    if (auto status =
+            write_file(std::filesystem::path(*dir) / file.name,
+                       file.content);
+        !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "wrote " << (std::filesystem::path(*dir) / file.name).string()
+        << "\n";
+  }
+  return kOk;
+}
+
+int cmd_export_dot(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  if (auto status = project.value().build(); !status.ok()) {
+    err << "error: " << status.error() << "\n";
+    return kFailure;
+  }
+  tpn::DotOptions options;
+  options.show_priorities = args.has("priorities");
+  const std::string dot =
+      tpn::write_dot(project.value().model().net, options);
+  if (auto path = args.value("output")) {
+    if (auto status = write_file(*path, dot); !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "wrote " << *path << "\n";
+  } else {
+    out << dot;
+  }
+  return kOk;
+}
+
+int cmd_export_pnml(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  auto document = project.value().export_pnml();
+  if (!document.ok()) {
+    err << "error: " << document.error() << "\n";
+    return kFailure;
+  }
+  if (auto path = args.value("output")) {
+    if (auto status = write_file(*path, document.value()); !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "wrote " << *path << "\n";
+  } else {
+    out << document.value();
+  }
+  return kOk;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  core::Project& p = project.value();
+  auto table = p.table();
+  if (!table.ok()) {
+    err << "error: " << table.error() << "\n";
+    return kFailure;
+  }
+  const runtime::DispatcherRun run =
+      runtime::simulate_dispatcher(p.specification(), table.value());
+  out << "dispatcher run: " << run.outcomes.size() << " instances, "
+      << run.context_saves << " saves, " << run.context_restores
+      << " restores, "
+      << (run.all_deadlines_met ? "all deadlines met" : "DEADLINES MISSED")
+      << "\n\n";
+  const runtime::ScheduleMetrics metrics =
+      runtime::compute_metrics(p.specification(), table.value());
+  out << runtime::format_metrics(p.specification(), metrics) << "\n";
+  out << runtime::render_gantt(p.specification(), table.value()) << "\n";
+  const auto latencies =
+      runtime::analyze_latency(p.specification(), table.value());
+  if (!latencies.empty()) {
+    out << "end-to-end chain latency:\n"
+        << runtime::format_latency(p.specification(), latencies) << "\n";
+  }
+
+  if (auto cycles = args.value("cycles")) {
+    auto parsed = parse_uint(*cycles);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error() << "\n";
+      return kUsage;
+    }
+    const runtime::CyclicCheck check =
+        runtime::check_repeatable(p.specification(), table.value());
+    if (!check.repeatable) {
+      err << "schedule is not repeatable:\n";
+      for (const std::string& reason : check.reasons) {
+        err << "  - " << reason << "\n";
+      }
+      return kFailure;
+    }
+    const runtime::CyclicRun cyclic = runtime::simulate_cyclic(
+        p.specification(), table.value(), parsed.value());
+    out << "cyclic run over " << cyclic.cycles << " schedule periods: "
+        << cyclic.instances_completed << " instances, "
+        << cyclic.deadline_misses << " misses, "
+        << cyclic.context_switches << " context switches, busy "
+        << cyclic.total_busy << " / idle " << cyclic.total_idle << "\n";
+    return cyclic.ok && run.ok() ? kOk : kFailure;
+  }
+  return run.ok() ? kOk : kFailure;
+}
+
+int cmd_workload(const Args& args, std::ostream& out, std::ostream& err) {
+  workload::WorkloadConfig config;
+  auto read_u64 = [&](const char* name, auto& field) -> bool {
+    if (auto value = args.value(name)) {
+      auto parsed = parse_uint(*value);
+      if (!parsed.ok()) {
+        err << "error: --" << name << ": " << parsed.error() << "\n";
+        return false;
+      }
+      field = static_cast<std::remove_reference_t<decltype(field)>>(
+          parsed.value());
+    }
+    return true;
+  };
+  if (!read_u64("tasks", config.tasks) || !read_u64("seed", config.seed) ||
+      !read_u64("precedence", config.precedence_edges) ||
+      !read_u64("exclusion", config.exclusion_pairs)) {
+    return kUsage;
+  }
+  if (auto value = args.value("utilization")) {
+    try {
+      config.utilization = std::stod(*value);
+    } catch (const std::exception&) {
+      err << "error: --utilization expects a number\n";
+      return kUsage;
+    }
+  }
+  if (auto value = args.value("preemptive")) {
+    try {
+      config.preemptive_fraction = std::stod(*value);
+    } catch (const std::exception&) {
+      err << "error: --preemptive expects a fraction\n";
+      return kUsage;
+    }
+  }
+  auto generated = workload::generate(config);
+  if (!generated.ok()) {
+    err << "error: " << generated.error() << "\n";
+    return kFailure;
+  }
+  auto document = pnml::write_ezspec(generated.value());
+  if (!document.ok()) {
+    err << "error: " << document.error() << "\n";
+    return kFailure;
+  }
+  if (auto path = args.value("output")) {
+    if (auto status = write_file(*path, document.value()); !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "wrote " << *path << " (" << generated.value().task_count()
+        << " tasks, U = " << generated.value().utilization() << ")\n";
+  } else {
+    out << document.value();
+  }
+  return kOk;
+}
+
+int cmd_baseline(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  const spec::Specification& s = project.value().specification();
+  out << "policy    schedulable  misses  preemptions  dispatches\n";
+  for (const auto policy :
+       {runtime::OnlinePolicy::kEdf, runtime::OnlinePolicy::kDeadlineMonotonic,
+        runtime::OnlinePolicy::kRateMonotonic,
+        runtime::OnlinePolicy::kEdfNonPreemptive}) {
+    const runtime::OnlineResult r = runtime::simulate_online(s, policy);
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-9s %-12s %6llu %12llu %11llu\n",
+                  runtime::to_string(policy), r.schedulable ? "yes" : "no",
+                  static_cast<unsigned long long>(r.deadline_misses),
+                  static_cast<unsigned long long>(r.preemptions),
+                  static_cast<unsigned long long>(r.dispatches));
+    out << line;
+  }
+  return kOk;
+}
+
+int cmd_replay(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  if (args.positional().size() < 2) {
+    err << "error: replay requires <spec.xml> <trace-file>\n";
+    return kUsage;
+  }
+  core::Project& p = project.value();
+  if (auto status = p.build(); !status.ok()) {
+    err << "error: " << status.error() << "\n";
+    return kFailure;
+  }
+  auto document = read_file(args.positional()[1]);
+  if (!document.ok()) {
+    err << "error: " << document.error() << "\n";
+    return kFailure;
+  }
+  auto trace = sched::read_trace(p.model().net, document.value());
+  if (!trace.ok()) {
+    err << "error: " << trace.error() << "\n";
+    return kFailure;
+  }
+  sched::DfsScheduler scheduler(p.model().net);
+  auto final_state = scheduler.replay(trace.value());
+  if (!final_state.ok()) {
+    err << "replay FAILED: " << final_state.error() << "\n";
+    return kFailure;
+  }
+  const bool reaches_goal =
+      tpn::is_final_marking(p.model().net, final_state.value().marking());
+  out << "replayed " << trace.value().size() << " firings; final marking "
+      << (reaches_goal ? "reaches" : "DOES NOT reach") << " M_F\n";
+  return reaches_goal ? kOk : kFailure;
+}
+
+int cmd_reach(const Args& args, std::ostream& out, std::ostream& err) {
+  auto project = load_project(args);
+  if (!project.ok()) {
+    err << "error: " << project.error() << "\n";
+    return kFailure;
+  }
+  core::Project& p = project.value();
+  if (auto status = p.build(); !status.ok()) {
+    err << "error: " << status.error() << "\n";
+    return kFailure;
+  }
+  std::uint64_t max_states = sched::ReachabilityOptions{}.max_states;
+  if (auto value = args.value("max-states")) {
+    auto parsed = parse_uint(*value);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error() << "\n";
+      return kUsage;
+    }
+    max_states = parsed.value();
+  }
+  if (args.has("classes")) {
+    // Dense-time analysis via the state-class graph (Berthomieu-Diaz).
+    tpn::ClassGraphOptions options;
+    options.max_classes = max_states;
+    const tpn::ClassGraphResult result =
+        tpn::build_class_graph(p.model().net, options);
+    out << "state-class graph ("
+        << (result.complete ? "complete" : "bounded") << ", dense time):\n"
+        << "  classes explored:  " << result.classes_explored << "\n"
+        << "  edges:             " << result.edges << "\n"
+        << "  distinct markings: " << result.distinct_markings << "\n"
+        << "  final reachable:   "
+        << (result.final_reachable ? "yes" : "no") << "\n"
+        << "  miss reachable:    "
+        << (result.miss_reachable ? "yes" : "no") << "\n";
+    return kOk;
+  }
+  sched::ReachabilityOptions options;
+  options.max_states = max_states;
+  const sched::ReachabilityResult result =
+      sched::explore(p.model().net, options);
+  out << "reachability (" << (result.complete ? "complete" : "bounded")
+      << "):\n"
+      << "  states explored:  " << result.states_explored << "\n"
+      << "  final reachable:  " << (result.final_reachable ? "yes" : "no")
+      << "\n"
+      << "  miss reachable:   " << (result.miss_reachable ? "yes" : "no")
+      << "\n"
+      << "  deadlock found:   " << (result.deadlock_found ? "yes" : "no")
+      << "\n"
+      << "  place bound:      " << result.bound << "\n";
+  return kOk;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "ezrt — pre-runtime schedule synthesis for embedded hard real-time "
+      "systems\n"
+      "\n"
+      "usage: ezrt <command> <spec.xml> [options]\n"
+      "\n"
+      "commands:\n"
+      "  info         show derived quantities (hyper-period, instances, U)\n"
+      "  validate     check the specification against the metamodel rules\n"
+      "  schedule     synthesize a schedule and print the table\n"
+      "               [--complete] [--paper-blocks] [--max-states N]\n"
+      "               [--trace FILE] [--optimize makespan|switches]\n"
+      "  codegen      emit the scheduled C program  -o DIR\n"
+      "               [--target host-sim|bare-metal] [--mcu "
+      "generic|8051|arm9|m68k|x86]\n"
+      "               [--timer-hz N]\n"
+      "  export-pnml  write the composed time Petri net  [-o FILE]\n"
+      "  export-dot   Graphviz rendering of the net  [-o FILE] "
+      "[--priorities]\n"
+      "  simulate     run the dispatcher simulation, metrics and Gantt\n"
+      "               [--cycles N] also checks steady-state repetition\n"
+      "  workload     generate a random task set  [-o FILE] [--tasks N]\n"
+      "               [--utilization U] [--seed S] [--preemptive F]\n"
+      "               [--precedence N] [--exclusion N]\n"
+      "  baseline     compare on-line EDF/DM/RM/NP-EDF on the same tasks\n"
+      "  replay       audit a stored firing schedule: replay <spec> "
+      "<trace>\n"
+      "  reach        bounded reachability / property check "
+      "[--max-states N]\n"
+      "  help         this text\n";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? kUsage : kOk;
+  }
+  const std::string& command = args[0];
+  const Args parsed(args, 1);
+  if (command == "info") {
+    return cmd_info(parsed, out, err);
+  }
+  if (command == "validate") {
+    return cmd_validate(parsed, out, err);
+  }
+  if (command == "schedule") {
+    return cmd_schedule(parsed, out, err);
+  }
+  if (command == "codegen") {
+    return cmd_codegen(parsed, out, err);
+  }
+  if (command == "export-pnml") {
+    return cmd_export_pnml(parsed, out, err);
+  }
+  if (command == "export-dot") {
+    return cmd_export_dot(parsed, out, err);
+  }
+  if (command == "simulate") {
+    return cmd_simulate(parsed, out, err);
+  }
+  if (command == "baseline") {
+    return cmd_baseline(parsed, out, err);
+  }
+  if (command == "workload") {
+    return cmd_workload(parsed, out, err);
+  }
+  if (command == "replay") {
+    return cmd_replay(parsed, out, err);
+  }
+  if (command == "reach") {
+    return cmd_reach(parsed, out, err);
+  }
+  err << "error: unknown command '" << command << "'\n" << usage();
+  return kUsage;
+}
+
+}  // namespace ezrt::cli

@@ -1,0 +1,73 @@
+// Scheduled C code generation (paper §4.4.2).
+//
+// Turns a feasible schedule table into deployable C source: the
+// struct ScheduleItem table (Fig 8), a timer-interrupt handler, a small
+// dispatcher performing timer programming / context saving / context
+// restoring / task calling, and one function per task with the user's
+// behavioral source spliced in.
+//
+// Two backends:
+//   * kBareMetal — generic microcontroller style: the dispatcher runs in a
+//     timer ISR, context save/restore and timer reprogramming are macros
+//     the port header provides (the paper targets 8051/ARM/x86 this way).
+//   * kHostSim — a self-contained, strictly portable C program that
+//     executes the same dispatcher logic against a virtual clock, checks
+//     every instance against its deadline and returns the number of
+//     misses. This is the "runs on the build host" substitute for target
+//     hardware: integration tests compile and execute it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/result.hpp"
+#include "codegen/ports.hpp"
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::codegen {
+
+enum class Target : std::uint8_t {
+  kBareMetal,
+  kHostSim,
+};
+
+[[nodiscard]] const char* to_string(Target target);
+
+struct CodegenOptions {
+  Target target = Target::kHostSim;
+  /// Splice Task::code contents into the task functions; when a task has
+  /// no code a commented stub body is emitted.
+  bool include_user_code = true;
+  /// Bare-metal target: which processor family's port.h to generate
+  /// (the paper's future-work list: ARM9, 8051, M68K, x86).
+  McuFamily mcu = McuFamily::kGeneric;
+  /// Model time units per second, used by the generated port layer.
+  std::uint64_t timer_hz = 1000;
+};
+
+struct GeneratedFile {
+  std::string name;     ///< e.g. "schedule.h", "dispatcher.c"
+  std::string content;  ///< complete file text
+};
+
+struct GeneratedCode {
+  std::vector<GeneratedFile> files;
+
+  [[nodiscard]] const GeneratedFile* find(std::string_view name) const {
+    for (const GeneratedFile& f : files) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Generates the scheduled program for `table`. The specification provides
+/// task names (mapped to C identifiers), WCETs, deadlines and user code.
+[[nodiscard]] Result<GeneratedCode> generate(
+    const spec::Specification& spec, const sched::ScheduleTable& table,
+    const CodegenOptions& options = {});
+
+}  // namespace ezrt::codegen

@@ -1,0 +1,44 @@
+// Target-processor port layer generation.
+//
+// The paper's future work is to synthesize for "several kinds of
+// microcontrollers and processors (e.g., ARM9, 8051, M68K, x86) in a
+// generative way". The bare-metal dispatcher emitted by c_generator is
+// target-neutral: it calls SAVE_CONTEXT / RESTORE_CONTEXT /
+// PROGRAM_TIMER / IDLE and declares its ISR via TIMER_ISR. This module
+// generates the `port.h` implementing those macros per processor family.
+//
+// The ports are *templates*: register lists and timer programming follow
+// each family's architecture manual, but the vector numbers, clock
+// divisors and memory maps are board-specific and marked with
+// EZRT_PORT_TODO for the integrator. The host-simulation backend remains
+// the executable reference.
+#pragma once
+
+#include <string>
+
+#include "base/result.hpp"
+
+namespace ezrt::codegen {
+
+/// Processor families the paper names as synthesis targets.
+enum class McuFamily : std::uint8_t {
+  kGeneric,  ///< empty macros; compiles anywhere, runs nothing
+  k8051,     ///< Intel MCS-51 (SDCC dialect)
+  kArm9,     ///< ARM9 (ARMv5, e.g. ARM926EJ-S)
+  kM68k,     ///< Motorola 68000
+  kX86,      ///< x86 real-/protected-mode with the 8254 PIT
+};
+
+[[nodiscard]] const char* to_string(McuFamily family);
+
+/// Parses the names accepted on the CLI ("generic", "8051", "arm9",
+/// "m68k", "x86").
+[[nodiscard]] Result<McuFamily> mcu_family_from_string(std::string_view s);
+
+/// Generates the complete `port.h` for a family. `timer_hz` is the tick
+/// rate one model time unit corresponds to (used in the timer reload
+/// computation comments/constants).
+[[nodiscard]] std::string generate_port_header(McuFamily family,
+                                               std::uint64_t timer_hz = 1000);
+
+}  // namespace ezrt::codegen

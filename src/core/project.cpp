@@ -1,0 +1,111 @@
+#include "core/project.hpp"
+
+#include "base/assert.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "pnml/pnml_io.hpp"
+
+namespace ezrt::core {
+
+Project::Project(spec::Specification specification,
+                 builder::BuildOptions build_options,
+                 sched::SchedulerOptions scheduler_options)
+    : spec_(std::move(specification)),
+      build_options_(build_options),
+      scheduler_options_(scheduler_options) {}
+
+Result<Project> Project::from_ezspec(std::string_view document) {
+  auto parsed = pnml::read_ezspec(document);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  return Project(std::move(parsed).value());
+}
+
+Status Project::build() {
+  if (model_.has_value()) {
+    return Status();
+  }
+  if (auto status = spec_.validate(); !status.ok()) {
+    return status;
+  }
+  auto model = builder::build_tpn(spec_, build_options_);
+  if (!model.ok()) {
+    return model.error();
+  }
+  model_ = std::move(model).value();
+  return Status();
+}
+
+const builder::BuiltModel& Project::model() const {
+  EZRT_CHECK(model_.has_value(), "build() has not produced a model yet");
+  return *model_;
+}
+
+Status Project::schedule() {
+  if (!outcome_.has_value()) {
+    if (auto status = build(); !status.ok()) {
+      return status;
+    }
+    sched::DfsScheduler scheduler(model_->net, scheduler_options_);
+    // Statistics stay available through outcome() even on failure.
+    outcome_ = scheduler.search();
+  }
+  if (outcome_->status == sched::SearchStatus::kFeasible) {
+    return Status();
+  }
+  return make_error(outcome_->status == sched::SearchStatus::kInfeasible
+                        ? ErrorCode::kInfeasible
+                        : ErrorCode::kLimitExceeded,
+                    std::string("pre-runtime scheduling: ") +
+                        sched::to_string(outcome_->status));
+}
+
+const sched::SearchOutcome& Project::outcome() const {
+  EZRT_CHECK(outcome_.has_value(), "schedule() has not run yet");
+  return *outcome_;
+}
+
+Result<sched::ScheduleTable> Project::table() {
+  if (table_.has_value()) {
+    return *table_;
+  }
+  if (auto status = schedule(); !status.ok()) {
+    return status.error();
+  }
+  auto table = sched::extract_schedule(spec_, *model_, outcome_->trace);
+  if (!table.ok()) {
+    return table;
+  }
+  table_ = table.value();
+  return table;
+}
+
+Result<runtime::ValidationReport> Project::validate() {
+  auto t = table();
+  if (!t.ok()) {
+    return t.error();
+  }
+  return runtime::validate_schedule(spec_, t.value());
+}
+
+Result<codegen::GeneratedCode> Project::generate_code(
+    const codegen::CodegenOptions& options) {
+  auto t = table();
+  if (!t.ok()) {
+    return t.error();
+  }
+  return codegen::generate(spec_, t.value(), options);
+}
+
+Result<std::string> Project::export_pnml() {
+  if (auto status = build(); !status.ok()) {
+    return status.error();
+  }
+  return pnml::write_pnml(model_->net);
+}
+
+Result<std::string> Project::export_ezspec() const {
+  return pnml::write_ezspec(spec_);
+}
+
+}  // namespace ezrt::core

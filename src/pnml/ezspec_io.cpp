@@ -1,0 +1,376 @@
+#include "pnml/ezspec_io.hpp"
+
+#include <map>
+#include <string>
+
+#include "base/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace ezrt::pnml {
+
+namespace {
+
+using spec::SchedulingType;
+using spec::Specification;
+
+/// "#id1 #id2" reference-list attribute values.
+[[nodiscard]] std::string make_ref_list(
+    const std::vector<std::string>& identifiers) {
+  std::string out;
+  for (const std::string& id : identifiers) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += '#';
+    out += id;
+  }
+  return out;
+}
+
+[[nodiscard]] Result<std::vector<std::string>> parse_ref_list(
+    std::string_view value) {
+  std::vector<std::string> out;
+  for (const std::string& token : split(value, ' ')) {
+    const std::string_view ref = trim(token);
+    if (ref.empty()) {
+      continue;
+    }
+    if (ref.front() != '#') {
+      return make_error(ErrorCode::kParseError,
+                        "reference '" + std::string(ref) +
+                            "' does not start with '#'");
+    }
+    out.emplace_back(ref.substr(1));
+  }
+  return out;
+}
+
+void add_field(xml::Element& parent, std::string_view name, Time value) {
+  parent.add_child(std::string(name)).set_text(std::to_string(value));
+}
+
+[[nodiscard]] Result<Time> field(const xml::Element& el,
+                                 std::string_view name, Time fallback,
+                                 bool required) {
+  const xml::Element* child = el.find_child(name);
+  if (child == nullptr) {
+    if (required) {
+      return make_error(ErrorCode::kParseError,
+                        "<" + el.name() + "> is missing <" +
+                            std::string(name) + ">");
+    }
+    return fallback;
+  }
+  return parse_uint(child->text());
+}
+
+}  // namespace
+
+Result<std::string> write_ezspec(const Specification& specification) {
+  // Mint identifiers on a copy so references are expressible.
+  Specification s = specification;
+  if (auto status = s.validate(); !status.ok()) {
+    return status.error();
+  }
+
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>("rt:ez-spec");
+  doc.root->set_attribute("xmlns:rt", kEzSpecNamespace);
+  doc.root->set_attribute("name", s.name());
+  doc.root->set_attribute("dispOveh",
+                          s.dispatcher_overhead() ? "true" : "false");
+
+  for (ProcessorId id : s.processor_ids()) {
+    const spec::Processor& p = s.processor(id);
+    xml::Element& el = doc.root->add_child("Processor");
+    el.set_attribute("identifier", p.identifier);
+    el.add_child("name").set_text(p.name);
+  }
+
+  for (TaskId id : s.task_ids()) {
+    const spec::Task& t = s.task(id);
+    xml::Element& el = doc.root->add_child("Task");
+    el.set_attribute("identifier", t.identifier);
+    if (!t.precedes.empty()) {
+      std::vector<std::string> refs;
+      for (TaskId other : t.precedes) {
+        refs.push_back(s.task(other).identifier);
+      }
+      el.set_attribute("precedesTasks", make_ref_list(refs));
+    }
+    if (!t.excludes.empty()) {
+      std::vector<std::string> refs;
+      for (TaskId other : t.excludes) {
+        refs.push_back(s.task(other).identifier);
+      }
+      el.set_attribute("excludesTasks", make_ref_list(refs));
+    }
+    if (!t.precedes_msgs.empty()) {
+      std::vector<std::string> refs;
+      for (MessageId msg : t.precedes_msgs) {
+        refs.push_back(s.message(msg).identifier);
+      }
+      el.set_attribute("precedesMsgs", make_ref_list(refs));
+    }
+    el.add_child("processor")
+        .set_text(s.processor(t.processor).identifier);
+    el.add_child("name").set_text(t.name);
+    add_field(el, "period", t.timing.period);
+    add_field(el, "phase", t.timing.phase);
+    add_field(el, "release", t.timing.release);
+    add_field(el, "power", t.energy);
+    el.add_child("schedulingMode")
+        .set_text(t.scheduling == SchedulingType::kPreemptive ? "P" : "NP");
+    add_field(el, "computing", t.timing.computation);
+    add_field(el, "deadline", t.timing.deadline);
+    if (t.code.has_value()) {
+      el.add_child("code").set_text(t.code->content);
+    }
+  }
+
+  for (MessageId id : s.message_ids()) {
+    const spec::Message& m = s.message(id);
+    xml::Element& el = doc.root->add_child("Message");
+    el.set_attribute("identifier", m.identifier);
+    el.set_attribute("precedes", "#" + s.task(m.receiver).identifier);
+    el.add_child("name").set_text(m.name);
+    el.add_child("bus").set_text(m.bus);
+    add_field(el, "grantBus", m.grant_bus);
+    add_field(el, "communication", m.communication);
+  }
+
+  return xml::to_string(doc);
+}
+
+Result<Specification> read_ezspec(std::string_view document) {
+  auto parsed = xml::parse(document);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  const xml::Element& root = *parsed.value().root;
+  if (root.name() != "rt:ez-spec" && root.name() != "ez-spec") {
+    return make_error(ErrorCode::kParseError,
+                      "root element is <" + root.name() +
+                          ">, not <rt:ez-spec>");
+  }
+
+  Specification s(std::string(root.attribute("name").value_or("untitled")));
+  s.set_dispatcher_overhead(root.attribute("dispOveh") == "true");
+
+  std::map<std::string, ProcessorId> processors_by_id;
+  std::map<std::string, TaskId> tasks_by_id;
+  std::map<std::string, MessageId> messages_by_id;
+
+  // Pass 1: processors, then tasks and messages (attributes only).
+  for (const xml::ElementPtr& child : root.children()) {
+    if (child->name() != "Processor") {
+      continue;
+    }
+    auto id = child->require_attribute("identifier");
+    if (!id.ok()) {
+      return id.error();
+    }
+    spec::Processor p;
+    p.identifier = id.value();
+    p.name = child->label_text("name").value_or(id.value());
+    const ProcessorId proc_id = s.add_processor(std::move(p));
+    processors_by_id[id.value()] = proc_id;
+  }
+
+  for (const xml::ElementPtr& child : root.children()) {
+    if (child->name() == "Task") {
+      spec::Task t;
+      t.identifier =
+          std::string(child->attribute("identifier").value_or(""));
+      auto name = child->label_text("name");
+      if (!name.has_value()) {
+        return make_error(ErrorCode::kParseError, "<Task> without <name>");
+      }
+      t.name = *name;
+
+      auto period = field(*child, "period", 0, /*required=*/true);
+      auto computing = field(*child, "computing", 0, /*required=*/true);
+      auto deadline = field(*child, "deadline", 0, /*required=*/true);
+      auto phase = field(*child, "phase", 0, /*required=*/false);
+      auto release = field(*child, "release", 0, /*required=*/false);
+      auto power = field(*child, "power", 0, /*required=*/false);
+      for (const auto* r : {&period, &computing, &deadline, &phase, &release,
+                            &power}) {
+        if (!r->ok()) {
+          return r->error();
+        }
+      }
+      t.timing.period = period.value();
+      t.timing.computation = computing.value();
+      t.timing.deadline = deadline.value();
+      t.timing.phase = phase.value();
+      t.timing.release = release.value();
+      t.energy = static_cast<std::uint32_t>(power.value());
+
+      const auto mode = child->label_text("schedulingMode").value_or("NP");
+      if (mode == "P" || mode == "preemptive") {
+        t.scheduling = SchedulingType::kPreemptive;
+      } else if (mode == "NP" || mode == "nonPreemptive") {
+        t.scheduling = SchedulingType::kNonPreemptive;
+      } else {
+        return make_error(ErrorCode::kParseError,
+                          "task '" + t.name + "': unknown schedulingMode '" +
+                              mode + "'");
+      }
+
+      if (auto proc = child->label_text("processor")) {
+        auto it = processors_by_id.find(*proc);
+        if (it == processors_by_id.end()) {
+          return make_error(ErrorCode::kParseError,
+                            "task '" + t.name +
+                                "' references unknown processor '" + *proc +
+                                "'");
+        }
+        t.processor = it->second;
+      }
+      if (const xml::Element* code = child->find_child("code")) {
+        spec::SourceCode source;
+        source.content = code->text();
+        t.code = std::move(source);
+      }
+
+      const TaskId task_id = s.add_task(std::move(t));
+      const std::string& identifier = s.task(task_id).identifier;
+      if (!identifier.empty()) {
+        if (tasks_by_id.contains(identifier)) {
+          return make_error(ErrorCode::kParseError,
+                            "duplicate task identifier '" + identifier +
+                                "'");
+        }
+        tasks_by_id[identifier] = task_id;
+      }
+    } else if (child->name() == "Message") {
+      spec::Message m;
+      m.identifier =
+          std::string(child->attribute("identifier").value_or(""));
+      m.name = child->label_text("name").value_or(m.identifier);
+      m.bus = child->label_text("bus").value_or("bus0");
+      auto grant = field(*child, "grantBus", 0, /*required=*/false);
+      auto comm = field(*child, "communication", 0, /*required=*/false);
+      if (!grant.ok()) {
+        return grant.error();
+      }
+      if (!comm.ok()) {
+        return comm.error();
+      }
+      m.grant_bus = grant.value();
+      m.communication = comm.value();
+      const MessageId msg_id = s.add_message(std::move(m));
+      if (!s.message(msg_id).identifier.empty()) {
+        messages_by_id[s.message(msg_id).identifier] = msg_id;
+      }
+    }
+  }
+
+  // Pass 2: resolve reference attributes.
+  std::vector<std::pair<TaskId, MessageId>> pending_senders_;
+  std::vector<std::pair<MessageId, TaskId>> pending_receivers_;
+  std::size_t task_cursor = 0;
+  std::vector<TaskId> document_tasks;
+  for (TaskId id : s.task_ids()) {
+    document_tasks.push_back(id);
+  }
+  for (const xml::ElementPtr& child : root.children()) {
+    if (child->name() == "Task") {
+      const TaskId self = document_tasks[task_cursor++];
+      if (auto refs = child->attribute("precedesTasks")) {
+        auto list = parse_ref_list(*refs);
+        if (!list.ok()) {
+          return list.error();
+        }
+        for (const std::string& ref : list.value()) {
+          auto it = tasks_by_id.find(ref);
+          if (it == tasks_by_id.end()) {
+            return make_error(ErrorCode::kParseError,
+                              "unknown task reference '#" + ref + "'");
+          }
+          s.add_precedence(self, it->second);
+        }
+      }
+      if (auto refs = child->attribute("excludesTasks")) {
+        auto list = parse_ref_list(*refs);
+        if (!list.ok()) {
+          return list.error();
+        }
+        for (const std::string& ref : list.value()) {
+          auto it = tasks_by_id.find(ref);
+          if (it == tasks_by_id.end()) {
+            return make_error(ErrorCode::kParseError,
+                              "unknown task reference '#" + ref + "'");
+          }
+          s.add_exclusion(self, it->second);
+        }
+      }
+      if (auto refs = child->attribute("precedesMsgs")) {
+        auto list = parse_ref_list(*refs);
+        if (!list.ok()) {
+          return list.error();
+        }
+        for (const std::string& ref : list.value()) {
+          auto it = messages_by_id.find(ref);
+          if (it == messages_by_id.end()) {
+            return make_error(ErrorCode::kParseError,
+                              "unknown message reference '#" + ref + "'");
+          }
+          // Remember the sender; the receiver comes from the message.
+          pending_senders_.emplace_back(self, it->second);
+        }
+      }
+    } else if (child->name() == "Message") {
+      auto id_attr = child->attribute("identifier");
+      if (!id_attr.has_value() ||
+          !messages_by_id.contains(std::string(*id_attr))) {
+        continue;
+      }
+      const MessageId msg = messages_by_id[std::string(*id_attr)];
+      if (auto ref = child->attribute("precedes")) {
+        auto list = parse_ref_list(*ref);
+        if (!list.ok()) {
+          return list.error();
+        }
+        if (list.value().size() != 1 ||
+            !tasks_by_id.contains(list.value().front())) {
+          return make_error(ErrorCode::kParseError,
+                            "message 'precedes' must reference exactly one "
+                            "known task");
+        }
+        pending_receivers_.emplace_back(msg,
+                                        tasks_by_id[list.value().front()]);
+      }
+    }
+  }
+
+  // Connect messages now both ends are known.
+  for (const auto& [msg, receiver] : pending_receivers_) {
+    TaskId sender;
+    for (const auto& [task, m] : pending_senders_) {
+      if (m == msg) {
+        sender = task;
+        break;
+      }
+    }
+    if (!sender.valid()) {
+      return make_error(ErrorCode::kParseError,
+                        "message '" + s.message(msg).name +
+                            "' has a receiver but no sending task lists it "
+                            "in precedesMsgs");
+    }
+    s.connect_message(sender, msg, receiver);
+  }
+  pending_senders_.clear();
+  pending_receivers_.clear();
+
+  if (auto status = s.validate(); !status.ok()) {
+    return status.error();
+  }
+  return s;
+}
+
+}  // namespace ezrt::pnml

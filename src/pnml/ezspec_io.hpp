@@ -1,0 +1,31 @@
+// The ezRealtime DSL document format (paper Fig 7).
+//
+// Specifications interchange as <rt:ez-spec> XML documents: one element
+// per Processor / Task / Message, timing attributes as child elements
+// (period, computing, deadline, schedulingMode "NP"/"P", power, ...), and
+// relations as identifier references ("#ez..." lists in precedesTasks /
+// excludesTasks / precedesMsgs attributes). This module writes and reads
+// that dialect; round-trips preserve the full metamodel.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "base/result.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::pnml {
+
+inline constexpr std::string_view kEzSpecNamespace =
+    "http://pnmp.sf.net/EZRealtime";
+
+/// Serializes a specification to an ez-spec document. Identifiers are
+/// minted (via validation on a copy) if absent.
+[[nodiscard]] Result<std::string> write_ezspec(
+    const spec::Specification& specification);
+
+/// Parses an ez-spec document into a validated specification.
+[[nodiscard]] Result<spec::Specification> read_ezspec(
+    std::string_view document);
+
+}  // namespace ezrt::pnml

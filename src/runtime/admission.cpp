@@ -1,0 +1,221 @@
+#include "runtime/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace ezrt::runtime {
+
+namespace {
+
+using spec::SchedulingType;
+using spec::Specification;
+
+/// Tasks assigned to one processor.
+[[nodiscard]] std::vector<TaskId> tasks_on(const Specification& spec,
+                                           ProcessorId processor) {
+  std::vector<TaskId> out;
+  for (TaskId id : spec.task_ids()) {
+    if (spec.task(id).processor == processor) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Processor demand h(t) = sum over tasks of
+/// max(0, floor((t - d_i - ph_i)/p_i) + 1) * c_i for absolute time t.
+[[nodiscard]] double demand(const Specification& spec,
+                            const std::vector<TaskId>& tasks, double t) {
+  double h = 0.0;
+  for (TaskId id : tasks) {
+    const spec::TimingConstraints& c = spec.task(id).timing;
+    const double first = static_cast<double>(c.phase + c.deadline);
+    if (t < first) {
+      continue;
+    }
+    const double jobs =
+        std::floor((t - first) / static_cast<double>(c.period)) + 1.0;
+    h += jobs * static_cast<double>(c.computation);
+  }
+  return h;
+}
+
+void check_processor(const Specification& spec, ProcessorId processor,
+                     AdmissionReport& report) {
+  const std::vector<TaskId> tasks = tasks_on(spec, processor);
+  if (tasks.empty()) {
+    return;
+  }
+  const std::string cpu = spec.processor(processor).name;
+
+  // Utilization (necessary for every policy on one processor).
+  double utilization = 0.0;
+  double density = 0.0;
+  bool implicit_deadlines = true;
+  bool all_preemptive = true;
+  for (TaskId id : tasks) {
+    const spec::TimingConstraints& c = spec.task(id).timing;
+    utilization += static_cast<double>(c.computation) /
+                   static_cast<double>(c.period);
+    density += static_cast<double>(c.computation) /
+               static_cast<double>(std::min(c.deadline, c.period));
+    implicit_deadlines &= c.deadline == c.period;
+    all_preemptive &=
+        spec.task(id).scheduling == SchedulingType::kPreemptive;
+  }
+  {
+    AdmissionCheck check;
+    check.name = "utilization bound (" + cpu + ")";
+    std::ostringstream os;
+    os << "U = " << utilization;
+    check.detail = os.str();
+    check.verdict = utilization > 1.0 + 1e-12
+                        ? AdmissionVerdict::kInfeasible
+                        : AdmissionVerdict::kInconclusive;
+    report.checks.push_back(std::move(check));
+  }
+
+  // EDF density (sufficient for preemptive EDF, constrained deadlines).
+  {
+    AdmissionCheck check;
+    check.name = "EDF density test (" + cpu + ")";
+    std::ostringstream os;
+    os << "sum c/min(d,p) = " << density
+       << (all_preemptive ? "" : " [set is not fully preemptive]");
+    check.detail = os.str();
+    check.verdict = (density <= 1.0 + 1e-12 && all_preemptive)
+                        ? AdmissionVerdict::kSchedulable
+                        : AdmissionVerdict::kInconclusive;
+    report.checks.push_back(std::move(check));
+  }
+
+  // Liu & Layland bound (sufficient for preemptive RM, implicit
+  // deadlines, no phases needed — it is phase-independent).
+  {
+    const double n = static_cast<double>(tasks.size());
+    const double bound = n * (std::pow(2.0, 1.0 / n) - 1.0);
+    AdmissionCheck check;
+    check.name = "Liu&Layland RM bound (" + cpu + ")";
+    std::ostringstream os;
+    os << "U = " << utilization << " vs n(2^{1/n}-1) = " << bound
+       << (implicit_deadlines ? "" : " [deadlines not implicit]");
+    check.detail = os.str();
+    check.verdict = (utilization <= bound && implicit_deadlines &&
+                     all_preemptive)
+                        ? AdmissionVerdict::kSchedulable
+                        : AdmissionVerdict::kInconclusive;
+    report.checks.push_back(std::move(check));
+  }
+
+  // Processor demand criterion at every absolute deadline within the
+  // hyper-period (+ max phase): exact for preemptive EDF; *necessary*
+  // for any policy (the work must fit no matter who schedules it).
+  if (auto ps = spec.schedule_period(); ps.ok()) {
+    std::set<double> points;
+    for (TaskId id : tasks) {
+      const spec::TimingConstraints& c = spec.task(id).timing;
+      for (Time k = 0; k * c.period < ps.value(); ++k) {
+        points.insert(static_cast<double>(c.phase + k * c.period +
+                                          c.deadline));
+      }
+    }
+    AdmissionCheck check;
+    check.name = "processor demand criterion (" + cpu + ")";
+    check.verdict = all_preemptive ? AdmissionVerdict::kSchedulable
+                                   : AdmissionVerdict::kInconclusive;
+    check.detail = "h(t) <= t at " + std::to_string(points.size()) +
+                   " deadline points";
+    for (double t : points) {
+      const double h = demand(spec, tasks, t);
+      if (h > t + 1e-9) {
+        std::ostringstream os;
+        os << "h(" << t << ") = " << h << " > " << t;
+        check.detail = os.str();
+        check.verdict = AdmissionVerdict::kInfeasible;
+        break;
+      }
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  // Non-preemptive blocking screen: a task with a tight window can be
+  // blocked by any non-preemptive task's full WCET. Warning-grade.
+  for (TaskId id : tasks) {
+    const spec::TimingConstraints& c = spec.task(id).timing;
+    Time blocking = 0;
+    for (TaskId other : tasks) {
+      if (other == id || spec.task(other).scheduling !=
+                             SchedulingType::kNonPreemptive) {
+        continue;
+      }
+      // Only lower-urgency tasks block (a higher-urgency one would have
+      // been scheduled first by the synthesis anyway).
+      if (spec.task(other).timing.deadline >= c.deadline) {
+        blocking =
+            std::max(blocking, spec.task(other).timing.computation);
+      }
+    }
+    if (blocking != 0 &&
+        c.release + c.computation + blocking > c.deadline) {
+      AdmissionCheck check;
+      check.name = "blocking screen: " + spec.task(id).name;
+      std::ostringstream os;
+      os << "r + c + B = " << c.release + c.computation + blocking
+         << " > d = " << c.deadline
+         << " (worst-case lower-urgency blocking " << blocking << ")";
+      check.detail = os.str();
+      // Not a proof of infeasibility: pre-runtime synthesis can order
+      // instances so the blocker never runs right before the arrival.
+      check.verdict = AdmissionVerdict::kInconclusive;
+      report.checks.push_back(std::move(check));
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kSchedulable:
+      return "schedulable";
+    case AdmissionVerdict::kInfeasible:
+      return "infeasible";
+    case AdmissionVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "unknown";
+}
+
+AdmissionReport check_admission(const Specification& spec) {
+  AdmissionReport report;
+  for (ProcessorId processor : spec.processor_ids()) {
+    check_processor(spec, processor, report);
+  }
+
+  bool any_infeasible = false;
+  bool any_sufficient = false;
+  for (const AdmissionCheck& check : report.checks) {
+    any_infeasible |= check.verdict == AdmissionVerdict::kInfeasible;
+    any_sufficient |= check.verdict == AdmissionVerdict::kSchedulable;
+  }
+  if (any_infeasible) {
+    report.overall = AdmissionVerdict::kInfeasible;
+  } else if (any_sufficient) {
+    report.overall = AdmissionVerdict::kSchedulable;
+  }
+  return report;
+}
+
+std::string format_admission(const AdmissionReport& report) {
+  std::ostringstream os;
+  for (const AdmissionCheck& check : report.checks) {
+    os << "  [" << to_string(check.verdict) << "] " << check.name << ": "
+       << check.detail << "\n";
+  }
+  os << "  overall: " << to_string(report.overall) << "\n";
+  return os.str();
+}
+
+}  // namespace ezrt::runtime

@@ -1,0 +1,64 @@
+// Fast analytic schedulability pre-checks.
+//
+// Pre-runtime synthesis is exhaustive and can be expensive; classic
+// real-time scheduling theory gives cheap *analytic* bounds that decide
+// many cases instantly. The tool runs these before the search to warn
+// early ("this set cannot be schedulable on one processor") or to skip
+// the search entirely when a sufficient test already passes for the
+// chosen policy class. Implemented per processor:
+//
+//   * utilization bound          U = sum c/p <= 1          (necessary)
+//   * EDF density test           sum c/min(d,p) <= 1       (sufficient
+//     for preemptive EDF with constrained deadlines)
+//   * Liu & Layland RM bound     U <= n(2^{1/n}-1)         (sufficient
+//     for preemptive RM with implicit deadlines)
+//   * processor demand criterion h(t) <= t at every absolute deadline in
+//     the hyper-period                                     (exact for
+//     preemptive EDF; necessary for *any* policy, so a violation proves
+//     the pre-runtime search will fail too)
+//   * non-preemptive blocking    r_i = c_i + B_i + I must fit d_i, with
+//     B_i the longest lower-urgency non-preemptive WCET    (necessary-
+//     style screen: reported as a warning, not a verdict)
+//
+// Verdicts are tri-state: a test either proves schedulability (for its
+// policy class), proves infeasibility (when the condition is necessary
+// for every policy), or is inconclusive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+enum class AdmissionVerdict : std::uint8_t {
+  kSchedulable,    ///< proven schedulable for the test's policy class
+  kInfeasible,     ///< proven unschedulable on this platform (any policy)
+  kInconclusive,   ///< the test cannot decide; run the synthesis
+};
+
+[[nodiscard]] const char* to_string(AdmissionVerdict verdict);
+
+struct AdmissionCheck {
+  std::string name;        ///< e.g. "utilization bound (cpu0)"
+  AdmissionVerdict verdict = AdmissionVerdict::kInconclusive;
+  std::string detail;      ///< numbers behind the verdict
+};
+
+struct AdmissionReport {
+  std::vector<AdmissionCheck> checks;
+  /// Overall: kInfeasible if any necessary test failed; kSchedulable if
+  /// some sufficient test passed (for preemptive EDF — the strongest
+  /// class analyzed) and none failed; kInconclusive otherwise.
+  AdmissionVerdict overall = AdmissionVerdict::kInconclusive;
+};
+
+/// Runs every applicable test. The specification must validate.
+[[nodiscard]] AdmissionReport check_admission(
+    const spec::Specification& spec);
+
+/// Fixed-width rendering for the CLI.
+[[nodiscard]] std::string format_admission(const AdmissionReport& report);
+
+}  // namespace ezrt::runtime

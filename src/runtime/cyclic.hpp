@@ -1,0 +1,53 @@
+// Cyclic (steady-state) execution analysis.
+//
+// The generated dispatcher loops the schedule table forever, adding the
+// schedule period to its cycle base each wrap (§4.4.2). That is only
+// correct if the single-period schedule is *repeatable*: every instance
+// completes inside the period (no work spills into the next cycle) and
+// phase offsets do not push a first-cycle arrival pattern that differs
+// from steady state in a way the table cannot serve. This module checks
+// repeatability and simulates k back-to-back periods of the dispatcher,
+// re-deriving arrival/deadline times per cycle — the host-side stand-in
+// for leaving the board running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+struct CyclicCheck {
+  bool repeatable = false;
+  std::vector<std::string> reasons;  ///< why not, when !repeatable
+};
+
+/// Static repeatability test: makespan within the period and every
+/// instance's deadline inside the cycle it arrives in. Phases are fine —
+/// arrival k of task i in cycle j is at j*PS + ph_i + k*p_i, and the
+/// table serves each cycle identically — but a phase so large that the
+/// first arrival leaves its cycle is flagged.
+[[nodiscard]] CyclicCheck check_repeatable(const spec::Specification& spec,
+                                           const sched::ScheduleTable&
+                                               table);
+
+struct CyclicRun {
+  std::uint64_t cycles = 0;
+  std::uint64_t instances_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t context_switches = 0;
+  Time total_busy = 0;
+  Time total_idle = 0;
+  bool ok = false;
+};
+
+/// Runs `cycles` consecutive schedule periods through the dispatcher
+/// semantics, with arrivals and deadlines recomputed per cycle.
+[[nodiscard]] CyclicRun simulate_cyclic(const spec::Specification& spec,
+                                        const sched::ScheduleTable& table,
+                                        std::uint64_t cycles);
+
+}  // namespace ezrt::runtime

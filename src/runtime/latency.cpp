@@ -1,0 +1,164 @@
+#include "runtime/latency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ezrt::runtime {
+
+namespace {
+
+/// Dependency edges: precedence plus message sender->receiver.
+[[nodiscard]] std::vector<std::vector<TaskId>> successor_lists(
+    const spec::Specification& spec) {
+  std::vector<std::vector<TaskId>> succ(spec.task_count());
+  auto add_edge = [&succ](TaskId from, TaskId to) {
+    std::vector<TaskId>& out = succ[from.value()];
+    if (std::find(out.begin(), out.end(), to) == out.end()) {
+      out.push_back(to);
+    }
+  };
+  for (TaskId id : spec.task_ids()) {
+    for (TaskId to : spec.task(id).precedes) {
+      add_edge(id, to);
+    }
+  }
+  for (MessageId id : spec.message_ids()) {
+    const spec::Message& m = spec.message(id);
+    if (m.sender.valid() && m.receiver.valid()) {
+      add_edge(m.sender, m.receiver);
+    }
+  }
+  return succ;
+}
+
+}  // namespace
+
+std::vector<Chain> enumerate_chains(const spec::Specification& spec) {
+  const std::vector<std::vector<TaskId>> succ = successor_lists(spec);
+  std::vector<bool> has_predecessor(spec.task_count(), false);
+  bool any_edge = false;
+  for (const std::vector<TaskId>& out : succ) {
+    for (TaskId to : out) {
+      has_predecessor[to.value()] = true;
+      any_edge = true;
+    }
+  }
+  std::vector<Chain> chains;
+  if (!any_edge) {
+    return chains;
+  }
+
+  // DFS from every source, emitting each maximal path. The precedence
+  // graph is acyclic (validated), so this terminates.
+  for (TaskId source : spec.task_ids()) {
+    if (has_predecessor[source.value()]) {
+      continue;
+    }
+    if (succ[source.value()].empty()) {
+      continue;  // isolated task: not a chain
+    }
+    std::vector<std::pair<TaskId, std::size_t>> stack{{source, 0}};
+    std::vector<TaskId> path{source};
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      const std::vector<TaskId>& next = succ[node.value()];
+      if (next.empty()) {
+        // Sink: emit the current path as a maximal chain.
+        Chain chain;
+        chain.tasks = path;
+        chain.rate_matched = true;
+        for (TaskId t : path) {
+          if (spec.task(t).timing.period !=
+              spec.task(path.front()).timing.period) {
+            chain.rate_matched = false;
+          }
+        }
+        chains.push_back(std::move(chain));
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      if (edge == next.size()) {
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const TaskId child = next[edge++];
+      stack.emplace_back(child, 0);
+      path.push_back(child);
+    }
+  }
+  return chains;
+}
+
+std::vector<ChainLatency> analyze_latency(const spec::Specification& spec,
+                                          const sched::ScheduleTable&
+                                              table) {
+  // Per (task, instance): completion time and arrival.
+  std::map<std::pair<TaskId, std::uint32_t>, Time> completion;
+  for (const sched::ScheduleItem& item : table.items) {
+    Time& end = completion[{item.task, item.instance}];
+    end = std::max(end, item.start + item.duration);
+  }
+
+  std::vector<ChainLatency> out;
+  for (Chain& chain : enumerate_chains(spec)) {
+    if (!chain.rate_matched) {
+      ChainLatency skipped;
+      skipped.chain = std::move(chain);
+      out.push_back(std::move(skipped));
+      continue;
+    }
+    ChainLatency latency;
+    const TaskId source = chain.tasks.front();
+    const TaskId sink = chain.tasks.back();
+    const spec::TimingConstraints& src = spec.task(source).timing;
+    double sum = 0.0;
+    for (std::uint32_t k = 0;; ++k) {
+      const auto it = completion.find({sink, k});
+      if (it == completion.end()) {
+        break;
+      }
+      const Time arrival = src.phase + static_cast<Time>(k) * src.period;
+      const Time value = it->second > arrival ? it->second - arrival : 0;
+      latency.worst = std::max(latency.worst, value);
+      latency.best =
+          latency.instances == 0 ? value : std::min(latency.best, value);
+      sum += static_cast<double>(value);
+      ++latency.instances;
+    }
+    if (latency.instances > 0) {
+      latency.mean = sum / latency.instances;
+    }
+    latency.chain = std::move(chain);
+    out.push_back(std::move(latency));
+  }
+  return out;
+}
+
+std::string format_latency(const spec::Specification& spec,
+                           const std::vector<ChainLatency>& latencies) {
+  std::ostringstream os;
+  if (latencies.empty()) {
+    os << "(no cause-effect chains in the specification)\n";
+    return os.str();
+  }
+  for (const ChainLatency& latency : latencies) {
+    bool first = true;
+    for (TaskId t : latency.chain.tasks) {
+      os << (first ? "" : " -> ") << spec.task(t).name;
+      first = false;
+    }
+    if (!latency.chain.rate_matched) {
+      os << ": (rates differ; per-instance latency undefined)\n";
+      continue;
+    }
+    os << ": worst " << latency.worst << ", best " << latency.best
+       << ", mean " << latency.mean << " over " << latency.instances
+       << " instance(s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ezrt::runtime

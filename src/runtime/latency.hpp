@@ -1,0 +1,54 @@
+// End-to-end latency analysis over precedence/message chains.
+//
+// EHRT systems are usually specified as cause-effect chains (sample ->
+// filter -> actuate); the per-task deadlines the scheduler enforces only
+// bound each link. This module derives the *chain* latencies a designer
+// actually cares about, directly from a synthesized table:
+//
+//   * enumerates all maximal chains in the precedence+message graph
+//     (source = no predecessor, sink = no successor);
+//   * for each chain and each instance index, latency = sink instance
+//     completion - source instance arrival (instances correspond 1:1 for
+//     equal-rate chains, the case the modeling method supports);
+//   * reports worst/best/mean per chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+/// One cause-effect chain through the precedence/message graph.
+struct Chain {
+  std::vector<TaskId> tasks;  ///< source first, sink last
+  /// True when every hop is rate-matched (equal periods); latencies are
+  /// only derived for such chains.
+  bool rate_matched = false;
+};
+
+struct ChainLatency {
+  Chain chain;
+  std::uint32_t instances = 0;
+  Time worst = 0;
+  Time best = 0;
+  double mean = 0.0;
+};
+
+/// All maximal chains of the specification's dependency graph (precedence
+/// edges plus message sender->receiver edges).
+[[nodiscard]] std::vector<Chain> enumerate_chains(
+    const spec::Specification& spec);
+
+/// Latency statistics for every rate-matched maximal chain under `table`.
+[[nodiscard]] std::vector<ChainLatency> analyze_latency(
+    const spec::Specification& spec, const sched::ScheduleTable& table);
+
+/// Human-readable report ("sample -> filter -> actuate: worst 12 ...").
+[[nodiscard]] std::string format_latency(
+    const spec::Specification& spec,
+    const std::vector<ChainLatency>& latencies);
+
+}  // namespace ezrt::runtime

@@ -1,0 +1,186 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ezrt::runtime {
+
+namespace {
+
+struct InstanceSpan {
+  Time start = kTimeInfinity;
+  Time end = 0;
+  std::uint32_t segments = 0;
+};
+
+}  // namespace
+
+ScheduleMetrics compute_metrics(const spec::Specification& spec,
+                                const sched::ScheduleTable& table) {
+  ScheduleMetrics metrics;
+  metrics.tasks.resize(spec.task_count());
+  for (TaskId id : spec.task_ids()) {
+    metrics.tasks[id.value()].task = id;
+  }
+
+  // Gather per-instance spans.
+  std::map<std::pair<TaskId, std::uint32_t>, InstanceSpan> spans;
+  for (const sched::ScheduleItem& item : table.items) {
+    InstanceSpan& span = spans[{item.task, item.instance}];
+    span.start = std::min(span.start, item.start);
+    span.end = std::max(span.end, item.start + item.duration);
+    ++span.segments;
+    metrics.busy_time += item.duration;
+    metrics.makespan = std::max(metrics.makespan, item.start + item.duration);
+  }
+
+  // Fold into per-task aggregates.
+  std::vector<Time> min_offset(spec.task_count(), kTimeInfinity);
+  std::vector<Time> max_offset(spec.task_count(), 0);
+  std::vector<Time> min_slack(spec.task_count(), kTimeInfinity);
+  std::vector<double> response_sum(spec.task_count(), 0.0);
+
+  for (const auto& [key, span] : spans) {
+    const auto& [task_id, instance] = key;
+    const spec::Task& task = spec.task(task_id);
+    TaskMetrics& tm = metrics.tasks[task_id.value()];
+    const Time arrival =
+        task.timing.phase + static_cast<Time>(instance) * task.timing.period;
+    const Time response = span.end - arrival;
+    const Time offset = span.start - arrival;
+    const Time deadline = arrival + task.timing.deadline;
+    const Time slack = deadline >= span.end ? deadline - span.end : 0;
+
+    ++tm.instances;
+    tm.worst_response = std::max(tm.worst_response, response);
+    tm.best_response = tm.instances == 1
+                           ? response
+                           : std::min(tm.best_response, response);
+    response_sum[task_id.value()] += static_cast<double>(response);
+    min_offset[task_id.value()] =
+        std::min(min_offset[task_id.value()], offset);
+    max_offset[task_id.value()] =
+        std::max(max_offset[task_id.value()], offset);
+    min_slack[task_id.value()] = std::min(min_slack[task_id.value()], slack);
+    tm.preemptions += span.segments - 1;
+    tm.energy += static_cast<std::uint64_t>(task.energy) *
+                 task.timing.computation;
+  }
+
+  for (TaskId id : spec.task_ids()) {
+    TaskMetrics& tm = metrics.tasks[id.value()];
+    if (tm.instances > 0) {
+      tm.mean_response = response_sum[id.value()] / tm.instances;
+      tm.start_jitter = max_offset[id.value()] - min_offset[id.value()];
+      tm.worst_slack = min_slack[id.value()];
+    }
+    metrics.total_preemptions += tm.preemptions;
+    metrics.total_energy += tm.energy;
+  }
+
+  if (table.schedule_period > 0) {
+    // Capacity is schedule_period per processor; busy time is summed
+    // across processors, so idle/utilization are system-wide.
+    const Time capacity =
+        table.schedule_period * std::max<std::size_t>(1,
+                                                      spec.processor_count());
+    metrics.idle_time =
+        capacity >= metrics.busy_time ? capacity - metrics.busy_time : 0;
+    metrics.utilization = static_cast<double>(metrics.busy_time) /
+                          static_cast<double>(capacity);
+  }
+  return metrics;
+}
+
+std::string format_metrics(const spec::Specification& spec,
+                           const ScheduleMetrics& metrics) {
+  std::ostringstream os;
+  os << "task        inst  resp[best/mean/worst]  jitter  slack  preempt"
+        "  energy\n";
+  for (const TaskMetrics& tm : metrics.tasks) {
+    const spec::Task& task = spec.task(tm.task);
+    os << task.name;
+    for (std::size_t i = task.name.size(); i < 12; ++i) {
+      os << ' ';
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "%4u  %6llu/%6.1f/%6llu  %6llu  %5llu  %7u  %6llu\n",
+                  tm.instances,
+                  static_cast<unsigned long long>(tm.best_response),
+                  tm.mean_response,
+                  static_cast<unsigned long long>(tm.worst_response),
+                  static_cast<unsigned long long>(tm.start_jitter),
+                  static_cast<unsigned long long>(tm.worst_slack),
+                  tm.preemptions,
+                  static_cast<unsigned long long>(tm.energy));
+    os << line;
+  }
+  char totals[128];
+  std::snprintf(totals, sizeof(totals),
+                "makespan %llu, busy %llu, idle %llu, U = %.3f, "
+                "%u preemptions, energy %llu\n",
+                static_cast<unsigned long long>(metrics.makespan),
+                static_cast<unsigned long long>(metrics.busy_time),
+                static_cast<unsigned long long>(metrics.idle_time),
+                metrics.utilization, metrics.total_preemptions,
+                static_cast<unsigned long long>(metrics.total_energy));
+  os << totals;
+  return os.str();
+}
+
+std::string render_gantt(const spec::Specification& spec,
+                         const sched::ScheduleTable& table, Time horizon,
+                         std::size_t width) {
+  if (horizon == 0) {
+    horizon = table.schedule_period > 0 ? table.schedule_period
+                                        : table.makespan;
+  }
+  if (horizon == 0 || width == 0) {
+    return "(empty schedule)\n";
+  }
+  // Cells per time unit (<= 1): scale so the horizon fits in `width`.
+  const Time units_per_cell = std::max<Time>(1, (horizon + width - 1) /
+                                                    static_cast<Time>(width));
+  const std::size_t cells =
+      static_cast<std::size_t>((horizon + units_per_cell - 1) /
+                               units_per_cell);
+
+  std::size_t label = 0;
+  for (TaskId id : spec.task_ids()) {
+    label = std::max(label, spec.task(id).name.size());
+  }
+  label = std::min<std::size_t>(label, 12);
+
+  std::ostringstream os;
+  os << "time 0.." << horizon << ", one cell = " << units_per_cell
+     << " unit(s)\n";
+  for (TaskId id : spec.task_ids()) {
+    std::string row(cells, '.');
+    for (const sched::ScheduleItem& item : table.items) {
+      if (item.task != id || item.start >= horizon) {
+        continue;
+      }
+      const Time end = std::min<Time>(item.start + item.duration, horizon);
+      for (Time t = item.start; t < end; ++t) {
+        row[static_cast<std::size_t>(t / units_per_cell)] = '#';
+      }
+    }
+    // Period boundaries (only meaningful when they land on idle cells).
+    const spec::Task& task = spec.task(id);
+    for (Time boundary = task.timing.phase; boundary < horizon;
+         boundary += task.timing.period) {
+      std::size_t cell = static_cast<std::size_t>(boundary / units_per_cell);
+      if (cell < cells && row[cell] == '.') {
+        row[cell] = '|';
+      }
+    }
+    std::string name = task.name.substr(0, label);
+    name.resize(label, ' ');
+    os << name << " " << row << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ezrt::runtime

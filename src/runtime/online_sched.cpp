@@ -1,0 +1,175 @@
+#include "runtime/online_sched.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ezrt::runtime {
+
+namespace {
+
+/// One released, unfinished job.
+struct Job {
+  std::uint64_t id = 0;  ///< unique per release, for switch detection
+  TaskId task;
+  Time remaining = 0;
+  Time absolute_deadline = 0;
+  Time relative_deadline = 0;  // DM key
+  Time period = 0;             // RM key
+};
+
+/// True if `a` should run in preference to `b` under `policy`.
+[[nodiscard]] bool higher_urgency(const Job& a, const Job& b,
+                                  OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::kEdf:
+    case OnlinePolicy::kEdfNonPreemptive:
+      if (a.absolute_deadline != b.absolute_deadline) {
+        return a.absolute_deadline < b.absolute_deadline;
+      }
+      break;
+    case OnlinePolicy::kDeadlineMonotonic:
+      if (a.relative_deadline != b.relative_deadline) {
+        return a.relative_deadline < b.relative_deadline;
+      }
+      break;
+    case OnlinePolicy::kRateMonotonic:
+      if (a.period != b.period) {
+        return a.period < b.period;
+      }
+      break;
+  }
+  return a.task.value() < b.task.value();  // deterministic tie-break
+}
+
+}  // namespace
+
+const char* to_string(OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::kEdf:
+      return "EDF";
+    case OnlinePolicy::kDeadlineMonotonic:
+      return "DM";
+    case OnlinePolicy::kRateMonotonic:
+      return "RM";
+    case OnlinePolicy::kEdfNonPreemptive:
+      return "NP-EDF";
+  }
+  return "unknown";
+}
+
+OnlineResult simulate_online(const spec::Specification& spec,
+                             OnlinePolicy policy) {
+  OnlineResult result;
+  auto ps = spec.schedule_period();
+  if (!ps.ok()) {
+    return result;  // unschedulable by convention: hyper-period overflow
+  }
+  const Time horizon = ps.value();
+  const bool preemptive = policy != OnlinePolicy::kEdfNonPreemptive;
+  constexpr std::uint64_t kNoJob = 0;
+
+  std::vector<Job> ready;
+  std::uint64_t next_job_id = 1;
+  std::uint64_t running_id = kNoJob;  // job that ran in the previous unit
+
+  result.schedulable = true;
+  for (Time now = 0; now < horizon; ++now) {
+    // Releases: task i's k-th job becomes ready at ph + k*p + r, for every
+    // period start inside the hyper-period.
+    for (TaskId id : spec.task_ids()) {
+      const spec::TimingConstraints& c = spec.task(id).timing;
+      const Time first = c.phase + c.release;
+      if (now < first || (now - first) % c.period != 0) {
+        continue;
+      }
+      const Time k = (now - first) / c.period;
+      if (k >= horizon / c.period) {
+        continue;  // instance belongs to the next hyper-period
+      }
+      const Time arrival = c.phase + k * c.period;
+      ready.push_back(Job{next_job_id++, id, c.computation,
+                          arrival + c.deadline, c.deadline, c.period});
+    }
+
+    // Deadline misses: jobs whose deadline passed with work left are
+    // dropped (each miss counted once) so the run reports how many jobs
+    // failed instead of cascading forever.
+    std::erase_if(ready, [&](const Job& job) {
+      if (job.absolute_deadline <= now && job.remaining > 0) {
+        ++result.deadline_misses;
+        result.schedulable = false;
+        result.max_lateness = std::max(
+            result.max_lateness,
+            now - job.absolute_deadline + job.remaining);
+        if (job.id == running_id) {
+          running_id = kNoJob;
+        }
+        return true;
+      }
+      return false;
+    });
+
+    if (ready.empty()) {
+      ++result.idle_time;
+      running_id = kNoJob;
+      continue;
+    }
+
+    // Pick the job for this time unit.
+    Job* pick = nullptr;
+    if (!preemptive && running_id != kNoJob) {
+      for (Job& job : ready) {
+        if (job.id == running_id) {
+          pick = &job;  // non-preemptive: finish the started job
+          break;
+        }
+      }
+    }
+    if (pick == nullptr) {
+      pick = &ready.front();
+      for (Job& job : ready) {
+        if (higher_urgency(job, *pick, policy)) {
+          pick = &job;
+        }
+      }
+    }
+
+    if (running_id != kNoJob && running_id != pick->id) {
+      // The previously running job is still live (misses were dropped
+      // above): this switch is a preemption.
+      for (const Job& job : ready) {
+        if (job.id == running_id) {
+          ++result.preemptions;
+          break;
+        }
+      }
+    }
+    if (running_id != pick->id) {
+      ++result.dispatches;
+    }
+
+    --pick->remaining;
+    ++result.busy_time;
+
+    if (pick->remaining == 0) {
+      const std::uint64_t done = pick->id;
+      std::erase_if(ready, [done](const Job& job) { return job.id == done; });
+      running_id = kNoJob;
+    } else {
+      running_id = pick->id;
+    }
+  }
+
+  // Anything unfinished at the horizon has missed (d <= p keeps every
+  // deadline inside the hyper-period).
+  for (const Job& job : ready) {
+    if (job.remaining > 0) {
+      ++result.deadline_misses;
+      result.schedulable = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace ezrt::runtime

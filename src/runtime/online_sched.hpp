@@ -1,0 +1,46 @@
+// On-line scheduling baselines.
+//
+// The paper's contribution is *pre-runtime* schedule synthesis; the natural
+// baselines are the classic run-time policies: preemptive EDF and
+// fixed-priority (rate-/deadline-monotonic). These simulators run a task
+// set over one schedule period in discrete time and report schedulability
+// and overhead, so the benchmark harness can compare "who wins, by what
+// factor" against the synthesized schedules — the comparison the EHRT
+// literature (Mok's thesis, Xu & Parnas) frames pre-runtime scheduling
+// around. Baselines handle independent periodic task sets; precedence and
+// exclusion relations are the pre-runtime method's home turf and are not
+// modeled here (documented substitution in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+enum class OnlinePolicy : std::uint8_t {
+  kEdf,                ///< earliest absolute deadline first, preemptive
+  kDeadlineMonotonic,  ///< fixed priority by relative deadline, preemptive
+  kRateMonotonic,      ///< fixed priority by period, preemptive
+  kEdfNonPreemptive,   ///< EDF, but jobs run to completion once started
+};
+
+[[nodiscard]] const char* to_string(OnlinePolicy policy);
+
+struct OnlineResult {
+  bool schedulable = false;       ///< no job missed its deadline
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;  ///< context saves of unfinished jobs
+  std::uint64_t dispatches = 0;   ///< scheduler decisions that switched jobs
+  Time busy_time = 0;
+  Time idle_time = 0;
+  Time max_lateness = 0;          ///< worst completion - deadline over jobs
+};
+
+/// Simulates one hyper-period of `spec`'s task set (tasks treated as
+/// independent) under the given policy with unit time steps.
+[[nodiscard]] OnlineResult simulate_online(const spec::Specification& spec,
+                                           OnlinePolicy policy);
+
+}  // namespace ezrt::runtime

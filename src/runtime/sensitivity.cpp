@@ -1,0 +1,95 @@
+#include "runtime/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "builder/tpn_builder.hpp"
+
+namespace ezrt::runtime {
+
+namespace {
+
+/// Feasibility of a candidate specification under the configured search.
+/// Validation failures (e.g. a scaled WCET no longer fits its deadline)
+/// count as unschedulable.
+[[nodiscard]] bool schedulable(const spec::Specification& candidate,
+                               const sched::SchedulerOptions& options) {
+  auto model = builder::build_tpn(candidate);
+  if (!model.ok()) {
+    return false;
+  }
+  return sched::DfsScheduler(model.value().net, options).search().status ==
+         sched::SearchStatus::kFeasible;
+}
+
+/// Copy of `spec` with every WCET scaled by permille/1000 (floor, >= 1).
+[[nodiscard]] spec::Specification scaled(const spec::Specification& spec,
+                                         std::uint32_t permille) {
+  spec::Specification candidate = spec;
+  for (TaskId id : candidate.task_ids()) {
+    spec::TimingConstraints& t = candidate.task(id).timing;
+    t.computation = std::max<Time>(
+        1, t.computation * permille / 1000);
+  }
+  return candidate;
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const spec::Specification& spec,
+                                      const SensitivityOptions& options) {
+  SensitivityReport report;
+  report.baseline_schedulable = schedulable(spec, options.scheduler);
+  if (!report.baseline_schedulable) {
+    return report;
+  }
+
+  // Uniform scaling: binary search on the permille grid for the largest
+  // feasible factor in [1000, scaling_max_permille].
+  {
+    std::uint32_t lo = 1000;  // known feasible
+    std::uint32_t hi = options.scaling_max_permille;
+    // Shrink hi to a known-infeasible bound (or accept it if feasible).
+    if (schedulable(scaled(spec, hi), options.scheduler)) {
+      lo = hi;
+    }
+    while (hi - lo > options.scaling_resolution_permille) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (schedulable(scaled(spec, mid), options.scheduler)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    report.max_scaling_permille = lo;
+  }
+
+  // Per-task absolute headroom.
+  for (TaskId id : spec.task_ids()) {
+    const spec::TimingConstraints& t = spec.task(id).timing;
+    // Beyond d - r the release window is empty: hard cap.
+    const Time cap = t.deadline - t.release - t.computation;
+    Time lo = 0;
+    Time hi = cap;
+    auto feasible_with_extra = [&](Time extra) {
+      spec::Specification candidate = spec;
+      candidate.task(id).timing.computation += extra;
+      return schedulable(candidate, options.scheduler);
+    };
+    if (hi > 0 && feasible_with_extra(hi)) {
+      lo = hi;
+    } else {
+      while (hi > lo + 1) {
+        const Time mid = lo + (hi - lo) / 2;
+        if (feasible_with_extra(mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+    report.headroom.push_back(TaskHeadroom{id, lo});
+  }
+  return report;
+}
+
+}  // namespace ezrt::runtime

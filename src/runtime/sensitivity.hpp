@@ -1,0 +1,53 @@
+// WCET sensitivity analysis.
+//
+// Hard real-time budgets are estimates; a designer wants to know how much
+// headroom a synthesized system has before it stops being schedulable.
+// This module answers two questions by re-running the synthesis under
+// perturbed specifications:
+//
+//   * max_uniform_scaling — the largest factor (found by binary search on
+//     a permille grid) by which *every* WCET can grow with the task set
+//     remaining schedulable;
+//   * per_task_headroom   — for each task, the largest absolute WCET
+//     increase (binary search) tolerable while all other tasks keep
+//     their budgets.
+//
+// Both use the given scheduler options, so the answers are relative to
+// the chosen search mode (the paper's pruned search by default).
+#pragma once
+
+#include <vector>
+
+#include "sched/dfs.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+struct SensitivityOptions {
+  sched::SchedulerOptions scheduler;
+  /// Resolution of the uniform-scaling search, in permille (1000 = x1.0).
+  std::uint32_t scaling_resolution_permille = 25;
+  /// Upper bound for the scaling search (x4 by default).
+  std::uint32_t scaling_max_permille = 4000;
+};
+
+struct TaskHeadroom {
+  TaskId task;
+  Time extra_wcet = 0;  ///< largest tolerable absolute WCET increase
+};
+
+struct SensitivityReport {
+  bool baseline_schedulable = false;
+  /// Largest schedulable uniform scaling, in permille (>= 1000 when the
+  /// baseline is schedulable; 0 otherwise).
+  std::uint32_t max_scaling_permille = 0;
+  std::vector<TaskHeadroom> headroom;  ///< one entry per task
+};
+
+/// Runs the analysis. Cost: O(log(range)) schedule syntheses for the
+/// scaling plus O(tasks * log(range)) for the headrooms — intended for
+/// design-time use.
+[[nodiscard]] SensitivityReport analyze_sensitivity(
+    const spec::Specification& spec, const SensitivityOptions& options = {});
+
+}  // namespace ezrt::runtime

@@ -1,0 +1,210 @@
+#include "runtime/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ezrt::runtime {
+
+namespace {
+
+/// Segments of one task instance, gathered from the table.
+struct InstanceRecord {
+  std::vector<sched::ScheduleItem> segments;  // in start order
+  [[nodiscard]] Time start() const { return segments.front().start; }
+  [[nodiscard]] Time end() const {
+    const sched::ScheduleItem& last = segments.back();
+    return last.start + last.duration;
+  }
+  [[nodiscard]] Time total() const {
+    Time sum = 0;
+    for (const sched::ScheduleItem& s : segments) {
+      sum += s.duration;
+    }
+    return sum;
+  }
+};
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  if (ok()) {
+    return "schedule valid (" + std::to_string(instances_checked) +
+           " instances, " + std::to_string(segments_checked) + " segments)";
+  }
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const std::string& v : violations) {
+    os << "\n  - " << v;
+  }
+  return os.str();
+}
+
+ValidationReport validate_schedule(const spec::Specification& spec,
+                                   const sched::ScheduleTable& table) {
+  ValidationReport report;
+  auto violate = [&report](std::string message) {
+    report.violations.push_back(std::move(message));
+  };
+
+  // Group segments per (task, instance), keeping table order.
+  std::map<std::pair<TaskId, std::uint32_t>, InstanceRecord> instances;
+  for (const sched::ScheduleItem& item : table.items) {
+    ++report.segments_checked;
+    if (!item.task.valid() || item.task.value() >= spec.task_count()) {
+      violate("segment references an unknown task");
+      continue;
+    }
+    if (item.duration == 0) {
+      violate("task '" + spec.task(item.task).name +
+              "' has a zero-length segment at t=" +
+              std::to_string(item.start));
+    }
+    instances[{item.task, item.instance}].segments.push_back(item);
+  }
+
+  // Completeness: exactly N(t_i) instances per task, contiguous indices.
+  const Time ps = table.schedule_period;
+  for (TaskId id : spec.task_ids()) {
+    const spec::Task& task = spec.task(id);
+    if (ps == 0 || ps % task.timing.period != 0) {
+      violate("schedule period " + std::to_string(ps) +
+              " is not a multiple of task '" + task.name + "' period");
+      continue;
+    }
+    const Time expected = ps / task.timing.period;
+    for (Time k = 0; k < expected; ++k) {
+      if (!instances.contains({id, static_cast<std::uint32_t>(k)})) {
+        violate("task '" + task.name + "' instance " + std::to_string(k + 1) +
+                " never executes");
+      }
+    }
+  }
+
+  // Per-instance contracts.
+  for (const auto& [key, record] : instances) {
+    ++report.instances_checked;
+    const auto& [task_id, instance] = key;
+    const spec::Task& task = spec.task(task_id);
+    const spec::TimingConstraints& c = task.timing;
+    const Time arrival = c.phase + static_cast<Time>(instance) * c.period;
+    const std::string label =
+        task.name + "#" + std::to_string(instance + 1);
+
+    if (record.total() != c.computation) {
+      violate(label + ": executes " + std::to_string(record.total()) +
+              " units, WCET is " + std::to_string(c.computation));
+    }
+    if (record.start() < arrival + c.release) {
+      violate(label + ": starts at " + std::to_string(record.start()) +
+              ", release is " + std::to_string(arrival + c.release));
+    }
+    if (record.end() > arrival + c.deadline) {
+      violate(label + ": completes at " + std::to_string(record.end()) +
+              ", deadline is " + std::to_string(arrival + c.deadline));
+    }
+    if (task.scheduling == spec::SchedulingType::kNonPreemptive &&
+        record.segments.size() != 1) {
+      violate(label + ": non-preemptive task split into " +
+              std::to_string(record.segments.size()) + " segments");
+    }
+    for (std::size_t i = 0; i < record.segments.size(); ++i) {
+      const bool expected_flag = i > 0;
+      if (record.segments[i].preempted != expected_flag) {
+        violate(label + ": segment " + std::to_string(i + 1) +
+                " carries preempted=" +
+                (record.segments[i].preempted ? "true" : "false") +
+                ", expected " + (expected_flag ? "true" : "false"));
+      }
+    }
+  }
+
+  // Processor exclusivity: sort segments per processor and sweep.
+  std::map<ProcessorId, std::vector<const sched::ScheduleItem*>> by_proc;
+  for (const sched::ScheduleItem& item : table.items) {
+    if (item.task.valid() && item.task.value() < spec.task_count()) {
+      by_proc[spec.task(item.task).processor].push_back(&item);
+    }
+  }
+  for (auto& [proc, segments] : by_proc) {
+    std::sort(segments.begin(), segments.end(),
+              [](const sched::ScheduleItem* a, const sched::ScheduleItem* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      const sched::ScheduleItem* prev = segments[i - 1];
+      if (prev->start + prev->duration > segments[i]->start) {
+        violate("processor '" + spec.processor(proc).name +
+                "': segments of '" + spec.task(prev->task).name + "' and '" +
+                spec.task(segments[i]->task).name + "' overlap at t=" +
+                std::to_string(segments[i]->start));
+      }
+    }
+  }
+
+  // Precedence: k-th successor start after k-th predecessor finish.
+  for (TaskId before : spec.task_ids()) {
+    for (TaskId after : spec.task(before).precedes) {
+      std::vector<Time> finishes;
+      std::vector<Time> starts;
+      for (const auto& [key, record] : instances) {
+        if (key.first == before) {
+          finishes.push_back(record.end());
+        }
+        if (key.first == after) {
+          starts.push_back(record.start());
+        }
+      }
+      std::sort(finishes.begin(), finishes.end());
+      std::sort(starts.begin(), starts.end());
+      for (std::size_t k = 0; k < starts.size(); ++k) {
+        if (k >= finishes.size()) {
+          violate("precedence " + spec.task(before).name + " -> " +
+                  spec.task(after).name + ": successor instance " +
+                  std::to_string(k + 1) + " has no matching predecessor");
+          break;
+        }
+        if (starts[k] < finishes[k]) {
+          violate("precedence " + spec.task(before).name + " -> " +
+                  spec.task(after).name + ": start " +
+                  std::to_string(starts[k]) + " before predecessor finish " +
+                  std::to_string(finishes[k]));
+        }
+      }
+    }
+  }
+
+  // Exclusion: instance spans of excluded tasks never overlap (the lock is
+  // held from first dispatch to completion).
+  for (TaskId a : spec.task_ids()) {
+    for (TaskId b : spec.task(a).excludes) {
+      if (a.value() >= b.value()) {
+        continue;
+      }
+      for (const auto& [ka, ra] : instances) {
+        if (ka.first != a) {
+          continue;
+        }
+        for (const auto& [kb, rb] : instances) {
+          if (kb.first != b) {
+            continue;
+          }
+          const bool disjoint =
+              ra.end() <= rb.start() || rb.end() <= ra.start();
+          if (!disjoint) {
+            violate("exclusion " + spec.task(a).name + " <-> " +
+                    spec.task(b).name + ": spans [" +
+                    std::to_string(ra.start()) + "," +
+                    std::to_string(ra.end()) + ") and [" +
+                    std::to_string(rb.start()) + "," +
+                    std::to_string(rb.end()) + ") interleave");
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ezrt::runtime

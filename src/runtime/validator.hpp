@@ -1,0 +1,43 @@
+// Independent schedule-table validation.
+//
+// The validator re-derives every timing contract from the *specification*
+// (not from the Petri net), so it is an independent oracle for the
+// scheduler: any table produced by the DFS must pass. Checked per table:
+//   * completeness — every task contributes exactly N(t_i) instances;
+//   * WCET budgets — each instance's segments sum to c_i;
+//   * release windows — no instance starts before arrival + r_i;
+//   * deadlines — every instance completes by arrival + d_i;
+//   * processor exclusivity — segments on one processor never overlap;
+//   * non-preemptive atomicity — single segment, no resume flags;
+//   * resume flags — false on first segments, true on continuations;
+//   * precedence — the k-th start of a successor never precedes the k-th
+//     finish of its predecessor;
+//   * exclusion — instance execution spans of excluded tasks are disjoint
+//     (a task holds its locks from first dispatch to completion).
+// Message/bus timing is validated at the TPN level by trace replay and is
+// out of scope here (the table does not carry bus traffic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::runtime {
+
+/// Outcome of validating one schedule table.
+struct ValidationReport {
+  std::vector<std::string> violations;
+  std::uint64_t instances_checked = 0;
+  std::uint64_t segments_checked = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined for test diagnostics.
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] ValidationReport validate_schedule(
+    const spec::Specification& spec, const sched::ScheduleTable& table);
+
+}  // namespace ezrt::runtime

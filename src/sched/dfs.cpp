@@ -1,0 +1,437 @@
+#include "sched/dfs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "base/hash.hpp"
+
+namespace ezrt::sched {
+
+namespace {
+
+using tpn::FireableTransition;
+using tpn::State;
+
+/// 128-bit state fingerprint for the visited set. Storing fingerprints
+/// instead of full states keeps memory at 16 bytes per state; the collision
+/// probability over two independent 64-bit hashes is negligible against the
+/// state counts reachable in practice.
+struct Fingerprint {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(Fingerprint, Fingerprint) = default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(Fingerprint f) const noexcept { return f.a; }
+};
+
+[[nodiscard]] Fingerprint fingerprint(const State& s) {
+  Fingerprint f;
+  f.a = s.hash();
+  // Second hash with a different seed over the same data.
+  const auto tokens = s.marking().tokens();
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = hash_span<std::uint32_t>(tokens, h);
+  for (std::size_t i = 0; i < s.clock_count(); ++i) {
+    h = hash_mix(h, s.clock(TransitionId(
+                     static_cast<std::uint32_t>(i))));
+  }
+  f.b = h;
+  return f;
+}
+
+/// One branching alternative: fire `transition` after `delay`.
+struct Candidate {
+  TransitionId transition;
+  Time delay;
+};
+
+struct Frame {
+  State state;
+  std::vector<Candidate> candidates;
+  std::size_t next = 0;  ///< index of the next candidate to expand
+};
+
+}  // namespace
+
+const char* to_string(SearchStatus status) {
+  switch (status) {
+    case SearchStatus::kFeasible:
+      return "feasible";
+    case SearchStatus::kInfeasible:
+      return "infeasible";
+    case SearchStatus::kLimitReached:
+      return "limit-reached";
+  }
+  return "unknown";
+}
+
+DfsScheduler::DfsScheduler(const tpn::TimePetriNet& net,
+                           SchedulerOptions options)
+    : net_(&net), semantics_(net), options_(options) {
+  EZRT_CHECK(net.validated(), "DfsScheduler requires a validated net");
+  goal_ = [this](const tpn::Marking& m) {
+    return tpn::is_final_marking(*net_, m);
+  };
+}
+
+SearchOutcome DfsScheduler::search() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchOutcome out;
+  SearchStats& stats = out.stats;
+
+  const bool priority_filter =
+      options_.pruning == PruningMode::kPriorityFilter;
+
+  // Generates the ordered branching alternatives for a state.
+  auto expand = [&](const State& s) -> std::vector<Candidate> {
+    // The reduction must look at the *unfiltered* fireable set: a
+    // conflict-free, zero-lower-bound transition (e.g. an arrival whose
+    // instant has come) commutes with every alternative and is fired
+    // first even when the priority filter would prefer something else —
+    // otherwise a grant could sneak in ahead of a simultaneous arrival
+    // and hide the newly arrived task from the scheduler.
+    std::vector<FireableTransition> ft = semantics_.fireable(s, false);
+    if (ft.empty()) {
+      return {};
+    }
+
+    // The reduction preserves schedule *existence* and makespan (it only
+    // reorders zero-delay firings), but can reorder same-instant compute
+    // completions and thus perturb the switch count: disabled under the
+    // switch-minimizing objective.
+    if (options_.partial_order_reduction &&
+        options_.objective != Objective::kMinimizeSwitches) {
+      // Sound single-successor reduction. A transition t may be fired as
+      // the only successor when:
+      //  (1) it is *forced now* — DUB(t) == 0, so time cannot advance and
+      //      every feasible continuation fires t at delay 0 somewhere in
+      //      its zero-time prefix (requiring only DLB == 0 would be
+      //      unsound: pinning a transition that may legally fire later
+      //      forecloses schedules that delay it past a contested window);
+      //  (2) it is structurally conflict-free — nothing else consumes its
+      //      inputs, so no alternative order ever disables it; and
+      //  (3) every consumer of each of t's output places has clock 0 —
+      //      otherwise t's produced tokens can keep such a consumer
+      //      *continuously enabled* across the zero-time window where an
+      //      alternative order would have toggled it (clock reset), and
+      //      the end states genuinely differ. The canonical hazard is an
+      //      arrival producing the next deadline-watchdog token at the
+      //      very instant the previous instance finishes: arrival-first
+      //      keeps td enabled with its old clock and dooms the branch.
+      // Under (1)-(3) firing t commutes with every zero-delay
+      // alternative, so exploring only t preserves schedule existence.
+      for (const FireableTransition& f : ft) {
+        if (f.earliest != 0 ||
+            semantics_.dynamic_upper_bound(s, f.transition) != 0 ||
+            !tpn::structurally_conflict_free(*net_, f.transition)) {
+          continue;
+        }
+        bool output_consumers_fresh = true;
+        for (const tpn::Arc& arc : net_->outputs(f.transition)) {
+          for (TransitionId u : net_->consumers(arc.place)) {
+            if (s.clock(u) != 0) {
+              output_consumers_fresh = false;
+              break;
+            }
+          }
+          if (!output_consumers_fresh) {
+            break;
+          }
+        }
+        if (output_consumers_fresh) {
+          return {Candidate{f.transition, 0}};
+        }
+      }
+    }
+
+    if (priority_filter && !ft.empty()) {
+      // The paper's FT_P(s): keep only minimal-priority transitions.
+      tpn::Priority best = net_->transition(ft[0].transition).priority;
+      for (const FireableTransition& f : ft) {
+        best = std::min(best, net_->transition(f.transition).priority);
+      }
+      std::erase_if(ft, [&](const FireableTransition& f) {
+        return net_->transition(f.transition).priority != best;
+      });
+    }
+
+    // Deterministic exploration order: priority, then earliest firing
+    // time, then transition index.
+    std::sort(ft.begin(), ft.end(),
+              [&](const FireableTransition& x, const FireableTransition& y) {
+                const auto px = net_->transition(x.transition).priority;
+                const auto py = net_->transition(y.transition).priority;
+                if (px != py) {
+                  return px < py;
+                }
+                if (x.earliest != y.earliest) {
+                  return x.earliest < y.earliest;
+                }
+                return x.transition.value() < y.transition.value();
+              });
+
+    std::vector<Candidate> candidates;
+    if (options_.firing_times == FiringTimePolicy::kEarliest) {
+      candidates.reserve(ft.size());
+      for (const FireableTransition& f : ft) {
+        candidates.push_back(Candidate{f.transition, f.earliest});
+      }
+    } else {
+      for (const FireableTransition& f : ft) {
+        EZRT_CHECK(f.latest != kTimeInfinity &&
+                       f.latest - f.earliest <= options_.max_domain_width,
+                   "AllInDomain: firing domain too wide; raise "
+                   "max_domain_width or use kEarliest");
+        for (Time q = f.earliest; q <= f.latest; ++q) {
+          candidates.push_back(Candidate{f.transition, q});
+        }
+      }
+    }
+    return candidates;
+  };
+
+  if (options_.objective != Objective::kFirstFeasible) {
+    // Branch-and-bound over the same expansion: explore exhaustively,
+    // keep the cheapest schedule, prune branches whose monotone partial
+    // cost already reaches the incumbent. Cost edges:
+    //   kMinimizeMakespan — the firing delay (partial cost = elapsed);
+    //   kMinimizeSwitches — 1 whenever a compute firing belongs to a
+    //     different task than the previous compute firing on the path.
+    // The visited table keeps the best cost per state and readmits a
+    // state reached more cheaply. For the switches objective the
+    // previous-compute task is folded into the state key (two paths to
+    // equal (m,c) with different running tasks have different futures).
+    const bool switches =
+        options_.objective == Objective::kMinimizeSwitches;
+
+    struct BbFrame {
+      State state;
+      std::vector<Candidate> candidates;
+      std::size_t next = 0;
+      std::uint64_t cost = 0;
+      TaskId last_compute;
+    };
+
+    std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash>
+        best_seen;
+    std::vector<BbFrame> stack;
+    Trace current;
+    Trace best_trace;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+
+    auto key_of = [&](const State& s, TaskId last) {
+      Fingerprint f = fingerprint(s);
+      if (switches) {
+        f.b = hash_mix(f.b, last.valid() ? last.value() + 1 : 0);
+      }
+      return f;
+    };
+
+    BbFrame root;
+    root.state = State::initial(*net_);
+    root.candidates = expand(root.state);
+    best_seen.emplace(key_of(root.state, TaskId()), 0);
+    stats.states_visited = 1;
+    if (goal_(root.state.marking())) {
+      out.status = SearchStatus::kFeasible;
+      out.solutions_found = 1;
+      return out;
+    }
+    stack.push_back(std::move(root));
+
+    bool limit_hit = false;
+    while (!stack.empty() && !limit_hit) {
+      BbFrame& frame = stack.back();
+      stats.max_depth =
+          std::max<std::uint64_t>(stats.max_depth, stack.size());
+      if (frame.next >= frame.candidates.size()) {
+        stack.pop_back();
+        if (!current.empty()) {
+          current.pop_back();
+        }
+        ++stats.backtracks;
+        continue;
+      }
+      const Candidate cand = frame.candidates[frame.next++];
+      const tpn::Transition& fired = net_->transition(cand.transition);
+
+      std::uint64_t edge_cost = 0;
+      TaskId last_compute = frame.last_compute;
+      if (switches) {
+        if (fired.role == tpn::TransitionRole::kCompute) {
+          edge_cost = fired.task == frame.last_compute ? 0 : 1;
+          last_compute = fired.task;
+        }
+      } else {
+        edge_cost = cand.delay;
+      }
+      const std::uint64_t cost = frame.cost + edge_cost;
+      if (cost >= best_cost) {
+        continue;  // cannot improve the incumbent
+      }
+
+      State next = semantics_.fire(frame.state, cand.transition,
+                                   cand.delay);
+      ++stats.transitions_fired;
+      if (tpn::has_deadline_miss(*net_, next.marking())) {
+        ++stats.pruned_deadline;
+        continue;
+      }
+      const Fingerprint key = key_of(next, last_compute);
+      auto [it, inserted] = best_seen.try_emplace(key, cost);
+      if (!inserted) {
+        if (it->second <= cost) {
+          ++stats.pruned_visited;
+          continue;
+        }
+        it->second = cost;
+        ++stats.states_visited;  // re-admitted more cheaply: re-expanded
+      } else {
+        ++stats.states_visited;
+      }
+
+      current.push_back(
+          FiringEvent{cand.transition, cand.delay, next.elapsed()});
+      if (goal_(next.marking())) {
+        best_cost = cost;
+        best_trace = current;
+        ++out.solutions_found;
+        current.pop_back();
+        continue;
+      }
+      if (options_.max_states != 0 &&
+          stats.states_visited >= options_.max_states) {
+        limit_hit = true;
+        current.pop_back();
+        break;
+      }
+      BbFrame child;
+      child.state = std::move(next);
+      child.candidates = expand(child.state);
+      child.cost = cost;
+      child.last_compute = last_compute;
+      stack.push_back(std::move(child));
+    }
+
+    if (out.solutions_found > 0) {
+      out.status = SearchStatus::kFeasible;
+      out.trace = std::move(best_trace);
+      out.best_cost = best_cost;
+    } else {
+      out.status = limit_hit ? SearchStatus::kLimitReached
+                             : SearchStatus::kInfeasible;
+    }
+    stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    return out;
+  }
+
+  std::unordered_set<Fingerprint, FingerprintHash> visited;
+  std::vector<Frame> stack;
+
+  State s0 = State::initial(*net_);
+  visited.insert(fingerprint(s0));
+  stats.states_visited = 1;
+
+  if (goal_(s0.marking())) {
+    out.status = SearchStatus::kFeasible;
+    stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    return out;
+  }
+
+  out.trace.clear();
+  stack.push_back(Frame{std::move(s0), {}, 0});
+  stack.back().candidates = expand(stack.back().state);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    stats.max_depth = std::max<std::uint64_t>(stats.max_depth, stack.size());
+
+    if (frame.next >= frame.candidates.size()) {
+      // Subtree exhausted: backtrack.
+      stack.pop_back();
+      if (!out.trace.empty()) {
+        out.trace.pop_back();
+      }
+      ++stats.backtracks;
+      continue;
+    }
+
+    const Candidate cand = frame.candidates[frame.next++];
+    State next = semantics_.fire(frame.state, cand.transition, cand.delay);
+    ++stats.transitions_fired;
+
+    if (tpn::has_deadline_miss(*net_, next.marking())) {
+      ++stats.pruned_deadline;
+      continue;
+    }
+    if (!visited.insert(fingerprint(next)).second) {
+      ++stats.pruned_visited;
+      continue;
+    }
+    ++stats.states_visited;
+
+    out.trace.push_back(
+        FiringEvent{cand.transition, cand.delay, next.elapsed()});
+
+    if (goal_(next.marking())) {
+      out.status = SearchStatus::kFeasible;
+      stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      return out;
+    }
+
+    if (options_.max_states != 0 &&
+        stats.states_visited >= options_.max_states) {
+      out.status = SearchStatus::kLimitReached;
+      out.trace.clear();
+      stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      return out;
+    }
+
+    Frame child;
+    child.state = std::move(next);
+    child.candidates = expand(child.state);
+    stack.push_back(std::move(child));
+  }
+
+  out.status = SearchStatus::kInfeasible;
+  out.trace.clear();
+  stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  return out;
+}
+
+Result<tpn::State> DfsScheduler::replay(const Trace& trace) const {
+  State s = State::initial(*net_);
+  for (const FiringEvent& event : trace) {
+    auto next = semantics_.try_fire(s, event.transition, event.delay);
+    if (!next.ok()) {
+      return next.error();
+    }
+    s = std::move(next).value();
+    if (s.elapsed() != event.at) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trace timestamp mismatch at transition '" +
+                            net_->transition(event.transition).name +
+                            "': recorded " + std::to_string(event.at) +
+                            ", replayed " + std::to_string(s.elapsed()));
+    }
+  }
+  return s;
+}
+
+}  // namespace ezrt::sched

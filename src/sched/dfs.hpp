@@ -1,0 +1,114 @@
+// Pre-runtime schedule synthesis (paper §4.4.1).
+//
+// A depth-first search over the timed labeled transition system of an
+// extended TPN, looking for a firing sequence that reaches the final
+// marking M_F (the join block's pend place). State-space growth is kept
+// under control by
+//   * undesirable-state pruning — any marking that covers a deadline-miss
+//     place is abandoned immediately;
+//   * a visited set over (marking, clock-vector) states;
+//   * the paper's priority filter FT_P(s) (optional);
+//   * a partial-order reduction in the spirit of Lilius: a transition
+//     that is forced *now* (DUB = 0), is structurally conflict-free, and
+//     produces only into places whose consumers carry fresh clocks
+//     commutes with every zero-delay alternative and is explored as the
+//     only successor (docs/semantics.md §4 gives the soundness argument
+//     and the two tempting-but-unsound stronger rules this replaced).
+//
+// Firing times default to the earliest point of each firing domain, which
+// yields work-conserving schedules; the exhaustive AllInDomain policy also
+// explores deliberately inserted idle time (exponentially larger).
+#pragma once
+
+#include <functional>
+
+#include "base/result.hpp"
+#include "sched/trace.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/semantics.hpp"
+
+namespace ezrt::sched {
+
+/// Which subset of FT(s) the search branches over.
+enum class PruningMode : std::uint8_t {
+  kNone,            ///< all fireable transitions (complete w.r.t. policy)
+  kPriorityFilter,  ///< the paper's FT_P(s): minimal-priority subset only
+};
+
+enum class FiringTimePolicy : std::uint8_t {
+  kEarliest,     ///< fire each candidate at its dynamic lower bound
+  kAllInDomain,  ///< try every integer delay in the firing domain
+};
+
+/// What the search optimizes. The paper's algorithm stops at the first
+/// feasible schedule; the optimizing modes keep exploring with
+/// branch-and-bound (partial cost is monotone, so a branch whose cost
+/// reaches the incumbent's is pruned) and return the best schedule found.
+enum class Objective : std::uint8_t {
+  kFirstFeasible,        ///< stop at the first schedule (paper behavior)
+  kMinimizeMakespan,     ///< earliest completion of the whole period
+  kMinimizeSwitches,     ///< fewest processor context switches — the
+                         ///< "optimize the generated code" future work:
+                         ///< each switch costs dispatcher time on target
+};
+
+struct SchedulerOptions {
+  PruningMode pruning = PruningMode::kPriorityFilter;
+  FiringTimePolicy firing_times = FiringTimePolicy::kEarliest;
+  bool partial_order_reduction = true;
+  Objective objective = Objective::kFirstFeasible;
+  /// Abort with kLimitReached after this many distinct states (0 = off).
+  /// For optimizing objectives the incumbent found so far is returned.
+  std::uint64_t max_states = 0;
+  /// Widest firing domain AllInDomain will enumerate before giving up.
+  Time max_domain_width = 10'000;
+};
+
+enum class SearchStatus : std::uint8_t {
+  kFeasible,      ///< trace holds a feasible firing schedule
+  kInfeasible,    ///< search space exhausted without reaching M_F
+  kLimitReached,  ///< max_states hit before a verdict
+};
+
+[[nodiscard]] const char* to_string(SearchStatus status);
+
+struct SearchOutcome {
+  SearchStatus status = SearchStatus::kInfeasible;
+  Trace trace;  ///< meaningful only when status == kFeasible
+  SearchStats stats;
+  /// Optimizing objectives: the returned schedule's cost (makespan or
+  /// switch count) and how many incumbent schedules were found.
+  std::uint64_t best_cost = 0;
+  std::uint64_t solutions_found = 0;
+};
+
+/// Goal predicate over markings; the default accepts any marking with a
+/// token in an End-role place (m(pend) = 1, §3.3.1b).
+using GoalPredicate = std::function<bool(const tpn::Marking&)>;
+
+class DfsScheduler {
+ public:
+  /// The net must be validated and outlive the scheduler.
+  explicit DfsScheduler(const tpn::TimePetriNet& net,
+                        SchedulerOptions options = {});
+
+  /// Overrides the goal (used by nets without a join block).
+  void set_goal(GoalPredicate goal) { goal_ = std::move(goal); }
+
+  /// Runs the search from s0. Deterministic: identical inputs yield
+  /// identical traces and statistics.
+  [[nodiscard]] SearchOutcome search() const;
+
+  /// Replays a trace from s0, validating every firing against the timed
+  /// semantics; returns the final state. Used to cross-check search
+  /// results and to audit externally supplied schedules.
+  [[nodiscard]] Result<tpn::State> replay(const Trace& trace) const;
+
+ private:
+  const tpn::TimePetriNet* net_;
+  tpn::Semantics semantics_;
+  SchedulerOptions options_;
+  GoalPredicate goal_;
+};
+
+}  // namespace ezrt::sched

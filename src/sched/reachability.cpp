@@ -1,0 +1,102 @@
+#include "sched/reachability.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "base/assert.hpp"
+
+namespace ezrt::sched {
+
+namespace {
+
+/// 128-bit fingerprints as in the DFS visited set.
+struct Fingerprint {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(Fingerprint, Fingerprint) = default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(Fingerprint f) const noexcept { return f.a; }
+};
+
+[[nodiscard]] Fingerprint fingerprint(const tpn::State& s) {
+  Fingerprint f;
+  f.a = s.hash();
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = hash_span<std::uint32_t>(s.marking().tokens(), h);
+  for (std::size_t i = 0; i < s.clock_count(); ++i) {
+    h = hash_mix(h, s.clock(TransitionId(static_cast<std::uint32_t>(i))));
+  }
+  f.b = h;
+  return f;
+}
+
+}  // namespace
+
+ReachabilityResult explore(const tpn::TimePetriNet& net,
+                           const ReachabilityOptions& options) {
+  EZRT_CHECK(net.validated(), "explore requires a validated net");
+  const tpn::Semantics semantics(net);
+  ReachabilityResult result;
+
+  std::unordered_set<Fingerprint, FingerprintHash> visited;
+  std::deque<tpn::State> frontier;
+
+  auto observe = [&](const tpn::State& s) {
+    for (PlaceId p : net.place_ids()) {
+      result.bound = std::max(result.bound, s.marking()[p]);
+    }
+    if (tpn::is_final_marking(net, s.marking())) {
+      result.final_reachable = true;
+    }
+  };
+
+  tpn::State s0 = tpn::State::initial(net);
+  visited.insert(fingerprint(s0));
+  observe(s0);
+  frontier.push_back(std::move(s0));
+  result.states_explored = 1;
+
+  while (!frontier.empty()) {
+    result.peak_frontier =
+        std::max<std::uint64_t>(result.peak_frontier, frontier.size());
+    const tpn::State s = std::move(frontier.front());
+    frontier.pop_front();
+
+    const auto fireable = semantics.fireable(s, /*priority_filter=*/false);
+    if (fireable.empty()) {
+      if (!tpn::is_final_marking(net, s.marking()) &&
+          !tpn::has_deadline_miss(net, s.marking())) {
+        result.deadlock_found = true;
+      }
+      continue;
+    }
+
+    for (const tpn::FireableTransition& f : fireable) {
+      tpn::State next = semantics.fire(s, f.transition, f.earliest);
+      ++result.transitions_fired;
+      if (!visited.insert(fingerprint(next)).second) {
+        continue;
+      }
+      ++result.states_explored;
+      observe(next);
+      if (tpn::has_deadline_miss(net, next.marking())) {
+        // Observed but not expanded, mirroring the scheduler's pruning.
+        result.miss_reachable = true;
+        continue;
+      }
+      if (options.max_states != 0 &&
+          result.states_explored >= options.max_states) {
+        result.complete = false;
+        return result;
+      }
+      frontier.push_back(std::move(next));
+    }
+  }
+
+  result.complete = true;
+  return result;
+}
+
+}  // namespace ezrt::sched

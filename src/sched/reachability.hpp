@@ -1,0 +1,54 @@
+// Bounded reachability analysis over the TLTS.
+//
+// Besides schedule synthesis, ezRealtime advertises property checking on
+// the composed model. This analyzer enumerates the reachable timed state
+// space breadth-first — under the same earliest-firing discretization the
+// scheduler's complete mode searches — and reports the properties a
+// specifier cares about before synthesis:
+//
+//   * final_reachable  — M_F is reachable at all (necessary and, in this
+//     discretization, sufficient for the DFS to find a schedule);
+//   * miss_reachable   — some interleaving marks a deadline-miss place
+//     (i.e. the schedule *choice* matters; a run-time scheduler could
+//     pick a losing order);
+//   * deadlock_found   — a non-final state with no fireable transition
+//     (a modeling error: well-formed block compositions cannot deadlock
+//     short of the final marking);
+//   * bound            — the largest token count observed in any place
+//     (the built models are bounded by construction; this verifies it).
+//
+// Exploration continues through miss markings (they are observations,
+// not sinks) but does not expand them further — mirroring the
+// scheduler's pruning.
+#pragma once
+
+#include <cstdint>
+
+#include "base/result.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/semantics.hpp"
+
+namespace ezrt::sched {
+
+struct ReachabilityOptions {
+  /// Stop after this many distinct states (0 = unlimited — beware).
+  std::uint64_t max_states = 250'000;
+};
+
+struct ReachabilityResult {
+  std::uint64_t states_explored = 0;
+  std::uint64_t transitions_fired = 0;
+  bool complete = false;  ///< the whole (pruned) space fit under the bound
+  bool final_reachable = false;
+  bool miss_reachable = false;
+  bool deadlock_found = false;
+  std::uint32_t bound = 0;  ///< max tokens observed in a single place
+  std::uint64_t peak_frontier = 0;
+};
+
+/// Explores the earliest-firing state graph of a validated net.
+[[nodiscard]] ReachabilityResult explore(const tpn::TimePetriNet& net,
+                                         const ReachabilityOptions&
+                                             options = {});
+
+}  // namespace ezrt::sched

@@ -1,0 +1,122 @@
+#include "sched/schedule_table.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace ezrt::sched {
+
+namespace {
+
+/// Per-task extraction cursor.
+struct TaskCursor {
+  std::uint32_t releases = 0;  ///< instances released so far
+  std::optional<ScheduleItem> open;  ///< growing segment, not yet emitted
+  bool instance_had_segment = false;  ///< current instance already ran once
+};
+
+}  // namespace
+
+Result<ScheduleTable> extract_schedule(const spec::Specification& spec,
+                                       const builder::BuiltModel& model,
+                                       const Trace& trace) {
+  ScheduleTable table;
+  table.schedule_period = model.schedule_period;
+
+  std::vector<TaskCursor> cursors(spec.task_count());
+
+  auto close_segment = [&](TaskCursor& cursor) {
+    if (cursor.open.has_value()) {
+      table.items.push_back(*cursor.open);
+      cursor.open.reset();
+    }
+  };
+
+  for (const FiringEvent& event : trace) {
+    const tpn::Transition& t = model.net.transition(event.transition);
+    if (!t.task.valid()) {
+      continue;  // fork/join/communication infrastructure
+    }
+    const spec::Task& task = spec.task(t.task);
+    TaskCursor& cursor = cursors[t.task.value()];
+    const bool preemptive =
+        task.scheduling == spec::SchedulingType::kPreemptive;
+
+    // Which firing acquires the processor depends on the task's structure:
+    // the grant stage when it exists, otherwise the fused release.
+    const bool compact_style = !model.task_net(t.task).grant.valid();
+    const bool starts_execution =
+        (t.role == tpn::TransitionRole::kGrant) ||
+        (compact_style && t.role == tpn::TransitionRole::kRelease);
+
+    if (t.role == tpn::TransitionRole::kRelease) {
+      ++cursor.releases;
+      cursor.instance_had_segment = false;
+    }
+    if (!starts_execution) {
+      continue;
+    }
+    if (cursor.releases == 0) {
+      return make_error(ErrorCode::kInternal,
+                        "trace fires '" + t.name +
+                            "' before any release of task '" + task.name +
+                            "'");
+    }
+
+    const std::uint32_t instance = cursor.releases - 1;
+    const Time chunk = preemptive ? 1 : task.timing.computation;
+
+    if (cursor.open.has_value() && cursor.open->instance == instance &&
+        cursor.open->start + cursor.open->duration == event.at) {
+      // Contiguous chunk: extend the open segment.
+      cursor.open->duration += chunk;
+      continue;
+    }
+
+    close_segment(cursor);
+    ScheduleItem item;
+    item.start = event.at;
+    item.task = t.task;
+    item.instance = instance;
+    item.duration = chunk;
+    // Fig 8 flag semantics: true when the instance ran before and this row
+    // resumes it after a preemption.
+    item.preempted = cursor.instance_had_segment;
+    cursor.open = item;
+    cursor.instance_had_segment = true;
+  }
+
+  for (TaskCursor& cursor : cursors) {
+    close_segment(cursor);
+  }
+
+  std::stable_sort(table.items.begin(), table.items.end(),
+                   [](const ScheduleItem& a, const ScheduleItem& b) {
+                     return a.start < b.start;
+                   });
+  for (const ScheduleItem& item : table.items) {
+    table.makespan = std::max(table.makespan, item.start + item.duration);
+  }
+  return table;
+}
+
+std::string to_string(const ScheduleTable& table,
+                      const spec::Specification& spec) {
+  std::ostringstream os;
+  os << "struct ScheduleItem scheduleTable[" << table.items.size()
+     << "] = {\n";
+  for (std::size_t i = 0; i < table.items.size(); ++i) {
+    const ScheduleItem& item = table.items[i];
+    const spec::Task& task = spec.task(item.task);
+    os << "  {" << item.start << ", " << (item.preempted ? "true " : "false")
+       << ", " << item.task.value() + 1 << ", (int *)" << task.name << "}";
+    os << (i + 1 < table.items.size() ? "," : " ");
+    os << " /* " << task.name << "#" << item.instance + 1
+       << (item.preempted ? " resumes" : " starts") << ", runs "
+       << item.duration << " */\n";
+  }
+  os << "};\n";
+  return os.str();
+}
+
+}  // namespace ezrt::sched

@@ -1,0 +1,38 @@
+// Feasible firing schedules (Definition 3.2) and search statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/time.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::sched {
+
+/// One labeled TLTS action (t, q): transition `transition` fired `delay`
+/// units after the previous state, i.e. at absolute model time `at`.
+struct FiringEvent {
+  TransitionId transition;
+  Time delay = 0;
+  Time at = 0;
+};
+
+/// A firing sequence s0 -(t1,q1)-> s1 ... -(tn,qn)-> sn. When produced by a
+/// successful search it is a feasible firing schedule: it ends in the
+/// desired final marking M_F with no deadline-miss place ever marked.
+using Trace = std::vector<FiringEvent>;
+
+/// Search effort counters. `states_visited` counts distinct TLTS states
+/// entered (the paper reports 3268 for the mine-pump study; the minimum —
+/// the length of the feasible path — is 3130 firings).
+struct SearchStats {
+  std::uint64_t states_visited = 0;   ///< distinct states pushed (incl. s0)
+  std::uint64_t transitions_fired = 0;  ///< fire() applications
+  std::uint64_t backtracks = 0;       ///< frames popped without success
+  std::uint64_t pruned_deadline = 0;  ///< successors with a miss marking
+  std::uint64_t pruned_visited = 0;   ///< successors already in the set
+  std::uint64_t max_depth = 0;        ///< deepest DFS stack
+  double elapsed_ms = 0.0;            ///< wall-clock search time
+};
+
+}  // namespace ezrt::sched

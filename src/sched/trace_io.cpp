@@ -1,0 +1,86 @@
+#include "sched/trace_io.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "base/strings.hpp"
+
+namespace ezrt::sched {
+
+std::string write_trace(const tpn::TimePetriNet& net, const Trace& trace) {
+  std::ostringstream os;
+  os << "ezrt-trace 1\n";
+  os << "net " << net.name() << "\n";
+  for (const FiringEvent& event : trace) {
+    os << "fire " << net.transition(event.transition).name << " delay "
+       << event.delay << " at " << event.at << "\n";
+  }
+  return os.str();
+}
+
+Result<Trace> read_trace(const tpn::TimePetriNet& net,
+                         std::string_view document) {
+  // Name -> id index (the net API's find_transition is a linear scan).
+  std::unordered_map<std::string_view, TransitionId> by_name;
+  for (TransitionId t : net.transition_ids()) {
+    by_name.emplace(net.transition(t).name, t);
+  }
+
+  Trace trace;
+  Time clock = 0;
+  bool header_seen = false;
+  int line_no = 0;
+  for (const std::string& raw : split(document, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    auto fail = [&](const std::string& message) {
+      return make_error(ErrorCode::kParseError,
+                        "trace line " + std::to_string(line_no) + ": " +
+                            message);
+    };
+    if (!header_seen) {
+      if (line != "ezrt-trace 1") {
+        return fail("expected header 'ezrt-trace 1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (starts_with(line, "net ")) {
+      continue;  // informational
+    }
+    if (!starts_with(line, "fire ")) {
+      return fail("expected 'fire <transition> delay <q> at <t>'");
+    }
+    std::istringstream fields{std::string(line)};
+    std::string keyword;
+    std::string name;
+    std::string delay_kw;
+    std::string at_kw;
+    std::uint64_t delay = 0;
+    std::uint64_t at = 0;
+    fields >> keyword >> name >> delay_kw >> delay >> at_kw >> at;
+    if (fields.fail() || delay_kw != "delay" || at_kw != "at") {
+      return fail("malformed fire line");
+    }
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return fail("unknown transition '" + name + "'");
+    }
+    clock += delay;
+    if (clock != at) {
+      return fail("timestamp mismatch: delays accumulate to " +
+                  std::to_string(clock) + ", line says " +
+                  std::to_string(at));
+    }
+    trace.push_back(FiringEvent{it->second, delay, at});
+  }
+  if (!header_seen) {
+    return make_error(ErrorCode::kParseError, "missing trace header");
+  }
+  return trace;
+}
+
+}  // namespace ezrt::sched

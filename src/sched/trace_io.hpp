@@ -1,0 +1,37 @@
+// Serialization of feasible firing schedules.
+//
+// A synthesized schedule is a safety artifact: it should be storable,
+// diffable and independently auditable. This module writes a firing
+// schedule as a line-oriented text document and reads it back against a
+// net; combined with DfsScheduler::replay, a third party can re-verify a
+// shipped schedule without re-running the search.
+//
+// Format (one firing per line, '#' comments):
+//
+//   ezrt-trace 1
+//   net mine-pump
+//   fire tstart delay 0 at 0
+//   fire tph_PMC delay 0 at 0
+//   ...
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "base/result.hpp"
+#include "sched/trace.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::sched {
+
+/// Renders a trace for the given net (transition names must be from it).
+[[nodiscard]] std::string write_trace(const tpn::TimePetriNet& net,
+                                      const Trace& trace);
+
+/// Parses a trace document and resolves transition names against `net`.
+/// Verifies the `at` timestamps are consistent with the delays; the
+/// *semantic* validity check is DfsScheduler::replay.
+[[nodiscard]] Result<Trace> read_trace(const tpn::TimePetriNet& net,
+                                       std::string_view document);
+
+}  // namespace ezrt::sched

@@ -1,0 +1,79 @@
+// Specification metamodel value types (paper §3.2 and Fig 5).
+//
+// These mirror the Ecore classes of the ezRealtime DSML: EzRTSpecC, TaskC,
+// ProcessorC, MessageC, SourceCodeC and the SchedulingType enumeration.
+// The aggregate root lives in specification.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+
+namespace ezrt::spec {
+
+/// TaskC.sch — the per-task schedule method (§3.2(c)).
+enum class SchedulingType : std::uint8_t {
+  kNonPreemptive,  ///< "NP" in the DSL: runs [c,c] without interruption
+  kPreemptive,     ///< "P": implicitly split into unit-time subtasks
+};
+
+[[nodiscard]] const char* to_string(SchedulingType type);
+
+/// Timing constraints of a periodic task: (ph, r, c, d, p) with the paper's
+/// well-formedness c <= d <= p; r, c, d are relative to the period start.
+struct TimingConstraints {
+  Time phase = 0;        ///< ph_i — delay of the first request after start
+  Time release = 0;      ///< r_i — earliest start within the period
+  Time computation = 0;  ///< c_i — worst-case execution time (WCET)
+  Time deadline = 0;     ///< d_i — completion bound within the period
+  Time period = 0;       ///< p_i — request periodicity
+};
+
+/// Behavioral specification: the C source for one task (SourceCodeC).
+struct SourceCode {
+  std::string identifier;
+  std::string content;  ///< C code, spliced verbatim into the task function
+};
+
+/// TaskC. `precedes` / `excludes` hold the *outgoing* relation edges as
+/// declared; exclusion is symmetric and is closed over by validate().
+struct Task {
+  std::string name;
+  std::string identifier;  ///< stable external id (DSL documents)
+  TimingConstraints timing;
+  SchedulingType scheduling = SchedulingType::kNonPreemptive;
+  std::uint32_t energy = 0;  ///< metamodel attribute; carried, not analyzed
+  ProcessorId processor;     ///< executing processor (mono-CPU: the first)
+  std::optional<SourceCode> code;
+  std::vector<TaskId> precedes;        ///< this task PRECEDES those
+  std::vector<TaskId> excludes;        ///< this task EXCLUDES those
+  std::vector<MessageId> precedes_msgs;  ///< messages this task emits
+};
+
+/// ProcessorC — a processing resource. The paper is constrained to a
+/// mono-processor architecture; multiple processors are supported as a
+/// documented extension (each becomes its own resource place).
+struct Processor {
+  std::string name;
+  std::string identifier;
+};
+
+/// MessageC — an inter-task communication carried by a bus. The message is
+/// produced when its sender finishes and must be transferred (taking
+/// `communication` time units on the bus) before the receiving task may be
+/// released.
+struct Message {
+  std::string name;
+  std::string identifier;
+  std::string bus;          ///< bus resource name; messages on the same bus
+                            ///< serialize against each other
+  Time grant_bus = 0;       ///< bus arbitration delay before the transfer
+  Time communication = 0;   ///< transfer duration on the bus
+  TaskId receiver;          ///< the task this message PRECEDES
+  TaskId sender;            ///< derived from Task::precedes_msgs
+};
+
+}  // namespace ezrt::spec

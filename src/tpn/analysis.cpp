@@ -1,0 +1,76 @@
+#include "tpn/analysis.hpp"
+
+#include <sstream>
+
+namespace ezrt::tpn {
+
+NetStats stats(const TimePetriNet& net) {
+  NetStats s;
+  s.places = net.place_count();
+  s.transitions = net.transition_count();
+  for (TransitionId t : net.transition_ids()) {
+    s.arcs += net.inputs(t).size() + net.outputs(t).size();
+  }
+  for (PlaceId p : net.place_ids()) {
+    s.initial_tokens += net.place(p).initial_tokens;
+  }
+  return s;
+}
+
+bool structurally_conflict_free(const TimePetriNet& net, TransitionId t) {
+  for (const Arc& arc : net.inputs(t)) {
+    if (net.consumers(arc.place).size() > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool has_deadline_miss(const TimePetriNet& net, const Marking& m) {
+  return missed_task(net, m).valid();
+}
+
+TaskId missed_task(const TimePetriNet& net, const Marking& m) {
+  for (PlaceId p : net.place_ids()) {
+    const Place& place = net.place(p);
+    if ((place.role == PlaceRole::kMissPending ||
+         place.role == PlaceRole::kMissed) &&
+        m[p] > 0) {
+      return place.task;
+    }
+  }
+  return TaskId();
+}
+
+bool is_final_marking(const TimePetriNet& net, const Marking& m) {
+  for (PlaceId p : net.place_ids()) {
+    if (net.place(p).role == PlaceRole::kEnd && m[p] > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string describe_marking(const TimePetriNet& net, const Marking& m) {
+  std::ostringstream os;
+  bool first = true;
+  for (PlaceId p : net.place_ids()) {
+    if (m[p] == 0) {
+      continue;
+    }
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << net.place(p).name;
+    if (m[p] > 1) {
+      os << "(" << m[p] << ")";
+    }
+  }
+  if (first) {
+    os << "(empty)";
+  }
+  return os.str();
+}
+
+}  // namespace ezrt::tpn

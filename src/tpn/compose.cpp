@@ -1,0 +1,213 @@
+#include "tpn/compose.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/assert.hpp"
+
+namespace ezrt::tpn {
+
+namespace {
+
+/// Copies `source` into `target`, returning the place-id mapping; names
+/// may be transformed by `rename`.
+template <typename Rename>
+std::vector<PlaceId> copy_into(const TimePetriNet& source,
+                               TimePetriNet& target, Rename&& rename) {
+  std::vector<PlaceId> place_map(source.place_count());
+  for (PlaceId p : source.place_ids()) {
+    Place place = source.place(p);
+    place.name = rename(place.name);
+    place_map[p.value()] = target.add_place(std::move(place));
+  }
+  for (TransitionId t : source.transition_ids()) {
+    Transition transition = source.transition(t);
+    transition.name = rename(transition.name);
+    const TransitionId id = target.add_transition(std::move(transition));
+    for (const Arc& arc : source.inputs(t)) {
+      target.add_input(id, place_map[arc.place.value()], arc.weight);
+    }
+    for (const Arc& arc : source.outputs(t)) {
+      target.add_output(id, place_map[arc.place.value()], arc.weight);
+    }
+  }
+  return place_map;
+}
+
+}  // namespace
+
+Result<TimePetriNet> rename_prefixed(const TimePetriNet& net,
+                                     std::string_view prefix) {
+  EZRT_CHECK(net.validated(), "rename requires a validated net");
+  TimePetriNet out(std::string(prefix) + net.name());
+  copy_into(net, out, [&](const std::string& name) {
+    return std::string(prefix) + name;
+  });
+  if (auto status = out.validate(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+Result<TimePetriNet> disjoint_union(const TimePetriNet& a,
+                                    const TimePetriNet& b,
+                                    std::string name) {
+  EZRT_CHECK(a.validated() && b.validated(),
+             "union requires validated nets");
+  TimePetriNet out(std::move(name));
+  const auto identity = [](const std::string& n) { return n; };
+  copy_into(a, out, identity);
+  copy_into(b, out, identity);
+  // validate() rejects duplicate names, enforcing disjointness.
+  if (auto status = out.validate(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+Result<TimePetriNet> merge_places(const TimePetriNet& net,
+                                  const std::vector<std::string>&
+                                      place_names) {
+  EZRT_CHECK(net.validated(), "merge requires a validated net");
+
+  // Representative (first occurrence) per fused name.
+  std::map<std::string, PlaceId> representative;
+  std::vector<PlaceId> place_map(net.place_count());
+  TimePetriNet out(net.name());
+
+  auto should_merge = [&](const std::string& name) {
+    for (const std::string& candidate : place_names) {
+      if (candidate == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // First pass: create surviving places; accumulate tokens on the
+  // representative.
+  std::map<std::string, std::uint32_t> fused_tokens;
+  for (PlaceId p : net.place_ids()) {
+    const Place& place = net.place(p);
+    if (should_merge(place.name)) {
+      auto it = representative.find(place.name);
+      if (it != representative.end()) {
+        place_map[p.value()] = it->second;
+        fused_tokens[place.name] =
+            std::max(fused_tokens[place.name], place.initial_tokens);
+        continue;
+      }
+      representative[place.name] = PlaceId();  // reserve; fill below
+    }
+    const PlaceId id = out.add_place(place);
+    place_map[p.value()] = id;
+    if (should_merge(place.name)) {
+      representative[place.name] = id;
+      fused_tokens[place.name] = place.initial_tokens;
+    }
+  }
+  for (const auto& [name, tokens] : fused_tokens) {
+    out.place(representative[name]).initial_tokens = tokens;
+  }
+
+  for (TransitionId t : net.transition_ids()) {
+    const TransitionId id = out.add_transition(net.transition(t));
+    for (const Arc& arc : net.inputs(t)) {
+      out.add_input(id, place_map[arc.place.value()], arc.weight);
+    }
+    for (const Arc& arc : net.outputs(t)) {
+      out.add_output(id, place_map[arc.place.value()], arc.weight);
+    }
+  }
+  if (auto status = out.validate(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+Result<TimePetriNet> glue(const TimePetriNet& a, const TimePetriNet& b,
+                          std::string name) {
+  EZRT_CHECK(a.validated() && b.validated(), "glue requires validated nets");
+  for (TransitionId t : a.transition_ids()) {
+    if (b.find_transition(a.transition(t).name).has_value()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "glue: transition '" + a.transition(t).name +
+                            "' exists in both nets");
+    }
+  }
+
+  TimePetriNet out(std::move(name));
+  const auto identity = [](const std::string& n) { return n; };
+  const std::vector<PlaceId> a_map = copy_into(a, out, identity);
+
+  // b's places: reuse a's when the name matches (interface place, token
+  // count fused with max — idempotent for shared resources that both
+  // blocks model with one token), fresh otherwise.
+  std::vector<PlaceId> b_map(b.place_count());
+  for (PlaceId p : b.place_ids()) {
+    const Place& place = b.place(p);
+    if (const auto shared = a.find_place(place.name)) {
+      const PlaceId target = a_map[shared->value()];
+      out.place(target).initial_tokens =
+          std::max(out.place(target).initial_tokens, place.initial_tokens);
+      b_map[p.value()] = target;
+    } else {
+      b_map[p.value()] = out.add_place(place);
+    }
+  }
+  for (TransitionId t : b.transition_ids()) {
+    const TransitionId id = out.add_transition(b.transition(t));
+    for (const Arc& arc : b.inputs(t)) {
+      out.add_input(id, b_map[arc.place.value()], arc.weight);
+    }
+    for (const Arc& arc : b.outputs(t)) {
+      out.add_output(id, b_map[arc.place.value()], arc.weight);
+    }
+  }
+  if (auto status = out.validate(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+Result<TimePetriNet> serial(const TimePetriNet& a, const TimePetriNet& b,
+                            std::string_view from_place,
+                            std::string_view to_place, std::string name) {
+  auto merged = disjoint_union(a, b, std::move(name));
+  if (!merged.ok()) {
+    return merged;
+  }
+  // The union was validated; extend it through a fresh net (validated
+  // nets are immutable).
+  TimePetriNet out(merged.value().name());
+  std::vector<PlaceId> place_map(merged.value().place_count());
+  for (PlaceId p : merged.value().place_ids()) {
+    place_map[p.value()] = out.add_place(merged.value().place(p));
+  }
+  for (TransitionId t : merged.value().transition_ids()) {
+    const TransitionId id = out.add_transition(merged.value().transition(t));
+    for (const Arc& arc : merged.value().inputs(t)) {
+      out.add_input(id, place_map[arc.place.value()], arc.weight);
+    }
+    for (const Arc& arc : merged.value().outputs(t)) {
+      out.add_output(id, place_map[arc.place.value()], arc.weight);
+    }
+  }
+  const auto from = out.find_place(from_place);
+  const auto to = out.find_place(to_place);
+  if (!from.has_value() || !to.has_value()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "serial: connection places not found");
+  }
+  const TransitionId link = out.add_transition(
+      "tserial_" + std::string(from_place) + "_" + std::string(to_place),
+      TimeInterval::exactly(0));
+  out.add_input(link, *from);
+  out.add_output(link, *to);
+  if (auto status = out.validate(); !status.ok()) {
+    return status.error();
+  }
+  return out;
+}
+
+}  // namespace ezrt::tpn

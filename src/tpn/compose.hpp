@@ -1,0 +1,65 @@
+// Net composition operators (paper §3.3).
+//
+// "The proposed modeling method is conducted by building block
+// compositions. This work adopts several operators for building block
+// compositions" — the paper defers their definition to Barreto's thesis.
+// This module provides the standard operator set those methodologies use,
+// as reusable net algebra (the specification builder inlines equivalent
+// constructions for speed; these operators serve hand-built models, tests
+// and imported PNML):
+//
+//   * rename(net, prefix)      — uniquely prefix every node name;
+//   * disjoint_union(a, b)     — place nets side by side;
+//   * merge_places(net, names) — fuse equally-named listed places (the
+//     fused place keeps the *maximum* of the initial markings, which is
+//     idempotent for shared resource places both blocks model with one
+//     token): the "place merging" operator that glues blocks via shared
+//     interface places (pproc, pexcl, pprec...);
+//   * serial(a, b, via)        — connect a's end place to b's start place
+//     through a [0,0] glue transition.
+//
+// All operators are value-oriented: they take validated nets and return
+// fresh validated nets.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::tpn {
+
+/// Copy of `net` with every node name prefixed ("T1." + name).
+[[nodiscard]] Result<TimePetriNet> rename_prefixed(const TimePetriNet& net,
+                                                   std::string_view prefix);
+
+/// Disjoint union: requires all node names to be distinct across inputs.
+[[nodiscard]] Result<TimePetriNet> disjoint_union(const TimePetriNet& a,
+                                                  const TimePetriNet& b,
+                                                  std::string name);
+
+/// Fuses every group of places sharing a name in `place_names` into one
+/// place (initial tokens summed, arcs redirected). Place names listed but
+/// absent from the net are ignored. The first occurrence's role/task are
+/// kept.
+[[nodiscard]] Result<TimePetriNet> merge_places(
+    const TimePetriNet& net, const std::vector<std::string>& place_names);
+
+/// Union of a and b followed by fusing all places that carry the *same
+/// name* in both nets — the block-gluing operator: shared interface
+/// places (a processor, a lock, a precedence place) connect the blocks.
+[[nodiscard]] Result<TimePetriNet> glue(const TimePetriNet& a,
+                                        const TimePetriNet& b,
+                                        std::string name);
+
+/// Serial composition: adds a [0,0] transition consuming `from_place` of
+/// `a` and producing `to_place` of `b`, over their disjoint union.
+[[nodiscard]] Result<TimePetriNet> serial(const TimePetriNet& a,
+                                          const TimePetriNet& b,
+                                          std::string_view from_place,
+                                          std::string_view to_place,
+                                          std::string name);
+
+}  // namespace ezrt::tpn

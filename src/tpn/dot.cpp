@@ -1,0 +1,93 @@
+#include "tpn/dot.hpp"
+
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace ezrt::tpn {
+
+namespace {
+
+/// DOT string literal escaping for labels.
+[[nodiscard]] std::string escape(const std::string& s) {
+  return replace_all(replace_all(s, "\\", "\\\\"), "\"", "\\\"");
+}
+
+[[nodiscard]] const char* place_style(PlaceRole role) {
+  switch (role) {
+    case PlaceRole::kProcessor:
+    case PlaceRole::kBus:
+    case PlaceRole::kExclusionLock:
+      return "style=filled fillcolor=lightgoldenrod";
+    case PlaceRole::kMissPending:
+    case PlaceRole::kMissed:
+      return "style=filled fillcolor=lightcoral";
+    case PlaceRole::kStart:
+    case PlaceRole::kEnd:
+      return "style=filled fillcolor=lightsteelblue";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+std::string write_dot(const TimePetriNet& net, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(net.name()) << "\" {\n";
+  if (options.left_to_right) {
+    os << "  rankdir=LR;\n";
+  }
+  os << "  node [fontsize=10];\n";
+
+  for (PlaceId id : net.place_ids()) {
+    const Place& place = net.place(id);
+    const std::uint32_t tokens = options.marking.has_value()
+                                     ? (*options.marking)[id]
+                                     : place.initial_tokens;
+    os << "  p" << id.value() << " [shape=circle label=\""
+       << escape(place.name);
+    if (tokens > 0) {
+      os << "\\n" << tokens << (tokens == 1 ? " token" : " tokens");
+    }
+    os << "\"";
+    const char* style = place_style(place.role);
+    if (*style != '\0') {
+      os << " " << style;
+    }
+    os << "];\n";
+  }
+
+  for (TransitionId id : net.transition_ids()) {
+    const Transition& t = net.transition(id);
+    os << "  t" << id.value() << " [shape=box style=filled "
+       << "fillcolor=gray90 label=\"" << escape(t.name) << "\\n"
+       << t.interval.to_string();
+    if (options.show_priorities) {
+      os << " pi=" << t.priority;
+    }
+    os << "\"];\n";
+  }
+
+  for (TransitionId id : net.transition_ids()) {
+    for (const Arc& arc : net.inputs(id)) {
+      os << "  p" << arc.place.value() << " -> t" << id.value();
+      if (arc.weight != 1) {
+        os << " [label=\"" << arc.weight << "\"]";
+      }
+      os << ";\n";
+    }
+    for (const Arc& arc : net.outputs(id)) {
+      os << "  t" << id.value() << " -> p" << arc.place.value();
+      if (arc.weight != 1) {
+        os << " [label=\"" << arc.weight << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,31 @@
+// Graphviz (DOT) export of time Petri nets.
+//
+// The original tool renders its models graphically (the Eclipse editor);
+// this reproduction exports DOT so any Graphviz viewer can draw the
+// composed net: places as circles (resource places shaded, miss places
+// colored), transitions as bars labeled with their firing intervals, arc
+// weights on edges. Optionally overlays a marking (token counts).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tpn/marking.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::tpn {
+
+struct DotOptions {
+  /// Render this marking's token counts instead of the initial marking.
+  std::optional<Marking> marking;
+  /// Left-to-right layout (follows the task pipelines); false = top-down.
+  bool left_to_right = true;
+  /// Include the priority on transition labels.
+  bool show_priorities = false;
+};
+
+/// Serializes the net as a DOT digraph.
+[[nodiscard]] std::string write_dot(const TimePetriNet& net,
+                                    const DotOptions& options = {});
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,56 @@
+// Markings of a time Petri net.
+//
+// A marking m_i is a vector in N^{|P|} (paper §3.1). This wrapper adds the
+// token-arithmetic used by the firing rule and a cached hash for the
+// scheduler's visited set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "base/hash.hpp"
+#include "base/ids.hpp"
+
+namespace ezrt::tpn {
+
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::vector<std::uint32_t> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+
+  [[nodiscard]] std::uint32_t operator[](PlaceId p) const {
+    return tokens_[p.value()];
+  }
+
+  [[nodiscard]] bool covers(PlaceId p, std::uint32_t weight) const {
+    return tokens_[p.value()] >= weight;
+  }
+
+  void remove(PlaceId p, std::uint32_t weight) {
+    EZRT_ASSERT(tokens_[p.value()] >= weight,
+                "firing would drive a marking negative");
+    tokens_[p.value()] -= weight;
+  }
+
+  void add(PlaceId p, std::uint32_t weight) { tokens_[p.value()] += weight; }
+
+  [[nodiscard]] std::span<const std::uint32_t> tokens() const {
+    return tokens_;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    return hash_span<std::uint32_t>(tokens_);
+  }
+
+  friend bool operator==(const Marking&, const Marking&) = default;
+
+ private:
+  std::vector<std::uint32_t> tokens_;
+};
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,190 @@
+#include "tpn/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/assert.hpp"
+
+namespace ezrt::tpn {
+
+namespace {
+
+/// Mutable working copy of the net used during fusion.
+struct WorkTransition {
+  Transition data;
+  std::vector<Arc> inputs;
+  std::vector<Arc> outputs;
+  bool dead = false;
+};
+
+struct WorkNet {
+  std::vector<Place> places;
+  std::vector<bool> place_dead;
+  std::vector<WorkTransition> transitions;
+
+  [[nodiscard]] std::size_t producers_of(std::size_t p) const {
+    std::size_t n = 0;
+    for (const WorkTransition& t : transitions) {
+      if (t.dead) {
+        continue;
+      }
+      for (const Arc& arc : t.outputs) {
+        n += arc.place.value() == p ? 1 : 0;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<std::size_t> consumers_of(std::size_t p) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      if (transitions[i].dead) {
+        continue;
+      }
+      for (const Arc& arc : transitions[i].inputs) {
+        if (arc.place.value() == p) {
+          out.push_back(i);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// True when firing `t` can never be in conflict: every input place is
+/// consumed by t alone.
+[[nodiscard]] bool conflict_free(const WorkNet& net,
+                                 const WorkTransition& t) {
+  for (const Arc& arc : t.inputs) {
+    if (net.consumers_of(arc.place.value()).size() != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Attempts one fusion starting at transition index `i`; true on success.
+[[nodiscard]] bool try_fuse(WorkNet& net, std::size_t i,
+                            const ReductionOptions& options,
+                            ReductionReport& report) {
+  WorkTransition& t = net.transitions[i];
+  if (t.dead || !t.data.interval.is_zero() || t.data.code.has_value()) {
+    return false;
+  }
+  if (!options.fuse_role_transitions &&
+      t.data.role != TransitionRole::kGeneric) {
+    return false;
+  }
+  if (t.outputs.size() != 1 || t.outputs[0].weight != 1) {
+    return false;
+  }
+  const std::size_t p = t.outputs[0].place.value();
+  if (net.place_dead[p] || net.places[p].initial_tokens != 0) {
+    return false;
+  }
+  if (net.producers_of(p) != 1) {
+    return false;
+  }
+  const std::vector<std::size_t> consumers = net.consumers_of(p);
+  if (consumers.size() != 1 || consumers[0] == i) {
+    return false;
+  }
+  WorkTransition& u = net.transitions[consumers[0]];
+  // u must take exactly one token from p.
+  const auto arc_from_p = std::find_if(
+      u.inputs.begin(), u.inputs.end(),
+      [&](const Arc& arc) { return arc.place.value() == p; });
+  EZRT_ASSERT(arc_from_p != u.inputs.end(), "consumer index inconsistent");
+  if (arc_from_p->weight != 1) {
+    return false;
+  }
+  if (!conflict_free(net, t)) {
+    return false;
+  }
+  if (!options.fuse_role_transitions &&
+      u.data.role != TransitionRole::kGeneric &&
+      t.data.role != TransitionRole::kGeneric) {
+    return false;
+  }
+
+  // Fuse: u inherits t's inputs in place of its arc from p.
+  u.inputs.erase(arc_from_p);
+  for (const Arc& arc : t.inputs) {
+    auto existing = std::find_if(
+        u.inputs.begin(), u.inputs.end(),
+        [&](const Arc& a) { return a.place == arc.place; });
+    if (existing != u.inputs.end()) {
+      existing->weight += arc.weight;
+    } else {
+      u.inputs.push_back(arc);
+    }
+  }
+  t.dead = true;
+  net.place_dead[p] = true;
+  ++report.fused_transitions;
+  ++report.removed_places;
+  return true;
+}
+
+}  // namespace
+
+Result<TimePetriNet> reduce_series(const TimePetriNet& net,
+                                   ReductionReport* report,
+                                   const ReductionOptions& options) {
+  EZRT_CHECK(net.validated(), "reduce_series requires a validated net");
+
+  WorkNet work;
+  work.places.reserve(net.place_count());
+  for (PlaceId p : net.place_ids()) {
+    work.places.push_back(net.place(p));
+  }
+  work.place_dead.assign(net.place_count(), false);
+  for (TransitionId t : net.transition_ids()) {
+    WorkTransition wt;
+    wt.data = net.transition(t);
+    wt.inputs = net.inputs(t);
+    wt.outputs = net.outputs(t);
+    work.transitions.push_back(std::move(wt));
+  }
+
+  ReductionReport local;
+  bool changed = true;
+  while (changed && local.passes < options.max_passes) {
+    changed = false;
+    ++local.passes;
+    for (std::size_t i = 0; i < work.transitions.size(); ++i) {
+      changed |= try_fuse(work, i, options, local);
+    }
+  }
+
+  // Rebuild a fresh net with compacted IDs.
+  TimePetriNet reduced(net.name());
+  std::vector<PlaceId> place_map(work.places.size());
+  for (std::size_t p = 0; p < work.places.size(); ++p) {
+    if (!work.place_dead[p]) {
+      place_map[p] = reduced.add_place(work.places[p]);
+    }
+  }
+  for (const WorkTransition& wt : work.transitions) {
+    if (wt.dead) {
+      continue;
+    }
+    const TransitionId id = reduced.add_transition(wt.data);
+    for (const Arc& arc : wt.inputs) {
+      reduced.add_input(id, place_map[arc.place.value()], arc.weight);
+    }
+    for (const Arc& arc : wt.outputs) {
+      reduced.add_output(id, place_map[arc.place.value()], arc.weight);
+    }
+  }
+  if (auto status = reduced.validate(); !status.ok()) {
+    return status.error();
+  }
+  if (report != nullptr) {
+    *report = local;
+  }
+  return reduced;
+}
+
+}  // namespace ezrt::tpn

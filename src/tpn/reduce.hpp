@@ -1,0 +1,63 @@
+// Behavior-preserving net reductions.
+//
+// The paper keeps state-space growth under control with partial-order
+// pruning during the search; a complementary *static* technique (used
+// throughout the TPN literature, and in Barreto's methodology) is to
+// shrink the net itself before searching. This module implements the
+// series-fusion rule for punctual transitions:
+//
+//   A transition t with I(t) = [k, k] whose single output place p is
+//   consumed only by a single transition u, where p has no other
+//   producers and no initial tokens, can be fused into u: the pair
+//   t -> p -> u becomes one transition t' with
+//   I(t') = [EFT(t)+EFT(u)+k', ...] — restricted here to the simplest,
+//   provably safe case k = 0 and unit arc weights, i.e. [0,0] glue
+//   transitions introduced by block composition (grants, finishes,
+//   acquires). Under strong semantics a conflict-free [0,0] transition
+//   fires the instant it is enabled, so routing its inputs directly into
+//   its successor preserves the timed language over the remaining
+//   transitions.
+//
+// Reduction never touches transitions that carry semantic roles the
+// schedule extractor needs (release/grant/compute/finish/deadline), so
+// it is applied to *analysis* copies of the net (reachability bounds,
+// search-cost ablations), not to the synthesis pipeline.
+//
+// Note that the glue transitions the builder emits are all guarded by a
+// shared resource or conflict place (the processor, a lock, the deadline
+// token), which makes them structurally conflicting and therefore not
+// fusable — generated models pass through unchanged, by design; the
+// compact BlockStyle performs the equivalent simplification safely at
+// composition time. This rule earns its keep on hand-written and
+// imported PNML nets.
+#pragma once
+
+#include <cstddef>
+
+#include "base/result.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::tpn {
+
+struct ReductionOptions {
+  /// Only transitions whose role is kGeneric are candidates unless this
+  /// is set; schedule extraction relies on role-carrying transitions.
+  bool fuse_role_transitions = false;
+  /// Upper bound on fusion passes (the rule is confluent; this is a
+  /// safety valve).
+  std::size_t max_passes = 16;
+};
+
+struct ReductionReport {
+  std::size_t fused_transitions = 0;
+  std::size_t removed_places = 0;
+  std::size_t passes = 0;
+};
+
+/// Returns a reduced structural copy of `net` plus a report of what was
+/// fused. The input must be validated; the output is validated.
+[[nodiscard]] Result<TimePetriNet> reduce_series(
+    const TimePetriNet& net, ReductionReport* report = nullptr,
+    const ReductionOptions& options = {});
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,154 @@
+#include "tpn/semantics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/assert.hpp"
+
+namespace ezrt::tpn {
+
+Semantics::Semantics(const TimePetriNet& net) : net_(&net) {
+  EZRT_CHECK(net.validated(), "Semantics requires a validated net");
+}
+
+std::vector<TransitionId> Semantics::enabled(const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t : net_->transition_ids()) {
+    if (is_enabled(m, t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool Semantics::is_enabled(const Marking& m, TransitionId t) const {
+  for (const Arc& arc : net_->inputs(t)) {
+    if (!m.covers(arc.place, arc.weight)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Time Semantics::dynamic_lower_bound(const State& s, TransitionId t) const {
+  const Time eft = net_->transition(t).interval.eft();
+  const Time c = s.clock(t);
+  return eft > c ? eft - c : 0;
+}
+
+Time Semantics::dynamic_upper_bound(const State& s, TransitionId t) const {
+  const TimeInterval& interval = net_->transition(t).interval;
+  if (!interval.bounded()) {
+    return kTimeInfinity;
+  }
+  const Time c = s.clock(t);
+  // Strong semantics guarantee c never exceeds LFT for enabled transitions.
+  EZRT_ASSERT(c <= interval.lft(),
+              "clock of '" + net_->transition(t).name + "' passed its LFT");
+  return interval.lft() - c;
+}
+
+Time Semantics::max_time_advance(
+    const State& s, const std::vector<TransitionId>& enabled_set) const {
+  Time bound = kTimeInfinity;
+  for (TransitionId t : enabled_set) {
+    bound = std::min(bound, dynamic_upper_bound(s, t));
+  }
+  return bound;
+}
+
+std::vector<FireableTransition> Semantics::fireable(
+    const State& s, bool priority_filter) const {
+  const std::vector<TransitionId> enabled_set = enabled(s.marking());
+  const Time bound = max_time_advance(s, enabled_set);
+
+  std::vector<FireableTransition> out;
+  out.reserve(enabled_set.size());
+  for (TransitionId t : enabled_set) {
+    const Time dlb = dynamic_lower_bound(s, t);
+    if (dlb <= bound) {
+      out.push_back(FireableTransition{t, dlb, bound});
+    }
+  }
+
+  if (priority_filter && !out.empty()) {
+    // FT_P(s): only transitions of minimal priority value survive.
+    Priority best = std::numeric_limits<Priority>::max();
+    for (const FireableTransition& f : out) {
+      best = std::min(best, net_->transition(f.transition).priority);
+    }
+    std::erase_if(out, [&](const FireableTransition& f) {
+      return net_->transition(f.transition).priority != best;
+    });
+  }
+  return out;
+}
+
+State Semantics::fire(const State& s, TransitionId t, Time q) const {
+  EZRT_CHECK(is_enabled(s.marking(), t),
+             "fire: transition '" + net_->transition(t).name +
+                 "' is not enabled");
+  const Time dlb = dynamic_lower_bound(s, t);
+  const std::vector<TransitionId> old_enabled = enabled(s.marking());
+  const Time bound = max_time_advance(s, old_enabled);
+  EZRT_CHECK(q >= dlb && q <= bound,
+             "fire: delay outside the firing domain of '" +
+                 net_->transition(t).name + "'");
+
+  State next = s;
+  // (1) Token flow: m' = m - W(p,t) + W(t,p).
+  for (const Arc& arc : net_->inputs(t)) {
+    next.marking().remove(arc.place, arc.weight);
+  }
+  for (const Arc& arc : net_->outputs(t)) {
+    next.marking().add(arc.place, arc.weight);
+  }
+
+  // (2) Clock update (Definition 3.1). A transition enabled in the new
+  // marking gets clock 0 if it is the fired one or was disabled before,
+  // and advances by q otherwise. Disabled transitions are normalized to 0.
+  for (TransitionId tk : net_->transition_ids()) {
+    if (!is_enabled(next.marking(), tk)) {
+      next.set_clock(tk, 0);
+      continue;
+    }
+    if (tk == t || !is_enabled(s.marking(), tk)) {
+      next.set_clock(tk, 0);
+    } else {
+      next.set_clock(tk, s.clock(tk) + q);
+    }
+  }
+  next.set_elapsed(s.elapsed() + q);
+  return next;
+}
+
+Result<State> Semantics::try_fire(const State& s, TransitionId t, Time q)
+    const {
+  if (t.value() >= net_->transition_count()) {
+    return make_error(ErrorCode::kInvalidArgument, "unknown transition id");
+  }
+  if (!is_enabled(s.marking(), t)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "transition '" + net_->transition(t).name +
+                          "' is not enabled at this state");
+  }
+  const Time dlb = dynamic_lower_bound(s, t);
+  const Time bound = max_time_advance(s, enabled(s.marking()));
+  if (q < dlb || q > bound) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "delay " + std::to_string(q) +
+                          " outside the firing domain of '" +
+                          net_->transition(t).name + "'");
+  }
+  return fire(s, t, q);
+}
+
+State State::initial(const TimePetriNet& net) {
+  State s;
+  s.marking_ = Marking(net.initial_marking());
+  s.clocks_.assign(net.transition_count(), 0);
+  s.elapsed_ = 0;
+  return s;
+}
+
+}  // namespace ezrt::tpn

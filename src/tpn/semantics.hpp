@@ -1,0 +1,85 @@
+// Timed semantics of an extended TPN (paper §3.1, Definitions 3.1/3.2).
+//
+// Implements, over State:
+//   * ET(m)        — transitions enabled by the marking;
+//   * DLB/DUB      — dynamic firing bounds max(0, EFT-c) and LFT-c;
+//   * FT(s)        — fireable transitions: {t in ET(m) | DLB(t) <= min DUB},
+//                    optionally restricted to minimal priority as in the
+//                    paper's FT_P(s) definition;
+//   * FD_s(t)      — the firing domain [DLB(t), min DUB];
+//   * fire(s,t,q)  — Definition 3.1: token flow plus clock update (clock
+//                    reset for the fired and the newly enabled transitions,
+//                    advance by q for the persistently enabled rest).
+//
+// The semantics is *strong*: time may never advance beyond the smallest
+// dynamic upper bound, which is why firing times are capped by min DUB.
+#pragma once
+
+#include <vector>
+
+#include "base/result.hpp"
+#include "base/time.hpp"
+#include "tpn/net.hpp"
+#include "tpn/state.hpp"
+
+namespace ezrt::tpn {
+
+/// A fireable transition together with its firing domain at some state.
+struct FireableTransition {
+  TransitionId transition;
+  Time earliest;  ///< DLB(t), relative to the current state
+  Time latest;    ///< min over ET(m) of DUB — the domain is [earliest,latest]
+};
+
+/// The labeled action (t, q) of the TLTS: transition t fired q time units
+/// after the previous state.
+struct FiringAction {
+  TransitionId transition;
+  Time delay = 0;
+};
+
+/// Stateless helper bound to one net. All methods are const and
+/// thread-compatible.
+class Semantics {
+ public:
+  explicit Semantics(const TimePetriNet& net);
+
+  [[nodiscard]] const TimePetriNet& net() const { return *net_; }
+
+  /// ET(m): every t whose preset is covered by the marking.
+  [[nodiscard]] std::vector<TransitionId> enabled(const Marking& m) const;
+
+  [[nodiscard]] bool is_enabled(const Marking& m, TransitionId t) const;
+
+  /// Dynamic lower bound max(0, EFT(t) - c(t)).
+  [[nodiscard]] Time dynamic_lower_bound(const State& s, TransitionId t) const;
+
+  /// Dynamic upper bound LFT(t) - c(t); kTimeInfinity when unbounded.
+  [[nodiscard]] Time dynamic_upper_bound(const State& s, TransitionId t) const;
+
+  /// min over ET(m) of DUB — how far time may advance from s.
+  /// kTimeInfinity when nothing is enabled or all LFTs are unbounded.
+  [[nodiscard]] Time max_time_advance(const State& s,
+                                      const std::vector<TransitionId>&
+                                          enabled_set) const;
+
+  /// FT(s) with firing domains. When `priority_filter` is set, restricts
+  /// the result to transitions of minimal priority value, reproducing the
+  /// paper's FT_P(s) pruning.
+  [[nodiscard]] std::vector<FireableTransition> fireable(
+      const State& s, bool priority_filter = false) const;
+
+  /// Definition 3.1: fires t at relative time q. Precondition: t fireable
+  /// at s and q inside its firing domain (checked).
+  [[nodiscard]] State fire(const State& s, TransitionId t, Time q) const;
+
+  /// Convenience: fire with domain checking reported as a Result instead of
+  /// a contract violation (used by IO/replay paths on untrusted traces).
+  [[nodiscard]] Result<State> try_fire(const State& s, TransitionId t,
+                                       Time q) const;
+
+ private:
+  const TimePetriNet* net_;
+};
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,62 @@
+// TLTS states: (marking, clock vector) pairs (paper §3.1).
+//
+// The semantics of a TPN is a timed labeled transition system whose states
+// are S ⊆ (M × C). The clock vector c assigns every *enabled* transition
+// the time elapsed since it last became enabled; disabled transitions are
+// canonically stored as clock 0 so that structurally equal states hash
+// equally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.hpp"
+#include "base/time.hpp"
+#include "tpn/marking.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::tpn {
+
+class State {
+ public:
+  State() = default;
+
+  /// The initial state s0 = (m0, 0).
+  [[nodiscard]] static State initial(const TimePetriNet& net);
+
+  [[nodiscard]] const Marking& marking() const { return marking_; }
+  [[nodiscard]] Marking& marking() { return marking_; }
+
+  [[nodiscard]] Time clock(TransitionId t) const {
+    return clocks_[t.value()];
+  }
+  void set_clock(TransitionId t, Time value) { clocks_[t.value()] = value; }
+
+  [[nodiscard]] std::size_t clock_count() const { return clocks_.size(); }
+
+  /// Model time elapsed since s0 along the path that produced this state.
+  /// Not part of state identity (two interleavings reaching the same
+  /// marking+clocks at different absolute times are the same TLTS state),
+  /// but kept here because schedule extraction needs absolute times.
+  [[nodiscard]] Time elapsed() const { return elapsed_; }
+  void set_elapsed(Time t) { elapsed_ = t; }
+
+  /// Hash over marking and clocks (identity excludes `elapsed`).
+  [[nodiscard]] std::uint64_t hash() const {
+    return hash_mix(marking_.hash(),
+                    hash_span<Time>({clocks_.data(), clocks_.size()}));
+  }
+
+  /// Identity comparison: marking + clocks.
+  [[nodiscard]] bool same_timed_state(const State& other) const {
+    return marking_ == other.marking_ && clocks_ == other.clocks_;
+  }
+
+ private:
+  friend class Semantics;
+  Marking marking_;
+  std::vector<Time> clocks_;
+  Time elapsed_ = 0;
+};
+
+}  // namespace ezrt::tpn

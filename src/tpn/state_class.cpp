@@ -1,0 +1,319 @@
+#include "tpn/state_class.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "base/assert.hpp"
+#include "base/hash.hpp"
+#include "tpn/analysis.hpp"
+
+namespace ezrt::tpn {
+
+namespace {
+
+/// Saturating +infinity for DBM entries.
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  if (a >= kInf || b >= kInf) {
+    return kInf;
+  }
+  return a + b;
+}
+
+/// Transitions enabled by a marking, in index order.
+[[nodiscard]] std::vector<TransitionId> enabled_in(const TimePetriNet& net,
+                                                   const Marking& m) {
+  std::vector<TransitionId> out;
+  for (TransitionId t : net.transition_ids()) {
+    bool enabled = true;
+    for (const Arc& arc : net.inputs(t)) {
+      if (!m.covers(arc.place, arc.weight)) {
+        enabled = false;
+        break;
+      }
+    }
+    if (enabled) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t& StateClass::bound(std::size_t i, std::size_t j) {
+  const std::size_t n = enabled_.size() + 1;
+  return dbm_[i * n + j];
+}
+
+std::int64_t StateClass::bound(std::size_t i, std::size_t j) const {
+  const std::size_t n = enabled_.size() + 1;
+  return dbm_[i * n + j];
+}
+
+void StateClass::close() {
+  const std::size_t n = enabled_.size() + 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::int64_t via = sat_add(bound(i, k), bound(k, j));
+        if (via < bound(i, j)) {
+          bound(i, j) = via;
+        }
+      }
+    }
+  }
+}
+
+bool StateClass::consistent() const {
+  const std::size_t n = enabled_.size() + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bound(i, i) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StateClass StateClass::initial(const TimePetriNet& net) {
+  EZRT_CHECK(net.validated(), "StateClass requires a validated net");
+  StateClass c;
+  c.marking_ = Marking(net.initial_marking());
+  c.enabled_ = enabled_in(net, c.marking_);
+  const std::size_t n = c.enabled_.size() + 1;
+  c.dbm_.assign(n * n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.bound(i, i) = 0;
+  }
+  for (std::size_t i = 0; i < c.enabled_.size(); ++i) {
+    const TimeInterval& interval =
+        net.transition(c.enabled_[i]).interval;
+    c.bound(i + 1, 0) = interval.bounded()
+                            ? static_cast<std::int64_t>(interval.lft())
+                            : kInf;
+    c.bound(0, i + 1) = -static_cast<std::int64_t>(interval.eft());
+  }
+  c.close();
+  return c;
+}
+
+bool StateClass::firable(const TimePetriNet& net, TransitionId t) const {
+  (void)net;
+  const auto it = std::find(enabled_.begin(), enabled_.end(), t);
+  if (it == enabled_.end()) {
+    return false;
+  }
+  const std::size_t ti =
+      static_cast<std::size_t>(it - enabled_.begin()) + 1;
+  // Adding theta_t - theta_u <= 0 for every u keeps the domain consistent
+  // iff no negative cycle appears: with a closed DBM that reduces to
+  // bound(u, t) >= 0 for every enabled u.
+  for (std::size_t u = 1; u <= enabled_.size(); ++u) {
+    if (u != ti && bound(u, ti) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TransitionId> StateClass::firable_set(
+    const TimePetriNet& net) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t : enabled_) {
+    if (firable(net, t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+StateClass StateClass::fire(const TimePetriNet& net, TransitionId t) const {
+  EZRT_CHECK(firable(net, t), "fire: transition '" +
+                                  net.transition(t).name +
+                                  "' is not firable from this class");
+  const std::size_t n_old = enabled_.size() + 1;
+  const auto it = std::find(enabled_.begin(), enabled_.end(), t);
+  const std::size_t ti =
+      static_cast<std::size_t>(it - enabled_.begin()) + 1;
+
+  // Tighten with theta_t <= theta_u and re-close.
+  std::vector<std::int64_t> d = dbm_;
+  auto at = [&](std::size_t i, std::size_t j) -> std::int64_t& {
+    return d[i * n_old + j];
+  };
+  for (std::size_t u = 1; u < n_old; ++u) {
+    if (u != ti) {
+      at(ti, u) = std::min(at(ti, u), std::int64_t{0});
+    }
+  }
+  for (std::size_t k = 0; k < n_old; ++k) {
+    for (std::size_t i = 0; i < n_old; ++i) {
+      for (std::size_t j = 0; j < n_old; ++j) {
+        const std::int64_t via = sat_add(at(i, k), at(k, j));
+        if (via < at(i, j)) {
+          at(i, j) = via;
+        }
+      }
+    }
+  }
+
+  // Token flow.
+  StateClass next;
+  next.marking_ = marking_;
+  Marking intermediate = marking_;
+  for (const Arc& arc : net.inputs(t)) {
+    next.marking_.remove(arc.place, arc.weight);
+    intermediate.remove(arc.place, arc.weight);
+  }
+  for (const Arc& arc : net.outputs(t)) {
+    next.marking_.add(arc.place, arc.weight);
+  }
+
+  // Persistent = enabled before, still enabled on the intermediate
+  // marking (m - pre(t)), and not the fired transition itself.
+  next.enabled_ = enabled_in(net, next.marking_);
+  std::vector<std::size_t> old_index(next.enabled_.size(), 0);  // 0 = new
+  for (std::size_t i = 0; i < next.enabled_.size(); ++i) {
+    const TransitionId u = next.enabled_[i];
+    if (u == t) {
+      continue;  // refired transitions restart fresh
+    }
+    const auto old_it = std::find(enabled_.begin(), enabled_.end(), u);
+    if (old_it == enabled_.end()) {
+      continue;
+    }
+    bool enabled_intermediate = true;
+    for (const Arc& arc : net.inputs(u)) {
+      if (!intermediate.covers(arc.place, arc.weight)) {
+        enabled_intermediate = false;
+        break;
+      }
+    }
+    if (enabled_intermediate) {
+      old_index[i] =
+          static_cast<std::size_t>(old_it - enabled_.begin()) + 1;
+    }
+  }
+
+  // New domain over theta'_u = theta_u - theta_t.
+  const std::size_t n_new = next.enabled_.size() + 1;
+  next.dbm_.assign(n_new * n_new, kInf);
+  for (std::size_t i = 0; i < n_new; ++i) {
+    next.dbm_[i * n_new + i] = 0;
+  }
+  for (std::size_t i = 0; i < next.enabled_.size(); ++i) {
+    if (old_index[i] != 0) {
+      // Persistent: bounds against the fired instant.
+      next.dbm_[(i + 1) * n_new + 0] = at(old_index[i], ti);
+      next.dbm_[0 * n_new + (i + 1)] = at(ti, old_index[i]);
+    } else {
+      // Newly enabled: fresh static interval.
+      const TimeInterval& interval =
+          net.transition(next.enabled_[i]).interval;
+      next.dbm_[(i + 1) * n_new + 0] =
+          interval.bounded() ? static_cast<std::int64_t>(interval.lft())
+                             : kInf;
+      next.dbm_[0 * n_new + (i + 1)] =
+          -static_cast<std::int64_t>(interval.eft());
+    }
+  }
+  // Pairwise bounds between persistent transitions carry over.
+  for (std::size_t i = 0; i < next.enabled_.size(); ++i) {
+    for (std::size_t j = 0; j < next.enabled_.size(); ++j) {
+      if (i != j && old_index[i] != 0 && old_index[j] != 0) {
+        next.dbm_[(i + 1) * n_new + (j + 1)] =
+            at(old_index[i], old_index[j]);
+      }
+    }
+  }
+  next.close();
+  EZRT_ASSERT(next.consistent(), "successor class inconsistent");
+  return next;
+}
+
+bool StateClass::operator==(const StateClass& other) const {
+  return marking_ == other.marking_ && enabled_ == other.enabled_ &&
+         dbm_ == other.dbm_;
+}
+
+std::uint64_t StateClass::hash() const {
+  std::uint64_t h = marking_.hash();
+  for (TransitionId t : enabled_) {
+    h = hash_mix(h, t.value());
+  }
+  for (std::int64_t v : dbm_) {
+    h = hash_mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+Time StateClass::earliest(TransitionId t) const {
+  const auto it = std::find(enabled_.begin(), enabled_.end(), t);
+  EZRT_CHECK(it != enabled_.end(), "transition not enabled in this class");
+  const std::size_t ti =
+      static_cast<std::size_t>(it - enabled_.begin()) + 1;
+  return static_cast<Time>(-bound(0, ti));
+}
+
+Time StateClass::latest(TransitionId t) const {
+  const auto it = std::find(enabled_.begin(), enabled_.end(), t);
+  EZRT_CHECK(it != enabled_.end(), "transition not enabled in this class");
+  const std::size_t ti =
+      static_cast<std::size_t>(it - enabled_.begin()) + 1;
+  const std::int64_t b = bound(ti, 0);
+  return b >= kInf ? kTimeInfinity : static_cast<Time>(b);
+}
+
+ClassGraphResult build_class_graph(const TimePetriNet& net,
+                                   const ClassGraphOptions& options) {
+  ClassGraphResult result;
+  std::deque<StateClass> frontier;
+  // Full-equality buckets keyed by hash: the class graph serves as a
+  // correctness oracle, so hash collisions must not merge classes.
+  std::unordered_map<std::uint64_t, std::vector<StateClass>> seen;
+  std::unordered_map<std::uint64_t, bool> markings_seen;
+
+  auto visit = [&](StateClass&& c) -> bool {
+    auto& bucket = seen[c.hash()];
+    for (const StateClass& existing : bucket) {
+      if (existing == c) {
+        return false;
+      }
+    }
+    ++result.classes_explored;
+    markings_seen.emplace(c.marking().hash(), true);
+    if (is_final_marking(net, c.marking())) {
+      result.final_reachable = true;
+    }
+    const bool miss = has_deadline_miss(net, c.marking());
+    if (miss) {
+      result.miss_reachable = true;
+    }
+    bucket.push_back(c);
+    if (!miss) {
+      frontier.push_back(std::move(c));
+    }
+    return true;
+  };
+
+  (void)visit(StateClass::initial(net));
+  while (!frontier.empty()) {
+    const StateClass c = std::move(frontier.front());
+    frontier.pop_front();
+    for (TransitionId t : c.firable_set(net)) {
+      ++result.edges;
+      if (result.classes_explored >= options.max_classes) {
+        result.distinct_markings = markings_seen.size();
+        return result;  // bound hit: incomplete
+      }
+      (void)visit(c.fire(net, t));
+    }
+  }
+  result.complete = true;
+  result.distinct_markings = markings_seen.size();
+  return result;
+}
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,105 @@
+// Dense-time state-class graph construction (Berthomieu & Diaz).
+//
+// The paper adopts a time-discrete semantics; the classic TPN analyzers
+// it is related to (TINA, Romeo) work in *dense* time using state
+// classes: a class C = (m, D) pairs a marking with a firing domain D — a
+// difference-bound polyhedron over the enabled transitions' firing times.
+// This module implements the standard class-graph successor computation:
+//
+//   fire(C, t):  t must be firable from C, i.e. adding the constraints
+//   theta_t <= theta_u (for every enabled u) keeps D consistent; the new
+//   domain shifts remaining clocks by theta_t, projects t out, and adds
+//   fresh [EFT, LFT] intervals for newly enabled transitions.
+//
+// The atom constraints are kept in normalized DBM form (closure by
+// Floyd-Warshall), so class equality is canonical and the reachable
+// class graph is finite for bounded nets.
+//
+// Role here: an independent, dense-time engine to cross-validate the
+// discrete-clock search — for the integer-interval nets ezRealtime
+// builds, a marking is dense-time reachable iff it is reachable in the
+// discrete semantics, and the class graph's firable sets subsume the
+// discrete fireable sets (validated by tests and usable as an oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.hpp"
+#include "tpn/marking.hpp"
+#include "tpn/net.hpp"
+
+namespace ezrt::tpn {
+
+/// A state class: marking + firing-domain DBM over enabled transitions.
+class StateClass {
+ public:
+  /// The initial class C0 = (m0, prod of static intervals).
+  [[nodiscard]] static StateClass initial(const TimePetriNet& net);
+
+  [[nodiscard]] const Marking& marking() const { return marking_; }
+
+  /// Enabled transitions (the DBM's dimensions, in index order).
+  [[nodiscard]] const std::vector<TransitionId>& enabled() const {
+    return enabled_;
+  }
+
+  /// True if t can fire first from this class (domain stays consistent
+  /// under theta_t <= theta_u for all enabled u).
+  [[nodiscard]] bool firable(const TimePetriNet& net, TransitionId t) const;
+
+  /// All firable transitions.
+  [[nodiscard]] std::vector<TransitionId> firable_set(
+      const TimePetriNet& net) const;
+
+  /// Successor class after firing t (checked precondition: firable).
+  [[nodiscard]] StateClass fire(const TimePetriNet& net,
+                                TransitionId t) const;
+
+  /// Canonical equality (markings and normalized domains).
+  [[nodiscard]] bool operator==(const StateClass& other) const;
+
+  /// Hash over marking and normalized DBM entries.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Earliest global firing time lower bound of transition t within this
+  /// class (for diagnostics/tests): min theta_t admitted by the domain.
+  [[nodiscard]] Time earliest(TransitionId t) const;
+  /// Latest theta_t admitted (kTimeInfinity when unbounded).
+  [[nodiscard]] Time latest(TransitionId t) const;
+
+ private:
+  StateClass() = default;
+
+  /// DBM entry: bound_[i][j] >= theta_i - theta_j, with index 0 reserved
+  /// for the reference "zero" variable; entries use a saturating
+  /// +infinity. Dimensions: enabled_.size() + 1.
+  [[nodiscard]] std::int64_t& bound(std::size_t i, std::size_t j);
+  [[nodiscard]] std::int64_t bound(std::size_t i, std::size_t j) const;
+  void close();  ///< Floyd-Warshall normalization
+  [[nodiscard]] bool consistent() const;
+
+  Marking marking_;
+  std::vector<TransitionId> enabled_;
+  std::vector<std::int64_t> dbm_;  ///< (n+1)^2 row-major
+};
+
+struct ClassGraphOptions {
+  std::uint64_t max_classes = 100'000;
+};
+
+struct ClassGraphResult {
+  std::uint64_t classes_explored = 0;
+  std::uint64_t edges = 0;
+  bool complete = false;
+  bool final_reachable = false;
+  bool miss_reachable = false;
+  /// Distinct markings seen (≥ classes with equal markings collapse).
+  std::uint64_t distinct_markings = 0;
+};
+
+/// Breadth-first construction of the reachable class graph.
+[[nodiscard]] ClassGraphResult build_class_graph(
+    const TimePetriNet& net, const ClassGraphOptions& options = {});
+
+}  // namespace ezrt::tpn

@@ -1,0 +1,175 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/assert.hpp"
+
+namespace ezrt::workload {
+
+Rng::Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull
+                                                : seed) {}
+
+std::uint64_t Rng::next() {
+  // xorshift64* (Vigna); full 2^64-1 period, passes BigCrush small tests.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  EZRT_CHECK(bound > 0, "Rng::below requires a positive bound");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % bound);
+  std::uint64_t value = next();
+  while (value >= limit) {
+    value = next();
+  }
+  return value % bound;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<double> uunifast(std::uint32_t n, double total, Rng& rng) {
+  std::vector<double> shares;
+  shares.reserve(n);
+  double sum = total;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const double next_sum =
+        sum * std::pow(rng.uniform(), 1.0 / static_cast<double>(n - i));
+    shares.push_back(sum - next_sum);
+    sum = next_sum;
+  }
+  shares.push_back(sum);
+  return shares;
+}
+
+Result<spec::Specification> generate(const WorkloadConfig& config) {
+  if (config.tasks == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "workload needs at least one task");
+  }
+  if (config.period_pool.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty period pool");
+  }
+  if (config.utilization <= 0.0 || config.utilization > 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "utilization must be in (0, 1]");
+  }
+
+  Rng rng(config.seed);
+  spec::Specification s("workload-" + std::to_string(config.seed));
+  s.add_processor("cpu0");
+
+  const std::vector<double> shares =
+      uunifast(config.tasks, config.utilization, rng);
+
+  for (std::uint32_t i = 0; i < config.tasks; ++i) {
+    const Time period =
+        config.period_pool[rng.below(config.period_pool.size())];
+    // WCET from the utilization share, clamped into [1, period].
+    Time wcet = static_cast<Time>(
+        std::llround(shares[i] * static_cast<double>(period)));
+    wcet = std::clamp<Time>(wcet, 1, period);
+    // Deadline between "tight" and "implicit" (= period).
+    const double x = config.deadline_min_factor +
+                     (1.0 - config.deadline_min_factor) * rng.uniform();
+    Time deadline =
+        wcet + static_cast<Time>(std::llround(
+                   x * static_cast<double>(period - wcet)));
+    deadline = std::clamp<Time>(deadline, wcet, period);
+
+    spec::TimingConstraints timing;
+    timing.computation = wcet;
+    timing.deadline = deadline;
+    timing.period = period;
+
+    const bool preemptive = rng.uniform() < config.preemptive_fraction;
+    s.add_task("T" + std::to_string(i + 1), timing,
+               preemptive ? spec::SchedulingType::kPreemptive
+                          : spec::SchedulingType::kNonPreemptive);
+  }
+
+  // Precedence edges: only between tasks of equal period (instances match
+  // 1:1 inside the hyper-period) and only from a lower to a higher index,
+  // which keeps the relation acyclic by construction.
+  std::uint32_t edges_placed = 0;
+  for (std::uint32_t attempt = 0;
+       attempt < config.precedence_edges * 16 &&
+       edges_placed < config.precedence_edges;
+       ++attempt) {
+    const auto a = static_cast<std::uint32_t>(rng.below(config.tasks));
+    const auto b = static_cast<std::uint32_t>(rng.below(config.tasks));
+    const std::uint32_t lo = std::min(a, b);
+    const std::uint32_t hi = std::max(a, b);
+    if (lo == hi) {
+      continue;
+    }
+    const TaskId before(lo);
+    const TaskId after(hi);
+    if (s.task(before).timing.period != s.task(after).timing.period) {
+      continue;
+    }
+    const auto& existing = s.task(before).precedes;
+    if (std::find(existing.begin(), existing.end(), after) !=
+        existing.end()) {
+      continue;
+    }
+    s.add_precedence(before, after);
+    ++edges_placed;
+  }
+
+  std::uint32_t pairs_placed = 0;
+  for (std::uint32_t attempt = 0;
+       attempt < config.exclusion_pairs * 16 &&
+       pairs_placed < config.exclusion_pairs;
+       ++attempt) {
+    const auto a = static_cast<std::uint32_t>(rng.below(config.tasks));
+    const auto b = static_cast<std::uint32_t>(rng.below(config.tasks));
+    if (a == b) {
+      continue;
+    }
+    const TaskId ta(a);
+    const TaskId tb(b);
+    const auto& existing = s.task(ta).excludes;
+    if (std::find(existing.begin(), existing.end(), tb) != existing.end()) {
+      continue;
+    }
+    s.add_exclusion(ta, tb);
+    ++pairs_placed;
+  }
+
+  if (auto status = s.validate(); !status.ok()) {
+    return status.error();
+  }
+  return s;
+}
+
+spec::Specification mine_pump_specification() {
+  // Paper Table 1: computation / deadline / period per task (phase and
+  // release are 0; the case study is non-preemptive).
+  spec::Specification s("mine-pump");
+  s.add_processor("cpu");
+  struct Row {
+    const char* name;
+    Time computation, deadline, period;
+  };
+  constexpr Row kRows[] = {
+      {"PMC", 10, 20, 80},     {"WFC", 15, 500, 500},
+      {"RLWH", 1, 1000, 1000}, {"CH4H", 25, 500, 500},
+      {"CH4S", 5, 100, 500},   {"COH", 15, 100, 2500},
+      {"AFH", 15, 200, 6000},  {"WFH", 15, 300, 500},
+      {"PDL", 15, 500, 500},   {"SDL", 10, 500, 500},
+  };
+  for (const Row& row : kRows) {
+    s.add_task(row.name,
+               spec::TimingConstraints{0, 0, row.computation, row.deadline,
+                                       row.period});
+  }
+  return s;
+}
+
+}  // namespace ezrt::workload

@@ -1,0 +1,69 @@
+// Reproducible synthetic task-set generation for tests and benchmarks.
+//
+// The paper evaluates on one case study; the extended evaluation here
+// (scaling sweeps, pre-runtime vs on-line baselines, property tests) needs
+// many task sets with controlled parameters. Utilizations follow the
+// standard UUniFast scheme; periods are drawn from a caller-provided pool
+// (harmonic by default so hyper-periods stay small); precedence edges are
+// generated acyclically between same-period tasks (1:1 instance matching);
+// exclusion pairs are arbitrary. A deterministic xorshift PRNG makes every
+// workload reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::workload {
+
+/// Deterministic 64-bit PRNG (xorshift*), independent of the standard
+/// library so workloads are stable across platforms and releases.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t next();
+  /// Uniform in [0, bound).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+
+ private:
+  std::uint64_t state_;
+};
+
+struct WorkloadConfig {
+  std::uint32_t tasks = 5;
+  /// Target total processor utilization sum(c_i / p_i).
+  double utilization = 0.5;
+  /// Periods are drawn uniformly from this pool. Harmonic defaults keep
+  /// the hyper-period equal to the largest period.
+  std::vector<Time> period_pool{100, 200, 400, 800};
+  /// Fraction of tasks scheduled preemptively (the rest non-preemptive).
+  double preemptive_fraction = 0.0;
+  /// Deadline = c + x*(p - c) with x uniform in [deadline_min_factor, 1].
+  double deadline_min_factor = 0.6;
+  /// Random precedence edges between same-period tasks (kept acyclic).
+  std::uint32_t precedence_edges = 0;
+  /// Random symmetric exclusion pairs.
+  std::uint32_t exclusion_pairs = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a validated specification; fails when the configuration is
+/// unsatisfiable (e.g. utilization so low that some WCET would be zero is
+/// clamped instead, but an empty period pool is an error).
+[[nodiscard]] Result<spec::Specification> generate(
+    const WorkloadConfig& config);
+
+/// UUniFast: n utilization shares summing to `total`, each in (0, total).
+[[nodiscard]] std::vector<double> uunifast(std::uint32_t n, double total,
+                                           Rng& rng);
+
+/// The paper's Table 1 mine-pump specification (10 tasks; the §5 case
+/// study). Exposed here because tests, benches and examples all use it.
+[[nodiscard]] spec::Specification mine_pump_specification();
+
+}  // namespace ezrt::workload

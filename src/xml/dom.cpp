@@ -1,0 +1,98 @@
+#include "xml/dom.hpp"
+
+#include "base/strings.hpp"
+
+namespace ezrt::xml {
+
+Element& Element::set_attribute(std::string_view name,
+                                std::string_view value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = value;
+      return *this;
+    }
+  }
+  attributes_.push_back(Attribute{std::string(name), std::string(value)});
+  return *this;
+}
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) {
+      return std::string_view(a.value);
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::string> Element::require_attribute(std::string_view name) const {
+  if (auto v = attribute(name)) {
+    return std::string(*v);
+  }
+  return make_error(ErrorCode::kParseError, "<" + name_ +
+                                                "> is missing required "
+                                                "attribute '" +
+                                                std::string(name) + "'");
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(ElementPtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::find_child(std::string_view name) const {
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+Element* Element::find_child(std::string_view name) {
+  for (ElementPtr& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::find_children(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const ElementPtr& c : children_) {
+    if (c->name() == name) {
+      out.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+Result<const Element*> Element::require_child(std::string_view name) const {
+  if (const Element* c = find_child(name)) {
+    return c;
+  }
+  return make_error(ErrorCode::kParseError,
+                    "<" + name_ + "> is missing required child <" +
+                        std::string(name) + ">");
+}
+
+std::optional<std::string> Element::label_text(std::string_view name) const {
+  const Element* child = find_child(name);
+  if (child == nullptr) {
+    return std::nullopt;
+  }
+  if (const Element* text = child->find_child("text")) {
+    return std::string(trim(text->text()));
+  }
+  return std::string(trim(child->text()));
+}
+
+}  // namespace ezrt::xml

@@ -1,0 +1,313 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace ezrt::xml {
+
+namespace {
+
+/// Cursor over the input with line/column tracking for diagnostics.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const { return input_[pos_]; }
+  [[nodiscard]] std::string_view rest() const {
+    return input_.substr(pos_);
+  }
+
+  char advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool consume(std::string_view literal) {
+    if (rest().substr(0, literal.size()) != literal) {
+      return false;
+    }
+    for (std::size_t i = 0; i < literal.size(); ++i) {
+      advance();
+    }
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  [[nodiscard]] Error error(const std::string& message) const {
+    return make_error(ErrorCode::kParseError,
+                      "XML parse error at line " + std::to_string(line_) +
+                          ", column " + std::to_string(column_) + ": " +
+                          message);
+  }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+[[nodiscard]] bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+[[nodiscard]] bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : cur_(input) {}
+
+  Result<Document> parse_document() {
+    skip_misc();
+    if (cur_.eof() || cur_.peek() != '<') {
+      return cur_.error("expected root element");
+    }
+    auto root = parse_element();
+    if (!root.ok()) {
+      return root.error();
+    }
+    skip_misc();
+    if (!cur_.eof()) {
+      return cur_.error("content after the root element");
+    }
+    Document doc;
+    doc.root = std::move(root).value();
+    return doc;
+  }
+
+ private:
+  /// Skips whitespace, comments, declarations and PIs between elements.
+  void skip_misc() {
+    for (;;) {
+      cur_.skip_whitespace();
+      if (cur_.consume("<!--")) {
+        while (!cur_.eof() && !cur_.consume("-->")) {
+          cur_.advance();
+        }
+        continue;
+      }
+      if (cur_.rest().substr(0, 2) == "<?") {
+        while (!cur_.eof() && !cur_.consume("?>")) {
+          cur_.advance();
+        }
+        continue;
+      }
+      if (cur_.rest().substr(0, 9) == "<!DOCTYPE") {
+        while (!cur_.eof() && cur_.peek() != '>') {
+          cur_.advance();
+        }
+        if (!cur_.eof()) {
+          cur_.advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::string> parse_name() {
+    if (cur_.eof() || !is_name_start(cur_.peek())) {
+      return cur_.error("expected a name");
+    }
+    std::string name;
+    while (!cur_.eof() && is_name_char(cur_.peek())) {
+      name.push_back(cur_.advance());
+    }
+    return name;
+  }
+
+  Result<ElementPtr> parse_element() {
+    if (!cur_.consume("<")) {
+      return cur_.error("expected '<'");
+    }
+    auto name = parse_name();
+    if (!name.ok()) {
+      return name.error();
+    }
+    auto element = std::make_unique<Element>(name.value());
+
+    // Attributes.
+    for (;;) {
+      cur_.skip_whitespace();
+      if (cur_.eof()) {
+        return cur_.error("unterminated start tag <" + name.value());
+      }
+      if (cur_.consume("/>")) {
+        return element;
+      }
+      if (cur_.consume(">")) {
+        break;
+      }
+      auto attr_name = parse_name();
+      if (!attr_name.ok()) {
+        return attr_name.error();
+      }
+      cur_.skip_whitespace();
+      if (!cur_.consume("=")) {
+        return cur_.error("expected '=' after attribute name '" +
+                          attr_name.value() + "'");
+      }
+      cur_.skip_whitespace();
+      if (cur_.eof() || (cur_.peek() != '"' && cur_.peek() != '\'')) {
+        return cur_.error("expected quoted attribute value");
+      }
+      const char quote = cur_.advance();
+      std::string raw;
+      while (!cur_.eof() && cur_.peek() != quote) {
+        raw.push_back(cur_.advance());
+      }
+      if (!cur_.consume(std::string_view(&quote, 1))) {
+        return cur_.error("unterminated attribute value");
+      }
+      auto decoded = decode_entities(raw);
+      if (!decoded.ok()) {
+        return decoded.error();
+      }
+      element->set_attribute(attr_name.value(), decoded.value());
+    }
+
+    // Content.
+    for (;;) {
+      if (cur_.eof()) {
+        return cur_.error("missing end tag </" + name.value() + ">");
+      }
+      if (cur_.consume("<![CDATA[")) {
+        std::string cdata;
+        while (!cur_.eof() && !cur_.consume("]]>")) {
+          cdata.push_back(cur_.advance());
+        }
+        element->append_text(cdata);
+        continue;
+      }
+      if (cur_.consume("<!--")) {
+        while (!cur_.eof() && !cur_.consume("-->")) {
+          cur_.advance();
+        }
+        continue;
+      }
+      if (cur_.rest().substr(0, 2) == "</") {
+        cur_.consume("</");
+        auto end_name = parse_name();
+        if (!end_name.ok()) {
+          return end_name.error();
+        }
+        if (end_name.value() != name.value()) {
+          return cur_.error("mismatched end tag </" + end_name.value() +
+                            ">, expected </" + name.value() + ">");
+        }
+        cur_.skip_whitespace();
+        if (!cur_.consume(">")) {
+          return cur_.error("malformed end tag");
+        }
+        return element;
+      }
+      if (cur_.peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) {
+          return child.error();
+        }
+        element->add_child(std::move(child).value());
+        continue;
+      }
+      // Character data run.
+      std::string raw;
+      while (!cur_.eof() && cur_.peek() != '<') {
+        raw.push_back(cur_.advance());
+      }
+      auto decoded = decode_entities(raw);
+      if (!decoded.ok()) {
+        return decoded.error();
+      }
+      element->append_text(decoded.value());
+    }
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+Result<std::string> decode_entities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    const std::size_t end = raw.find(';', i);
+    if (end == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError,
+                        "unterminated entity reference");
+    }
+    const std::string_view entity = raw.substr(i + 1, end - i - 1);
+    if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      unsigned long code = 0;
+      try {
+        code = (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X'))
+                   ? std::stoul(std::string(entity.substr(2)), nullptr, 16)
+                   : std::stoul(std::string(entity.substr(1)), nullptr, 10);
+      } catch (const std::exception&) {
+        return make_error(ErrorCode::kParseError,
+                          "bad character reference &" + std::string(entity) +
+                              ";");
+      }
+      if (code == 0 || code > 0x10FFFF) {
+        return make_error(ErrorCode::kParseError,
+                          "character reference out of range");
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return make_error(ErrorCode::kParseError,
+                        "unknown entity &" + std::string(entity) + ";");
+    }
+    i = end;
+  }
+  return out;
+}
+
+Result<Document> parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace ezrt::xml

@@ -1,0 +1,22 @@
+// Recursive-descent XML parser for the DOM in dom.hpp.
+//
+// Supported syntax: XML declaration, comments, CDATA sections, elements
+// with attributes (single or double quoted), character data with the five
+// predefined entities plus decimal/hex character references. Errors carry
+// line/column positions.
+#pragma once
+
+#include <string_view>
+
+#include "base/result.hpp"
+#include "xml/dom.hpp"
+
+namespace ezrt::xml {
+
+/// Parses a complete document; input must contain exactly one root element.
+[[nodiscard]] Result<Document> parse(std::string_view input);
+
+/// Decodes entity and character references in raw character data.
+[[nodiscard]] Result<std::string> decode_entities(std::string_view raw);
+
+}  // namespace ezrt::xml

@@ -1,0 +1,112 @@
+#include "xml/writer.hpp"
+
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace ezrt::xml {
+
+namespace {
+
+void write_indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    os << "  ";
+  }
+}
+
+void write_element(std::ostream& os, const Element& e, int depth) {
+  write_indent(os, depth);
+  os << '<' << e.name();
+  for (const Attribute& a : e.attributes()) {
+    os << ' ' << a.name << "=\"" << escape_attribute(a.value) << '"';
+  }
+  const bool has_text = !trim(e.text()).empty();
+  if (e.children().empty() && !has_text) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (e.children().empty()) {
+    // Leaf with text: compact single-line form.
+    os << escape_text(std::string(trim(e.text()))) << "</" << e.name()
+       << ">\n";
+    return;
+  }
+  os << '\n';
+  if (has_text) {
+    write_indent(os, depth + 1);
+    os << escape_text(std::string(trim(e.text()))) << '\n';
+  }
+  for (const ElementPtr& child : e.children()) {
+    write_element(os, *child, depth + 1);
+  }
+  write_indent(os, depth);
+  os << "</" << e.name() << ">\n";
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\n':
+        out += "&#10;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Element& element) {
+  std::ostringstream os;
+  write_element(os, element, 0);
+  return os.str();
+}
+
+std::string to_string(const Document& document) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (document.root) {
+    write_element(os, *document.root, 0);
+  }
+  return os.str();
+}
+
+}  // namespace ezrt::xml

@@ -1,0 +1,26 @@
+// Pretty-printing XML serializer.
+//
+// Produces deterministic, human-diffable output: two-space indentation,
+// attributes in insertion order, and the `<name>text</name>` compact form
+// for leaf elements. Round-trips with parser.hpp.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace ezrt::xml {
+
+/// Escapes text for use as character data.
+[[nodiscard]] std::string escape_text(std::string_view raw);
+
+/// Escapes text for use inside a double-quoted attribute value.
+[[nodiscard]] std::string escape_attribute(std::string_view raw);
+
+/// Serializes an element subtree (no XML declaration).
+[[nodiscard]] std::string to_string(const Element& element);
+
+/// Serializes a whole document with the `<?xml ...?>` declaration.
+[[nodiscard]] std::string to_string(const Document& document);
+
+}  // namespace ezrt::xml

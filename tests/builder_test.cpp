@@ -1,0 +1,402 @@
+// Unit tests for the specification -> TPN translation: block structure,
+// arc weights, timing intervals, relations and resources (§3.3).
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/semantics.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::builder {
+namespace {
+
+using spec::SchedulingType;
+using spec::Specification;
+using spec::TimingConstraints;
+
+[[nodiscard]] Specification one_task(TimingConstraints timing,
+                                     SchedulingType mode =
+                                         SchedulingType::kNonPreemptive) {
+  Specification s("one");
+  s.add_processor("cpu");
+  s.add_task("A", timing, mode);
+  return s;
+}
+
+TEST(Builder, RejectsInvalidSpecification) {
+  Specification s("bad");  // no processor, no tasks
+  EXPECT_FALSE(build_tpn(s).ok());
+}
+
+TEST(Builder, SchedulePeriodAndInstances) {
+  Specification s("two");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.add_task("B", TimingConstraints{0, 0, 1, 6, 6});
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().schedule_period, 12u);
+  EXPECT_EQ(model.value().total_instances, 5u);
+  EXPECT_EQ(model.value().task_net(TaskId(0)).instances, 3u);
+  EXPECT_EQ(model.value().task_net(TaskId(1)).instances, 2u);
+}
+
+TEST(Builder, ArrivalBlockStructure) {
+  auto model = build_tpn(one_task(TimingConstraints{5, 0, 1, 4, 4}));
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const TaskNet& tn = m.task_net(TaskId(0));
+
+  // tph consumes the start place; interval = [phase, phase].
+  const tpn::Transition& tph = m.net.transition(tn.phase);
+  EXPECT_EQ(tph.interval, TimeInterval::exactly(5));
+  EXPECT_EQ(tph.role, tpn::TransitionRole::kPhase);
+
+  // N = 1 here (PS == p): no period transition, no wait-arrival place.
+  EXPECT_FALSE(tn.period.valid());
+  EXPECT_FALSE(tn.wait_arrival.valid());
+}
+
+TEST(Builder, ArrivalBlockBanksRemainingInstances) {
+  // p = 4 with a second task of p = 12 => N(A) = 3: tph banks 2 tokens.
+  Specification s("bank");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.add_task("B", TimingConstraints{0, 0, 1, 12, 12});
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const TaskNet& tn = m.task_net(TaskId(0));
+  ASSERT_TRUE(tn.period.valid());
+  EXPECT_EQ(m.net.transition(tn.period).interval, TimeInterval::exactly(4));
+
+  std::uint32_t banked = 0;
+  for (const tpn::Arc& arc : m.net.outputs(tn.phase)) {
+    if (arc.place == tn.wait_arrival) {
+      banked = arc.weight;
+    }
+  }
+  EXPECT_EQ(banked, 2u);  // N - 1
+}
+
+TEST(Builder, DeadlineBlockIntervals) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 2, 7, 9}));
+  ASSERT_TRUE(model.ok());
+  const TaskNet& tn = model.value().task_net(TaskId(0));
+  EXPECT_EQ(model.value().net.transition(tn.deadline).interval,
+            TimeInterval::exactly(7));
+  EXPECT_EQ(model.value().net.transition(tn.miss).interval,
+            TimeInterval::exactly(0));
+  EXPECT_EQ(model.value().net.place(tn.miss_pending).role,
+            tpn::PlaceRole::kMissPending);
+  EXPECT_EQ(model.value().net.place(tn.missed).role,
+            tpn::PlaceRole::kMissed);
+}
+
+TEST(Builder, CompactStyleFusesReleaseAndGrant) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 2, 7, 9}),
+                         BuildOptions{BlockStyle::kCompact, true});
+  ASSERT_TRUE(model.ok());
+  const TaskNet& tn = model.value().task_net(TaskId(0));
+  EXPECT_FALSE(tn.grant.valid());
+  // The fused release consumes the processor directly.
+  bool consumes_processor = false;
+  for (const tpn::Arc& arc : model.value().net.inputs(tn.release)) {
+    if (arc.place == model.value().processors[0]) {
+      consumes_processor = true;
+    }
+  }
+  EXPECT_TRUE(consumes_processor);
+  EXPECT_EQ(model.value().net.transition(tn.release).interval,
+            TimeInterval(0, 5));  // [r, d-c] = [0, 7-2]
+}
+
+TEST(Builder, PaperStyleKeepsSeparateGrant) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 2, 7, 9}),
+                         BuildOptions{BlockStyle::kPaper, true});
+  ASSERT_TRUE(model.ok());
+  const TaskNet& tn = model.value().task_net(TaskId(0));
+  ASSERT_TRUE(tn.grant.valid());
+  EXPECT_EQ(model.value().net.transition(tn.grant).interval,
+            TimeInterval::exactly(0));
+  // tr does not touch the processor in the paper style.
+  for (const tpn::Arc& arc : model.value().net.inputs(tn.release)) {
+    EXPECT_NE(arc.place, model.value().processors[0]);
+  }
+}
+
+TEST(Builder, CompactFallsBackToPaperStyleForNonzeroRelease) {
+  // The fused release window is exact only for r = 0.
+  auto model = build_tpn(one_task(TimingConstraints{0, 3, 2, 7, 9}),
+                         BuildOptions{BlockStyle::kCompact, true});
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model.value().task_net(TaskId(0)).grant.valid());
+  EXPECT_EQ(model.value()
+                .net.transition(model.value().task_net(TaskId(0)).release)
+                .interval,
+            TimeInterval(3, 5));
+}
+
+TEST(Builder, NonPreemptiveComputeIsWcetPunctual) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 4, 8, 8}));
+  ASSERT_TRUE(model.ok());
+  const TaskNet& tn = model.value().task_net(TaskId(0));
+  EXPECT_EQ(model.value().net.transition(tn.compute).interval,
+            TimeInterval::exactly(4));
+}
+
+TEST(Builder, PreemptiveStructureUsesUnitChunks) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 4, 8, 8},
+                                  SchedulingType::kPreemptive));
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const TaskNet& tn = m.task_net(TaskId(0));
+  // tc is [1,1]; tr banks c grant tokens; tf collects c finish tokens.
+  EXPECT_EQ(m.net.transition(tn.compute).interval, TimeInterval::exactly(1));
+  std::uint32_t grant_tokens = 0;
+  for (const tpn::Arc& arc : m.net.outputs(tn.release)) {
+    if (arc.place == tn.wait_grant) {
+      grant_tokens = arc.weight;
+    }
+  }
+  EXPECT_EQ(grant_tokens, 4u);
+  std::uint32_t finish_tokens = 0;
+  for (const tpn::Arc& arc : m.net.inputs(tn.finish)) {
+    if (arc.place == tn.wait_finish) {
+      finish_tokens = arc.weight;
+    }
+  }
+  EXPECT_EQ(finish_tokens, 4u);
+}
+
+TEST(Builder, ProcessorPlacePerProcessor) {
+  Specification s("mp");
+  s.add_processor("cpu0");
+  s.add_processor("cpu1");
+  spec::Task t;
+  t.name = "A";
+  t.timing = TimingConstraints{0, 0, 1, 4, 4};
+  t.processor = ProcessorId(1);
+  s.add_task(std::move(t));
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model.value().processors.size(), 2u);
+  // The task's release (compact) consumes cpu1's place, not cpu0's.
+  const TaskNet& tn = model.value().task_net(TaskId(0));
+  bool uses_cpu1 = false;
+  for (const tpn::Arc& arc : model.value().net.inputs(tn.release)) {
+    EXPECT_NE(arc.place, model.value().processors[0]);
+    if (arc.place == model.value().processors[1]) {
+      uses_cpu1 = true;
+    }
+  }
+  EXPECT_TRUE(uses_cpu1);
+}
+
+TEST(Builder, ForkJoinStructure) {
+  Specification s("fj");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.add_task("B", TimingConstraints{0, 0, 1, 8, 8});
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  ASSERT_TRUE(m.start.valid());
+  ASSERT_TRUE(m.end.valid());
+  EXPECT_EQ(m.net.place(m.start).initial_tokens, 1u);
+  EXPECT_EQ(m.net.place(m.end).role, tpn::PlaceRole::kEnd);
+
+  // The join consumes N_i tokens from each task's finished place.
+  const auto join = m.net.find_transition("tend");
+  ASSERT_TRUE(join.has_value());
+  const auto& inputs = m.net.inputs(*join);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0].weight, 2u);  // A: PS 8 / p 4
+  EXPECT_EQ(inputs[1].weight, 1u);  // B
+}
+
+TEST(Builder, NoForkJoinOptionMarksTaskStarts) {
+  auto model = build_tpn(one_task(TimingConstraints{0, 0, 1, 4, 4}),
+                         BuildOptions{BlockStyle::kCompact, false});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().start.valid());
+  EXPECT_EQ(model.value()
+                .net.place(model.value().task_net(TaskId(0)).start)
+                .initial_tokens,
+            1u);
+}
+
+TEST(Builder, PrecedenceAddsIntermediatePlace) {
+  Specification s("prec");
+  s.add_processor("cpu");
+  s.add_task("T1", TimingConstraints{0, 0, 15, 100, 250});
+  s.add_task("T2", TimingConstraints{0, 0, 20, 150, 250});
+  s.add_precedence(TaskId(0), TaskId(1));
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const auto prec = m.net.find_place("pprec_T1_T2");
+  ASSERT_TRUE(prec.has_value());
+  // tf_T1 produces into it; tr_T2 consumes from it.
+  bool produced = false;
+  for (const tpn::Arc& arc : m.net.outputs(m.task_net(TaskId(0)).finish)) {
+    produced |= arc.place == *prec;
+  }
+  bool consumed = false;
+  for (const tpn::Arc& arc : m.net.inputs(m.task_net(TaskId(1)).release)) {
+    consumed |= arc.place == *prec;
+  }
+  EXPECT_TRUE(produced);
+  EXPECT_TRUE(consumed);
+}
+
+TEST(Builder, ExclusionSharesOneLockPlace) {
+  Specification s("excl");
+  s.add_processor("cpu");
+  s.add_task("T0", TimingConstraints{0, 0, 10, 100, 250},
+             SchedulingType::kPreemptive);
+  s.add_task("T2", TimingConstraints{0, 0, 20, 150, 250},
+             SchedulingType::kPreemptive);
+  s.add_exclusion(TaskId(0), TaskId(1));
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const auto lock = m.net.find_place("pexcl_T0_T2");
+  ASSERT_TRUE(lock.has_value());
+  EXPECT_EQ(m.net.place(*lock).initial_tokens, 1u);
+  EXPECT_EQ(m.net.place(*lock).role, tpn::PlaceRole::kExclusionLock);
+  // Both preemptive tasks get an atomic acquire transition; both finishes
+  // return the lock.
+  for (TaskId id : {TaskId(0), TaskId(1)}) {
+    const TaskNet& tn = m.task_net(id);
+    ASSERT_TRUE(tn.acquire.valid());
+    bool acquires = false;
+    for (const tpn::Arc& arc : m.net.inputs(tn.acquire)) {
+      acquires |= arc.place == *lock;
+    }
+    EXPECT_TRUE(acquires);
+    bool releases = false;
+    for (const tpn::Arc& arc : m.net.outputs(tn.finish)) {
+      releases |= arc.place == *lock;
+    }
+    EXPECT_TRUE(releases);
+  }
+}
+
+TEST(Builder, NonPreemptiveExclusionGuardsComputationStart) {
+  Specification s("excl-np");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 2, 10, 10});
+  s.add_task("B", TimingConstraints{0, 0, 2, 10, 10});
+  s.add_exclusion(TaskId(0), TaskId(1));
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  const auto lock = m.net.find_place("pexcl_A_B");
+  ASSERT_TRUE(lock.has_value());
+  const TaskNet& tn = m.task_net(TaskId(0));
+  // Compact non-preemptive: the fused release takes the lock, the compute
+  // transition returns it.
+  bool taken = false;
+  for (const tpn::Arc& arc : m.net.inputs(tn.release)) {
+    taken |= arc.place == *lock;
+  }
+  bool returned = false;
+  for (const tpn::Arc& arc : m.net.outputs(tn.compute)) {
+    returned |= arc.place == *lock;
+  }
+  EXPECT_TRUE(taken);
+  EXPECT_TRUE(returned);
+}
+
+TEST(Builder, MessagesCreateBusAndTransferChain) {
+  Specification s("msg");
+  s.add_processor("cpu");
+  s.add_task("S", TimingConstraints{0, 0, 1, 10, 10});
+  s.add_task("R", TimingConstraints{0, 0, 1, 10, 10});
+  spec::Message msg;
+  msg.name = "M1";
+  msg.bus = "can0";
+  msg.grant_bus = 2;
+  msg.communication = 3;
+  const MessageId id = s.add_message(std::move(msg));
+  s.connect_message(TaskId(0), id, TaskId(1));
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  ASSERT_TRUE(m.net.find_place("pbus_can0").has_value());
+  const auto acq = m.net.find_transition("tmacq_M1");
+  const auto rel = m.net.find_transition("tmrel_M1");
+  ASSERT_TRUE(acq.has_value());
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(m.net.transition(*acq).interval, TimeInterval(0, 2));
+  EXPECT_EQ(m.net.transition(*rel).interval, TimeInterval::exactly(3));
+}
+
+TEST(Builder, SharedBusReusedAcrossMessages) {
+  Specification s("msg2");
+  s.add_processor("cpu");
+  s.add_task("S", TimingConstraints{0, 0, 1, 10, 10});
+  s.add_task("R", TimingConstraints{0, 0, 1, 10, 10});
+  s.add_task("R2", TimingConstraints{0, 0, 1, 10, 10});
+  for (int i = 0; i < 2; ++i) {
+    spec::Message msg;
+    msg.name = "M" + std::to_string(i);
+    msg.bus = "can0";
+    const MessageId id = s.add_message(std::move(msg));
+    s.connect_message(TaskId(0), id, TaskId(1 + i));
+  }
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  std::size_t bus_places = 0;
+  for (PlaceId p : model.value().net.place_ids()) {
+    if (model.value().net.place(p).role == tpn::PlaceRole::kBus) {
+      ++bus_places;
+    }
+  }
+  EXPECT_EQ(bus_places, 1u);
+}
+
+TEST(Builder, MinePumpNetSize) {
+  auto model = build_tpn(workload::mine_pump_specification());
+  ASSERT_TRUE(model.ok());
+  const tpn::NetStats stats = tpn::stats(model.value().net);
+  // 10 tasks * (8 places + 6 transitions) + pproc + pstart + pend = 93/72
+  // in the compact style; this pins the block inventory down.
+  EXPECT_EQ(stats.places, 93u);
+  EXPECT_EQ(stats.transitions, 72u);
+  EXPECT_EQ(model.value().total_instances, 782u);
+  EXPECT_EQ(model.value().schedule_period, 30000u);
+}
+
+TEST(Builder, TaskPrioritiesAreDeadlineMonotonic) {
+  Specification s("prio");
+  s.add_processor("cpu");
+  s.add_task("urgent", TimingConstraints{0, 0, 1, 5, 100});
+  s.add_task("lazy", TimingConstraints{0, 0, 1, 80, 100});
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const BuiltModel& m = model.value();
+  EXPECT_LT(m.net.transition(m.task_net(TaskId(0)).release).priority,
+            m.net.transition(m.task_net(TaskId(1)).release).priority);
+}
+
+TEST(Builder, CodeBindingPropagatesToComputeTransition) {
+  Specification s("code");
+  s.add_processor("cpu");
+  const TaskId id = s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.set_task_code(id, "do_work();");
+  auto model = build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  const TaskNet& tn = model.value().task_net(id);
+  ASSERT_TRUE(model.value().net.transition(tn.compute).code.has_value());
+  EXPECT_EQ(*model.value().net.transition(tn.compute).code, id.value());
+}
+
+TEST(Builder, BlockStyleNames) {
+  EXPECT_STREQ(to_string(BlockStyle::kCompact), "compact");
+  EXPECT_STREQ(to_string(BlockStyle::kPaper), "paper");
+}
+
+}  // namespace
+}  // namespace ezrt::builder

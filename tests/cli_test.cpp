@@ -1,0 +1,266 @@
+// Tests for the ezrt command-line tool, driven in-process through
+// cli::run with captured streams.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp workspace with the mine-pump spec written to disk.
+class CliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ezrt_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    spec_path_ = (dir_ / "mine_pump.ezspec").string();
+    std::ofstream(spec_path_)
+        << pnml::write_ezspec(workload::mine_pump_specification()).value();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Runs the CLI and captures streams.
+  int run_cli(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::string spec_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage: ezrt"), std::string::npos);
+  EXPECT_NE(out_.str().find("schedule"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgsIsUsageError) {
+  EXPECT_EQ(run_cli({}), 2);
+}
+
+TEST_F(CliTest, UnknownCommandIsUsageError) {
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoShowsDerivedQuantities) {
+  EXPECT_EQ(run_cli({"info", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("schedule period: 30000"), std::string::npos);
+  EXPECT_NE(out_.str().find("task instances:  782"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateAcceptsGoodSpec) {
+  EXPECT_EQ(run_cli({"validate", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("valid"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsBrokenSpec) {
+  const std::string bad = (dir_ / "bad.ezspec").string();
+  std::ofstream(bad) << "<rt:ez-spec xmlns:rt=\"x\" name=\"b\"></rt:ez-spec>";
+  EXPECT_EQ(run_cli({"validate", bad}), 1);
+  EXPECT_FALSE(err_.str().empty());
+}
+
+TEST_F(CliTest, MissingFileReported) {
+  EXPECT_EQ(run_cli({"info", (dir_ / "nope.xml").string()}), 1);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleEmitsTableAndTrace) {
+  const std::string trace = (dir_ / "mp.trace").string();
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--trace", trace}), 0);
+  EXPECT_NE(out_.str().find("feasible schedule: 3130 firings"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("scheduleTable[782]"), std::string::npos);
+  EXPECT_TRUE(fs::exists(trace));
+}
+
+TEST_F(CliTest, ReplayAuditsStoredTrace) {
+  const std::string trace = (dir_ / "mp.trace").string();
+  ASSERT_EQ(run_cli({"schedule", spec_path_, "--trace", trace}), 0);
+  EXPECT_EQ(run_cli({"replay", spec_path_, trace}), 0);
+  EXPECT_NE(out_.str().find("reaches M_F"), std::string::npos);
+}
+
+TEST_F(CliTest, ReplayRejectsTamperedTrace) {
+  const std::string trace = (dir_ / "mp.trace").string();
+  ASSERT_EQ(run_cli({"schedule", spec_path_, "--trace", trace}), 0);
+  // Corrupt one delay (keeping timestamps consistent is the attacker's
+  // job; we just break it bluntly).
+  std::ifstream in(trace);
+  std::stringstream content;
+  content << in.rdbuf();
+  std::string text = content.str();
+  const std::size_t pos = text.find("delay 0 at 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "delay 3 at 3");
+  std::ofstream(trace) << text;
+  EXPECT_EQ(run_cli({"replay", spec_path_, trace}), 1);
+}
+
+TEST_F(CliTest, ScheduleInfeasibleExitCode) {
+  spec::Specification s("overload");
+  s.add_processor("cpu");
+  s.add_task("A", spec::TimingConstraints{0, 0, 6, 10, 10});
+  s.add_task("B", spec::TimingConstraints{0, 0, 6, 10, 10});
+  const std::string path = (dir_ / "overload.ezspec").string();
+  std::ofstream(path) << pnml::write_ezspec(s).value();
+  EXPECT_EQ(run_cli({"schedule", path}), 1);
+  EXPECT_NE(err_.str().find("infeasible"), std::string::npos);
+}
+
+TEST_F(CliTest, CodegenWritesFiles) {
+  const std::string out_dir = (dir_ / "gen").string();
+  EXPECT_EQ(run_cli({"codegen", spec_path_, "-o", out_dir}), 0);
+  EXPECT_TRUE(fs::exists(fs::path(out_dir) / "schedule.h"));
+  EXPECT_TRUE(fs::exists(fs::path(out_dir) / "tasks.c"));
+  EXPECT_TRUE(fs::exists(fs::path(out_dir) / "dispatcher.c"));
+}
+
+TEST_F(CliTest, CodegenBareMetalWithMcu) {
+  const std::string out_dir = (dir_ / "gen8051").string();
+  EXPECT_EQ(run_cli({"codegen", spec_path_, "-o", out_dir, "--target",
+                     "bare-metal", "--mcu", "8051", "--timer-hz", "100"}),
+            0);
+  ASSERT_TRUE(fs::exists(fs::path(out_dir) / "port.h"));
+  std::ifstream port(fs::path(out_dir) / "port.h");
+  std::stringstream content;
+  content << port.rdbuf();
+  EXPECT_NE(content.str().find("EZRT_TICK_HZ 100ul"), std::string::npos);
+}
+
+TEST_F(CliTest, CodegenRequiresOutputDir) {
+  EXPECT_EQ(run_cli({"codegen", spec_path_}), 2);
+}
+
+TEST_F(CliTest, CodegenRejectsBadMcu) {
+  EXPECT_EQ(run_cli({"codegen", spec_path_, "-o",
+                     (dir_ / "x").string(), "--target", "bare-metal",
+                     "--mcu", "z80"}),
+            2);
+}
+
+TEST_F(CliTest, ExportPnmlToStdout) {
+  EXPECT_EQ(run_cli({"export-pnml", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("<pnml"), std::string::npos);
+  EXPECT_NE(out_.str().find("toolspecific"), std::string::npos);
+}
+
+TEST_F(CliTest, ExportPnmlToFile) {
+  const std::string path = (dir_ / "net.pnml").string();
+  EXPECT_EQ(run_cli({"export-pnml", spec_path_, "-o", path}), 0);
+  EXPECT_TRUE(fs::exists(path));
+}
+
+TEST_F(CliTest, SimulateReportsMetricsAndGantt) {
+  EXPECT_EQ(run_cli({"simulate", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("all deadlines met"), std::string::npos);
+  EXPECT_NE(out_.str().find("resp[best/mean/worst]"), std::string::npos);
+  EXPECT_NE(out_.str().find("one cell ="), std::string::npos);
+}
+
+TEST_F(CliTest, BaselineComparesPolicies) {
+  EXPECT_EQ(run_cli({"baseline", spec_path_}), 0);
+  for (const char* policy : {"EDF", "DM", "RM", "NP-EDF"}) {
+    EXPECT_NE(out_.str().find(policy), std::string::npos) << policy;
+  }
+}
+
+TEST_F(CliTest, ReachDenseClasses) {
+  EXPECT_EQ(
+      run_cli({"reach", spec_path_, "--classes", "--max-states", "500"}),
+      0);
+  EXPECT_NE(out_.str().find("state-class graph"), std::string::npos);
+  EXPECT_NE(out_.str().find("classes explored:  500"), std::string::npos);
+}
+
+TEST_F(CliTest, ReachReportsProperties) {
+  EXPECT_EQ(run_cli({"reach", spec_path_, "--max-states", "2000"}), 0);
+  EXPECT_NE(out_.str().find("states explored:  2000"), std::string::npos);
+  EXPECT_NE(out_.str().find("miss reachable"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleOptimizeSwitches) {
+  spec::Specification s("opt");
+  s.add_processor("cpu");
+  s.add_task("L", spec::TimingConstraints{0, 0, 6, 20, 20},
+             spec::SchedulingType::kPreemptive);
+  s.add_task("S", spec::TimingConstraints{0, 0, 2, 20, 20},
+             spec::SchedulingType::kPreemptive);
+  const std::string path = (dir_ / "opt.ezspec").string();
+  std::ofstream(path) << pnml::write_ezspec(s).value();
+  EXPECT_EQ(run_cli({"schedule", path, "--optimize", "switches"}), 0);
+  EXPECT_NE(out_.str().find("optimized: best cost 2"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleOptimizeRejectsUnknownObjective) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--optimize", "vibes"}), 1);
+}
+
+TEST_F(CliTest, ExportDotProducesGraph) {
+  EXPECT_EQ(run_cli({"export-dot", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("digraph"), std::string::npos);
+  EXPECT_NE(out_.str().find("shape=circle"), std::string::npos);
+}
+
+TEST_F(CliTest, ExportDotWithPriorities) {
+  EXPECT_EQ(run_cli({"export-dot", spec_path_, "--priorities"}), 0);
+  EXPECT_NE(out_.str().find("pi="), std::string::npos);
+}
+
+TEST_F(CliTest, WorkloadGeneratesSpecFile) {
+  const std::string path = (dir_ / "random.ezspec").string();
+  EXPECT_EQ(run_cli({"workload", "-o", path, "--tasks", "6",
+                     "--utilization", "0.5", "--seed", "3"}),
+            0);
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_EQ(run_cli({"validate", path}), 0);
+}
+
+TEST_F(CliTest, WorkloadToStdout) {
+  EXPECT_EQ(run_cli({"workload", "--tasks", "3", "--seed", "5"}), 0);
+  EXPECT_NE(out_.str().find("<rt:ez-spec"), std::string::npos);
+}
+
+TEST_F(CliTest, WorkloadRejectsBadUtilization) {
+  EXPECT_EQ(run_cli({"workload", "--utilization", "abc"}), 2);
+}
+
+TEST_F(CliTest, SimulateCyclesChecksSteadyState) {
+  EXPECT_EQ(run_cli({"simulate", spec_path_, "--cycles", "3"}), 0);
+  EXPECT_NE(out_.str().find("cyclic run over 3 schedule periods"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("0 misses"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleCompleteModeFlag) {
+  // The crafted idle-insertion set: pruned search fails, --complete wins.
+  spec::Specification s("crafted");
+  s.add_processor("cpu");
+  s.add_task("long", spec::TimingConstraints{0, 0, 5, 9, 10});
+  s.add_task("short", spec::TimingConstraints{1, 0, 2, 2, 10});
+  const std::string path = (dir_ / "crafted.ezspec").string();
+  std::ofstream(path) << pnml::write_ezspec(s).value();
+  EXPECT_EQ(run_cli({"schedule", path}), 1);
+  EXPECT_EQ(run_cli({"schedule", path, "--complete"}), 0);
+}
+
+}  // namespace
+}  // namespace ezrt::cli

@@ -1,0 +1,219 @@
+// Unit tests for the net composition operators.
+#include <gtest/gtest.h>
+
+#include "sched/dfs.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/compose.hpp"
+
+namespace ezrt::tpn {
+namespace {
+
+/// start(1) -t[a,b]-> done, names prefixed by `tag`.
+[[nodiscard]] TimePetriNet block(const std::string& tag, Time eft,
+                                 Time lft) {
+  TimePetriNet net(tag);
+  const PlaceId start = net.add_place(tag + "_start", 1);
+  const PlaceId done = net.add_place(tag + "_done", 0);
+  const TransitionId t =
+      net.add_transition(tag + "_t", TimeInterval(eft, lft));
+  net.add_input(t, start);
+  net.add_output(t, done);
+  EXPECT_TRUE(net.validate().ok());
+  return net;
+}
+
+TEST(Compose, RenamePrefixesEveryNode) {
+  auto renamed = rename_prefixed(block("x", 0, 1), "T1.");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed.value().find_place("T1.x_start").has_value());
+  EXPECT_TRUE(renamed.value().find_transition("T1.x_t").has_value());
+  EXPECT_FALSE(renamed.value().find_place("x_start").has_value());
+}
+
+TEST(Compose, DisjointUnionKeepsBothBlocks) {
+  auto merged = disjoint_union(block("a", 0, 1), block("b", 2, 3), "ab");
+  ASSERT_TRUE(merged.ok());
+  const NetStats s = stats(merged.value());
+  EXPECT_EQ(s.places, 4u);
+  EXPECT_EQ(s.transitions, 2u);
+  EXPECT_EQ(s.initial_tokens, 2u);
+}
+
+TEST(Compose, DisjointUnionRejectsNameClashes) {
+  EXPECT_FALSE(disjoint_union(block("a", 0, 1), block("a", 0, 1), "aa").ok());
+}
+
+TEST(Compose, MergePlacesFusesByName) {
+  // Two copies sharing a "pool" resource place.
+  TimePetriNet net("pool");
+  const PlaceId in1 = net.add_place("in1", 1);
+  const PlaceId pool1 = net.add_place("pool", 1);
+  const PlaceId in2 = net.add_place("in2", 1);
+  const PlaceId pool2 = net.add_place("pool2", 1);  // renamed pre-merge
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(0, 0));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(0, 0));
+  net.add_input(t1, in1);
+  net.add_input(t1, pool1);
+  net.add_input(t2, in2);
+  net.add_input(t2, pool2);
+  net.add_output(t1, pool1);
+  net.add_output(t2, pool2);
+  ASSERT_TRUE(net.validate().ok());
+
+  // No fusion requested: unchanged node counts.
+  auto same = merge_places(net, {});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(stats(same.value()).places, 4u);
+}
+
+TEST(Compose, GlueFusesSharedInterfacePlaces) {
+  // Both blocks reference a "pproc" resource: glue fuses it once.
+  auto make = [](const std::string& tag) {
+    TimePetriNet net(tag);
+    const PlaceId start = net.add_place(tag + "_start", 1);
+    const PlaceId done = net.add_place(tag + "_done", 0);
+    const PlaceId proc = net.add_place("pproc", 1, PlaceRole::kProcessor);
+    const TransitionId grab =
+        net.add_transition(tag + "_grab", TimeInterval(0, 0));
+    const TransitionId free =
+        net.add_transition(tag + "_free", TimeInterval(1, 1));
+    const PlaceId mid = net.add_place(tag + "_mid", 0);
+    net.add_input(grab, start);
+    net.add_input(grab, proc);
+    net.add_output(grab, mid);
+    net.add_input(free, mid);
+    net.add_output(free, done);
+    net.add_output(free, proc);
+    EXPECT_TRUE(net.validate().ok());
+    return net;
+  };
+  auto glued = glue(make("a"), make("b"), "shared-cpu");
+  ASSERT_TRUE(glued.ok());
+  // 3 + 3 own places + ONE fused pproc.
+  EXPECT_EQ(glued.value().place_count(), 7u);
+  const auto proc = glued.value().find_place("pproc");
+  ASSERT_TRUE(proc.has_value());
+  // Idempotent fusion: max(1, 1) = 1 token, not 2.
+  EXPECT_EQ(glued.value().place(*proc).initial_tokens, 1u);
+  // Both blocks can still run to completion, serialized on the resource.
+  sched::DfsScheduler scheduler(glued.value());
+  scheduler.set_goal([&](const Marking& m) {
+    return m[*glued.value().find_place("a_done")] == 1 &&
+           m[*glued.value().find_place("b_done")] == 1;
+  });
+  EXPECT_EQ(scheduler.search().status, sched::SearchStatus::kFeasible);
+}
+
+TEST(Compose, GlueRejectsTransitionClashes) {
+  EXPECT_FALSE(glue(block("x", 0, 1), block("x", 0, 1), "xx").ok());
+}
+
+TEST(Compose, SerialConnectsBlocksInOrder) {
+  auto chained =
+      serial(block("a", 2, 2), block("b", 3, 3), "a_done", "b_start",
+             "chain");
+  ASSERT_TRUE(chained.ok());
+  // b_start starts empty? No: serial keeps b's own initial token AND adds
+  // the glue path; to model strict sequencing b's start should begin
+  // empty — verify the structure instead: the glue transition exists.
+  ASSERT_TRUE(chained.value().find_transition("tserial_a_done_b_start")
+                  .has_value());
+  const auto link =
+      *chained.value().find_transition("tserial_a_done_b_start");
+  EXPECT_EQ(chained.value().transition(link).interval,
+            TimeInterval::exactly(0));
+}
+
+TEST(Compose, SerialSequencingEndToEnd) {
+  // Make b's start place empty so it only runs after a completes.
+  TimePetriNet b("b");
+  const PlaceId b_start = b.add_place("b_start", 0);
+  const PlaceId b_done = b.add_place("b_done", 0);
+  const TransitionId bt = b.add_transition("b_t", TimeInterval(3, 3));
+  b.add_input(bt, b_start);
+  b.add_output(bt, b_done);
+  ASSERT_TRUE(b.validate().ok());
+
+  auto chained = serial(block("a", 2, 2), b, "a_done", "b_start", "chain");
+  ASSERT_TRUE(chained.ok());
+  sched::DfsScheduler scheduler(chained.value());
+  const auto done = *chained.value().find_place("b_done");
+  scheduler.set_goal([&](const Marking& m) { return m[done] == 1; });
+  const auto out = scheduler.search();
+  ASSERT_EQ(out.status, sched::SearchStatus::kFeasible);
+  EXPECT_EQ(out.trace.back().at, 5u);  // 2 (a) + 0 (glue) + 3 (b)
+}
+
+TEST(Compose, SerialRejectsUnknownPlaces) {
+  EXPECT_FALSE(
+      serial(block("a", 0, 1), block("b", 0, 1), "nope", "b_start", "x")
+          .ok());
+}
+
+TEST(Compose, OperatorsComposeIntoTaskLikePipelines) {
+  // rename + glue: two renamed copies of the same block sharing one
+  // resource behave like two serialized tasks — a miniature of what the
+  // specification builder does wholesale.
+  TimePetriNet proto("proto");
+  const PlaceId start = proto.add_place("start", 1);
+  const PlaceId done = proto.add_place("done", 0);
+  const PlaceId cpu = proto.add_place("cpu", 1, PlaceRole::kProcessor);
+  const PlaceId run = proto.add_place("run", 0);
+  const TransitionId acquire =
+      proto.add_transition("acquire", TimeInterval(0, 0));
+  const TransitionId finish =
+      proto.add_transition("finish", TimeInterval(4, 4));
+  proto.add_input(acquire, start);
+  proto.add_input(acquire, cpu);
+  proto.add_output(acquire, run);
+  proto.add_input(finish, run);
+  proto.add_output(finish, done);
+  proto.add_output(finish, cpu);
+  ASSERT_TRUE(proto.validate().ok());
+
+  auto t1 = rename_prefixed(proto, "t1_");
+  auto t2 = rename_prefixed(proto, "t2_");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  // Rename the cpu places back to a shared name before gluing.
+  TimePetriNet t1_shared("t1s");
+  TimePetriNet t2_shared("t2s");
+  {
+    auto fix = [](const TimePetriNet& net, TimePetriNet& out) {
+      std::vector<PlaceId> map(net.place_count());
+      for (PlaceId p : net.place_ids()) {
+        Place place = net.place(p);
+        if (place.role == PlaceRole::kProcessor) {
+          place.name = "cpu";
+        }
+        map[p.value()] = out.add_place(std::move(place));
+      }
+      for (TransitionId t : net.transition_ids()) {
+        const TransitionId id = out.add_transition(net.transition(t));
+        for (const Arc& arc : net.inputs(t)) {
+          out.add_input(id, map[arc.place.value()], arc.weight);
+        }
+        for (const Arc& arc : net.outputs(t)) {
+          out.add_output(id, map[arc.place.value()], arc.weight);
+        }
+      }
+      ASSERT_TRUE(out.validate().ok());
+    };
+    fix(t1.value(), t1_shared);
+    fix(t2.value(), t2_shared);
+  }
+  auto system = glue(t1_shared, t2_shared, "two-tasks");
+  ASSERT_TRUE(system.ok());
+
+  sched::DfsScheduler scheduler(system.value());
+  const auto d1 = *system.value().find_place("t1_done");
+  const auto d2 = *system.value().find_place("t2_done");
+  scheduler.set_goal(
+      [&](const Marking& m) { return m[d1] == 1 && m[d2] == 1; });
+  const auto out = scheduler.search();
+  ASSERT_EQ(out.status, sched::SearchStatus::kFeasible);
+  EXPECT_EQ(out.trace.back().at, 8u);  // serialized on the shared cpu
+}
+
+}  // namespace
+}  // namespace ezrt::tpn

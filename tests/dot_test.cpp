@@ -1,0 +1,100 @@
+// Unit tests for the Graphviz (DOT) exporter.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "tpn/dot.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::tpn {
+namespace {
+
+[[nodiscard]] TimePetriNet tiny_net() {
+  TimePetriNet net("tiny");
+  const PlaceId start = net.add_place("pstart", 1, PlaceRole::kStart);
+  const PlaceId proc = net.add_place("pproc", 1, PlaceRole::kProcessor);
+  const PlaceId miss = net.add_place("pdm_X", 0, PlaceRole::kMissed);
+  const TransitionId t =
+      net.add_transition("tgo", TimeInterval(2, 5), 7);
+  net.add_input(t, start);
+  net.add_input(t, proc, 3);
+  net.add_output(t, miss);
+  EXPECT_TRUE(net.validate().ok());
+  return net;
+}
+
+TEST(Dot, EmitsDigraphSkeleton) {
+  const std::string dot = write_dot(tiny_net());
+  EXPECT_EQ(dot.rfind("digraph \"tiny\" {", 0), 0u);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, PlacesCarryTokensAndRoles) {
+  const std::string dot = write_dot(tiny_net());
+  EXPECT_NE(dot.find("pstart\\n1 token"), std::string::npos);
+  // Resource places are shaded; miss places colored.
+  EXPECT_NE(dot.find("lightgoldenrod"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(Dot, TransitionsShowIntervals) {
+  const std::string dot = write_dot(tiny_net());
+  EXPECT_NE(dot.find("tgo\\n[2,5]"), std::string::npos);
+}
+
+TEST(Dot, PriorityOptional) {
+  DotOptions options;
+  options.show_priorities = true;
+  EXPECT_NE(write_dot(tiny_net(), options).find("pi=7"),
+            std::string::npos);
+  EXPECT_EQ(write_dot(tiny_net()).find("pi=7"), std::string::npos);
+}
+
+TEST(Dot, ArcWeightsLabeled) {
+  const std::string dot = write_dot(tiny_net());
+  EXPECT_NE(dot.find("[label=\"3\"]"), std::string::npos);
+}
+
+TEST(Dot, MarkingOverride) {
+  const TimePetriNet net = tiny_net();
+  DotOptions options;
+  options.marking = Marking(std::vector<std::uint32_t>{0, 0, 2});
+  const std::string dot = write_dot(net, options);
+  EXPECT_EQ(dot.find("pstart\\n1 token"), std::string::npos);
+  EXPECT_NE(dot.find("pdm_X\\n2 tokens"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  TimePetriNet net("quo\"ted");
+  const PlaceId p = net.add_place("p\"lace", 1);
+  const TransitionId t = net.add_transition("t", TimeInterval(0, 0));
+  net.add_input(t, p);
+  ASSERT_TRUE(net.validate().ok());
+  const std::string dot = write_dot(net);
+  EXPECT_NE(dot.find("quo\\\"ted"), std::string::npos);
+  EXPECT_NE(dot.find("p\\\"lace"), std::string::npos);
+}
+
+TEST(Dot, MinePumpModelExports) {
+  auto model =
+      builder::build_tpn(workload::mine_pump_specification()).value();
+  const std::string dot = write_dot(model.net);
+  // 93 place nodes + 72 transition nodes all present.
+  std::size_t place_nodes = 0;
+  std::size_t transition_nodes = 0;
+  for (std::size_t pos = 0; (pos = dot.find("shape=circle", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++place_nodes;
+  }
+  for (std::size_t pos = 0;
+       (pos = dot.find("shape=box", pos)) != std::string::npos; ++pos) {
+    ++transition_nodes;
+  }
+  EXPECT_EQ(place_nodes, 93u);
+  EXPECT_EQ(transition_nodes, 72u);
+}
+
+}  // namespace
+}  // namespace ezrt::tpn

@@ -1,0 +1,142 @@
+// Failure-injection tests: random mutations of *valid* schedule tables
+// must be caught by the independent validator or the dispatcher
+// simulator. This guards the oracles themselves — a validator that
+// silently accepts corrupted tables would make every other green test
+// meaningless.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "runtime/validator.hpp"
+#include "sched/dfs.hpp"
+#include "sched/schedule_table.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::runtime {
+namespace {
+
+using sched::ScheduleTable;
+
+struct Mutant {
+  ScheduleTable table;
+  std::string description;
+  /// Some mutations keep the table semantically valid (e.g. moving a
+  /// segment inside its slack); the harness only requires detection for
+  /// mutations flagged as must_detect.
+  bool must_detect = true;
+};
+
+/// Produces one mutant per kind from a valid table.
+[[nodiscard]] std::vector<Mutant> mutate(const spec::Specification& spec,
+                                         const ScheduleTable& table,
+                                         workload::Rng& rng) {
+  std::vector<Mutant> mutants;
+  const std::size_t n = table.items.size();
+  if (n == 0) {
+    return mutants;
+  }
+  const auto pick = [&rng, n] { return rng.below(n); };
+
+  {
+    Mutant m{table, "drop a segment", true};
+    m.table.items.erase(m.table.items.begin() +
+                        static_cast<std::ptrdiff_t>(pick()));
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "duplicate a segment", true};
+    m.table.items.push_back(m.table.items[pick()]);
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "zero a duration", true};
+    m.table.items[pick()].duration = 0;
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "inflate a duration", true};
+    m.table.items[pick()].duration += 1 + rng.below(5);
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "retarget a segment's task", true};
+    sched::ScheduleItem& item = m.table.items[pick()];
+    item.task =
+        TaskId((item.task.value() + 1) % static_cast<std::uint32_t>(
+                                             spec.task_count()));
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "flip a resume flag", true};
+    m.table.items[pick()].preempted ^= true;
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "shift a segment far right", true};
+    m.table.items[pick()].start += table.schedule_period;
+    mutants.push_back(std::move(m));
+  }
+  {
+    Mutant m{table, "renumber an instance", true};
+    m.table.items[pick()].instance += 7;
+    mutants.push_back(std::move(m));
+  }
+  return mutants;
+}
+
+class MutationSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationSweep, CorruptedTablesAreRejected) {
+  workload::WorkloadConfig config;
+  config.seed = GetParam();
+  config.tasks = 5;
+  config.utilization = 0.5;
+  config.preemptive_fraction = 0.4;
+  config.period_pool = {40, 80};
+  auto s = workload::generate(config).value();
+
+  auto model = builder::build_tpn(s).value();
+  const auto out = sched::DfsScheduler(model.net).search();
+  if (out.status != sched::SearchStatus::kFeasible) {
+    GTEST_SKIP() << "pruned search found no schedule for this seed";
+  }
+  auto table = sched::extract_schedule(s, model, out.trace).value();
+  ASSERT_TRUE(validate_schedule(s, table).ok());
+
+  workload::Rng rng(GetParam() * 977);
+  for (const Mutant& mutant : mutate(s, table, rng)) {
+    const bool validator_rejects =
+        !validate_schedule(s, mutant.table).ok();
+    const bool dispatcher_rejects =
+        !simulate_dispatcher(s, mutant.table).ok();
+    if (mutant.must_detect) {
+      EXPECT_TRUE(validator_rejects || dispatcher_rejects)
+          << "undetected mutation: " << mutant.description;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep,
+                         testing::Range<std::uint64_t>(1, 13));
+
+TEST(Mutation, ValidatorAndDispatcherAgreeOnCleanTables) {
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    workload::WorkloadConfig config;
+    config.seed = seed;
+    config.tasks = 4;
+    config.utilization = 0.45;
+    config.period_pool = {30, 60};
+    auto s = workload::generate(config).value();
+    auto model = builder::build_tpn(s).value();
+    const auto out = sched::DfsScheduler(model.net).search();
+    if (out.status != sched::SearchStatus::kFeasible) {
+      continue;
+    }
+    auto table = sched::extract_schedule(s, model, out.trace).value();
+    EXPECT_TRUE(validate_schedule(s, table).ok()) << "seed " << seed;
+    EXPECT_TRUE(simulate_dispatcher(s, table).ok()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ezrt::runtime

@@ -1,0 +1,325 @@
+// Property-based tests (parameterized gtest sweeps) asserting the
+// system-level invariants that hold for *any* workload:
+//
+//   P1  Every schedule the DFS produces passes the independent validator.
+//   P2  Every schedule replays cleanly under the TPN semantics and ends in
+//       the final marking.
+//   P3  The dispatcher simulator executes every produced table with all
+//       deadlines met.
+//   P4  PNML round-trips preserve net structure and the search verdict.
+//   P5  ez-spec round-trips are fixpoints (serialize . parse . serialize
+//       is identity on documents).
+//   P6  With complete pruning (kNone), partial-order reduction never
+//       changes the verdict, only the search effort.
+//   P7  Implicit-deadline workloads with U <= 1 are schedulable by the
+//       preemptive-EDF baseline (EDF optimality sanity check on the
+//       baseline implementation itself).
+//   P8  A feasible verdict under the FT_P priority filter implies a
+//       feasible verdict for the complete search.
+//   P9  Completeness hierarchy: FT_P+earliest feasible => complete
+//       feasible => AllInDomain feasible (on small models).
+//   P10 The dense-time state-class oracle agrees with the discrete
+//       engine on goal reachability (small models).
+#include <gtest/gtest.h>
+
+#include "core/project.hpp"
+#include "sched/reachability.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "pnml/pnml_io.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "runtime/online_sched.hpp"
+#include "runtime/validator.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/state_class.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::uint32_t tasks;
+  double utilization;
+  double preemptive_fraction;
+  std::uint32_t precedence_edges;
+  std::uint32_t exclusion_pairs;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_n" << c.tasks << "_u" << c.utilization
+      << "_p" << c.preemptive_fraction << "_prec" << c.precedence_edges
+      << "_excl" << c.exclusion_pairs;
+}
+
+[[nodiscard]] spec::Specification make_workload(const SweepCase& c) {
+  workload::WorkloadConfig config;
+  config.seed = c.seed;
+  config.tasks = c.tasks;
+  config.utilization = c.utilization;
+  config.preemptive_fraction = c.preemptive_fraction;
+  config.precedence_edges = c.precedence_edges;
+  config.exclusion_pairs = c.exclusion_pairs;
+  config.period_pool = {40, 80, 160};
+  auto s = workload::generate(config);
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+class ScheduleProperties : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(ScheduleProperties, FoundSchedulesAreValidReplayableAndDispatchable) {
+  const spec::Specification s = make_workload(GetParam());
+
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  sched::DfsScheduler scheduler(model.value().net);
+  const sched::SearchOutcome out = scheduler.search();
+  if (out.status != sched::SearchStatus::kFeasible) {
+    // The pruned search may miss schedules; nothing further to check here
+    // (P8 below covers the pruning relationship).
+    SUCCEED();
+    return;
+  }
+
+  // P2: the trace replays and reaches M_F.
+  auto final_state = scheduler.replay(out.trace);
+  ASSERT_TRUE(final_state.ok());
+  EXPECT_TRUE(
+      tpn::is_final_marking(model.value().net, final_state.value().marking()));
+
+  // P1: the independent validator agrees.
+  auto table = sched::extract_schedule(s, model.value(), out.trace);
+  ASSERT_TRUE(table.ok());
+  const runtime::ValidationReport report =
+      runtime::validate_schedule(s, table.value());
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  // P3: the dispatcher simulation runs it to completion, timely.
+  const runtime::DispatcherRun run =
+      runtime::simulate_dispatcher(s, table.value());
+  EXPECT_TRUE(run.ok()) << (run.faults.empty() ? "deadline missed"
+                                               : run.faults.front());
+}
+
+TEST_P(ScheduleProperties, PnmlRoundTripPreservesVerdict) {
+  const spec::Specification s = make_workload(GetParam());
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+
+  auto restored = pnml::read_pnml(pnml::write_pnml(model.value().net));
+  ASSERT_TRUE(restored.ok());
+  const tpn::NetStats a = tpn::stats(model.value().net);
+  const tpn::NetStats b = tpn::stats(restored.value());
+  EXPECT_EQ(a.places, b.places);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.arcs, b.arcs);
+
+  const auto original = sched::DfsScheduler(model.value().net).search();
+  const auto roundtrip = sched::DfsScheduler(restored.value()).search();
+  EXPECT_EQ(original.status, roundtrip.status);
+  EXPECT_EQ(original.stats.states_visited, roundtrip.stats.states_visited);
+}
+
+TEST_P(ScheduleProperties, EzSpecSerializationIsFixpoint) {
+  const spec::Specification s = make_workload(GetParam());
+  auto doc1 = pnml::write_ezspec(s);
+  ASSERT_TRUE(doc1.ok());
+  auto parsed = pnml::read_ezspec(doc1.value());
+  ASSERT_TRUE(parsed.ok());
+  auto doc2 = pnml::write_ezspec(parsed.value());
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc1.value(), doc2.value());
+}
+
+TEST_P(ScheduleProperties, PorDoesNotChangeCompleteVerdict) {
+  const spec::Specification s = make_workload(GetParam());
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+
+  sched::SchedulerOptions with_por;
+  with_por.pruning = sched::PruningMode::kNone;
+  with_por.partial_order_reduction = true;
+  with_por.max_states = 200'000;
+  sched::SchedulerOptions without_por = with_por;
+  without_por.partial_order_reduction = false;
+
+  const auto a = sched::DfsScheduler(model.value().net, with_por).search();
+  const auto b =
+      sched::DfsScheduler(model.value().net, without_por).search();
+  if (a.status == sched::SearchStatus::kLimitReached ||
+      b.status == sched::SearchStatus::kLimitReached) {
+    SUCCEED();  // bounded-effort guard on the slower variant
+    return;
+  }
+  EXPECT_EQ(a.status, b.status);
+  if (a.status == sched::SearchStatus::kInfeasible) {
+    // Only exhaustive searches admit the effort comparison: with an early
+    // exit on the first solution, exploration-order luck can favor either
+    // variant.
+    EXPECT_LE(a.stats.states_visited, b.stats.states_visited);
+  }
+}
+
+TEST_P(ScheduleProperties, PriorityFilterVerdictImpliesComplete) {
+  const spec::Specification s = make_workload(GetParam());
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+
+  sched::SchedulerOptions filtered;
+  filtered.pruning = sched::PruningMode::kPriorityFilter;
+  const auto pruned =
+      sched::DfsScheduler(model.value().net, filtered).search();
+  if (pruned.status != sched::SearchStatus::kFeasible) {
+    SUCCEED();
+    return;
+  }
+  sched::SchedulerOptions complete;
+  complete.pruning = sched::PruningMode::kNone;
+  complete.max_states = 500'000;
+  const auto full =
+      sched::DfsScheduler(model.value().net, complete).search();
+  EXPECT_NE(full.status, sched::SearchStatus::kInfeasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, ScheduleProperties,
+    testing::Values(
+        SweepCase{1, 4, 0.30, 0.0, 0, 0}, SweepCase{2, 5, 0.45, 0.0, 0, 0},
+        SweepCase{3, 6, 0.60, 0.0, 0, 0}, SweepCase{4, 4, 0.50, 0.5, 0, 0},
+        SweepCase{5, 5, 0.40, 1.0, 0, 0}, SweepCase{6, 6, 0.35, 0.0, 2, 0},
+        SweepCase{7, 5, 0.30, 0.0, 0, 2}, SweepCase{8, 6, 0.45, 0.5, 1, 1},
+        SweepCase{9, 8, 0.55, 0.3, 2, 1}, SweepCase{10, 3, 0.70, 0.0, 0, 0},
+        SweepCase{11, 7, 0.50, 0.7, 0, 2},
+        SweepCase{12, 4, 0.65, 1.0, 1, 0}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(ScheduleProperties, SearchModeHierarchy) {
+  // P9: completeness hierarchy — if the most aggressive configuration
+  // (FT_P + earliest) finds a schedule, every weaker pruning must too,
+  // and AllInDomain subsumes earliest-only.
+  const spec::Specification s = make_workload(GetParam());
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+
+  sched::SchedulerOptions aggressive;  // defaults: FT_P + earliest + POR
+  const auto pruned =
+      sched::DfsScheduler(model.value().net, aggressive).search();
+  if (pruned.status != sched::SearchStatus::kFeasible) {
+    SUCCEED();
+    return;
+  }
+  sched::SchedulerOptions complete;
+  complete.pruning = sched::PruningMode::kNone;
+  complete.max_states = 500'000;
+  EXPECT_NE(sched::DfsScheduler(model.value().net, complete).search().status,
+            sched::SearchStatus::kInfeasible);
+
+  // Exhaustive firing times explode; only run them on small models.
+  if (model.value().total_instances <= 8) {
+    sched::SchedulerOptions exhaustive = complete;
+    exhaustive.firing_times = sched::FiringTimePolicy::kAllInDomain;
+    exhaustive.max_states = 2'000'000;
+    EXPECT_NE(
+        sched::DfsScheduler(model.value().net, exhaustive).search().status,
+        sched::SearchStatus::kInfeasible);
+  }
+}
+
+TEST_P(ScheduleProperties, DenseTimeClassGraphAgreesOnSmallModels) {
+  // P10: the dense-time state-class oracle and the discrete engine agree
+  // on goal reachability (bounded to small models to keep CI fast).
+  const spec::Specification s = make_workload(GetParam());
+  auto model = builder::build_tpn(s);
+  ASSERT_TRUE(model.ok());
+  if (model.value().total_instances > 12) {
+    GTEST_SKIP() << "model too large for the exhaustive oracle";
+  }
+  tpn::ClassGraphOptions dense_options;
+  dense_options.max_classes = 200'000;
+  const tpn::ClassGraphResult dense =
+      tpn::build_class_graph(model.value().net, dense_options);
+  if (!dense.complete) {
+    GTEST_SKIP() << "class graph bound hit";
+  }
+  const sched::ReachabilityResult discrete =
+      sched::explore(model.value().net);
+  ASSERT_TRUE(discrete.complete);
+  EXPECT_EQ(dense.final_reachable, discrete.final_reachable);
+}
+
+// -- P7: EDF optimality sanity sweep -------------------------------------------
+
+class EdfOptimality : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfOptimality, ImplicitDeadlineFeasibleUnderEdf) {
+  workload::WorkloadConfig config;
+  config.seed = GetParam();
+  config.tasks = 6;
+  config.utilization = 0.95;
+  config.deadline_min_factor = 1.0;  // d == p
+  config.period_pool = {60, 120, 240};
+  auto s = workload::generate(config);
+  ASSERT_TRUE(s.ok());
+  ASSERT_LE(s.value().utilization(), 1.0 + 1e-9);
+  const runtime::OnlineResult r =
+      runtime::simulate_online(s.value(), runtime::OnlinePolicy::kEdf);
+  EXPECT_TRUE(r.schedulable) << "EDF missed with U = "
+                             << s.value().utilization();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfOptimality,
+                         testing::Range<std::uint64_t>(1, 11));
+
+// -- Firing-rule micro-properties over random hand nets ---------------------------
+
+class FiringRuleProperties : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FiringRuleProperties, TokenConservationOnRandomChains) {
+  // Random linear chains conserve exactly one token end to end.
+  workload::Rng rng(GetParam());
+  tpn::TimePetriNet net("chain");
+  const std::size_t length = 3 + rng.below(6);
+  std::vector<PlaceId> places;
+  for (std::size_t i = 0; i <= length; ++i) {
+    places.push_back(
+        net.add_place("p" + std::to_string(i), i == 0 ? 1 : 0));
+  }
+  std::vector<TransitionId> transitions;
+  for (std::size_t i = 0; i < length; ++i) {
+    const Time eft = rng.below(5);
+    const Time lft = eft + rng.below(5);
+    transitions.push_back(
+        net.add_transition("t" + std::to_string(i), TimeInterval(eft, lft)));
+    net.add_input(transitions.back(), places[i]);
+    net.add_output(transitions.back(), places[i + 1]);
+  }
+  ASSERT_TRUE(net.validate().ok());
+
+  tpn::Semantics sem(net);
+  tpn::State s = tpn::State::initial(net);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto ft = sem.fireable(s);
+    ASSERT_EQ(ft.size(), 1u);
+    // Fire somewhere random inside the firing domain.
+    const Time q =
+        ft[0].earliest +
+        (ft[0].latest > ft[0].earliest
+             ? rng.below(ft[0].latest - ft[0].earliest + 1)
+             : 0);
+    s = sem.fire(s, ft[0].transition, q);
+    std::uint32_t total = 0;
+    for (PlaceId p : net.place_ids()) {
+      total += s.marking()[p];
+    }
+    EXPECT_EQ(total, 1u);
+  }
+  EXPECT_EQ(s.marking()[places[length]], 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FiringRuleProperties,
+                         testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ezrt

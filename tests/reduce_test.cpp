@@ -1,0 +1,237 @@
+// Unit tests for the series-fusion net reduction.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "sched/dfs.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/reduce.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::tpn {
+namespace {
+
+/// a(1) -t[0,0]-> m -u[3,5]-> b : t fuses into u.
+[[nodiscard]] TimePetriNet fusable_chain() {
+  TimePetriNet net("chain");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m = net.add_place("m", 0);
+  const PlaceId b = net.add_place("pend", 0, PlaceRole::kEnd);
+  const TransitionId t = net.add_transition("t", TimeInterval(0, 0));
+  const TransitionId u = net.add_transition("u", TimeInterval(3, 5));
+  net.add_input(t, a);
+  net.add_output(t, m);
+  net.add_input(u, m);
+  net.add_output(u, b);
+  EXPECT_TRUE(net.validate().ok());
+  return net;
+}
+
+TEST(Reduce, FusesZeroGlueTransition) {
+  ReductionReport report;
+  auto reduced = reduce_series(fusable_chain(), &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 1u);
+  EXPECT_EQ(report.removed_places, 1u);
+  EXPECT_EQ(reduced.value().transition_count(), 1u);
+  EXPECT_EQ(reduced.value().place_count(), 2u);
+  // The survivor is u, now consuming a directly with its own interval.
+  const auto u = reduced.value().find_transition("u");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(reduced.value().transition(*u).interval, TimeInterval(3, 5));
+  ASSERT_EQ(reduced.value().inputs(*u).size(), 1u);
+  EXPECT_EQ(reduced.value()
+                .place(reduced.value().inputs(*u)[0].place)
+                .name,
+            "a");
+}
+
+TEST(Reduce, PreservesTimedBehavior) {
+  const TimePetriNet original = fusable_chain();
+  auto reduced = reduce_series(original);
+  ASSERT_TRUE(reduced.ok());
+
+  sched::DfsScheduler a(original);
+  sched::DfsScheduler b(reduced.value());
+  const auto ra = a.search();
+  const auto rb = b.search();
+  ASSERT_EQ(ra.status, sched::SearchStatus::kFeasible);
+  ASSERT_EQ(rb.status, sched::SearchStatus::kFeasible);
+  // Completion time unchanged: 0 (glue) + 3 == 3.
+  EXPECT_EQ(ra.trace.back().at, rb.trace.back().at);
+}
+
+TEST(Reduce, RefusesNonZeroInterval) {
+  TimePetriNet net("nz");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m = net.add_place("m", 0);
+  const PlaceId b = net.add_place("b", 0);
+  const TransitionId t = net.add_transition("t", TimeInterval(1, 1));
+  const TransitionId u = net.add_transition("u", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_output(t, m);
+  net.add_input(u, m);
+  net.add_output(u, b);
+  ASSERT_TRUE(net.validate().ok());
+  ReductionReport report;
+  auto reduced = reduce_series(net, &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+}
+
+TEST(Reduce, RefusesConflictingGlue) {
+  // Two consumers of `a`: firing t is a *choice*, fusion would erase it.
+  TimePetriNet net("conflict");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m = net.add_place("m", 0);
+  const PlaceId b = net.add_place("b", 0);
+  const PlaceId c = net.add_place("c", 0);
+  const TransitionId t = net.add_transition("t", TimeInterval(0, 0));
+  const TransitionId other = net.add_transition("other", TimeInterval(0, 0));
+  const TransitionId u = net.add_transition("u", TimeInterval(0, 4));
+  net.add_input(t, a);
+  net.add_output(t, m);
+  net.add_input(other, a);
+  net.add_output(other, c);
+  net.add_input(u, m);
+  net.add_output(u, b);
+  ASSERT_TRUE(net.validate().ok());
+  ReductionReport report;
+  auto reduced = reduce_series(net, &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+}
+
+TEST(Reduce, RefusesMarkedIntermediatePlace) {
+  TimePetriNet net("marked");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m = net.add_place("m", 1);  // pre-marked: not pure glue
+  const PlaceId b = net.add_place("b", 0);
+  const TransitionId t = net.add_transition("t", TimeInterval(0, 0));
+  const TransitionId u = net.add_transition("u", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_output(t, m);
+  net.add_input(u, m);
+  net.add_output(u, b);
+  ASSERT_TRUE(net.validate().ok());
+  ReductionReport report;
+  auto reduced = reduce_series(net, &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+}
+
+TEST(Reduce, RoleTransitionsProtectedByDefault) {
+  TimePetriNet net("roles");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m = net.add_place("m", 0);
+  const PlaceId b = net.add_place("b", 0);
+  const TransitionId t = net.add_transition(
+      "tf_X", TimeInterval(0, 0), kDefaultPriority, TransitionRole::kFinish);
+  const TransitionId u = net.add_transition("u", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_output(t, m);
+  net.add_input(u, m);
+  net.add_output(u, b);
+  ASSERT_TRUE(net.validate().ok());
+
+  ReductionReport report;
+  auto kept = reduce_series(net, &report);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+
+  ReductionOptions options;
+  options.fuse_role_transitions = true;
+  auto fused = reduce_series(net, &report, options);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(report.fused_transitions, 1u);
+}
+
+TEST(Reduce, ChainsFuseTransitively) {
+  // a -g1[0,0]-> m1 -g2[0,0]-> m2 -u[2,2]-> end : both glues disappear.
+  TimePetriNet net("long");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId m1 = net.add_place("m1", 0);
+  const PlaceId m2 = net.add_place("m2", 0);
+  const PlaceId end = net.add_place("end", 0);
+  const TransitionId g1 = net.add_transition("g1", TimeInterval(0, 0));
+  const TransitionId g2 = net.add_transition("g2", TimeInterval(0, 0));
+  const TransitionId u = net.add_transition("u", TimeInterval(2, 2));
+  net.add_input(g1, a);
+  net.add_output(g1, m1);
+  net.add_input(g2, m1);
+  net.add_output(g2, m2);
+  net.add_input(u, m2);
+  net.add_output(u, end);
+  ASSERT_TRUE(net.validate().ok());
+  ReductionReport report;
+  auto reduced = reduce_series(net, &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 2u);
+  EXPECT_EQ(reduced.value().transition_count(), 1u);
+}
+
+TEST(Reduce, SharedInputPlaceBlocksFusion) {
+  // t and u both consume from `shared`: t is then in structural conflict
+  // with u, and fusing would change the forcing behavior (the fused
+  // transition waits for two tokens where t alone was forced at one), so
+  // the conservative rule must refuse.
+  TimePetriNet net("dup");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId shared = net.add_place("shared", 2);
+  const PlaceId m = net.add_place("m", 0);
+  const PlaceId b = net.add_place("b", 0);
+  const TransitionId t = net.add_transition("t", TimeInterval(0, 0));
+  const TransitionId u = net.add_transition("u", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_input(t, shared);
+  net.add_output(t, m);
+  net.add_input(u, m);
+  net.add_input(u, shared);
+  net.add_output(u, b);
+  ASSERT_TRUE(net.validate().ok());
+  ReductionReport report;
+  auto reduced = reduce_series(net, &report);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+}
+
+TEST(Reduce, GeneratedModelsAreResourceGuarded) {
+  // Every [0,0] glue transition the builder emits (grants, acquires,
+  // finishes) takes a shared resource or conflict place as a side
+  // condition, so the conservative fusion rule leaves built models intact
+  // — reduction is a utility for hand-written/imported nets, while the
+  // compact *block style* plays the fusion role inside the pipeline.
+  auto spec = workload::mine_pump_specification();
+  builder::BuildOptions options;
+  options.style = builder::BlockStyle::kPaper;
+  auto model = builder::build_tpn(spec, options).value();
+
+  ReductionOptions reduction;
+  reduction.fuse_role_transitions = true;
+  ReductionReport report;
+  auto reduced = reduce_series(model.net, &report, reduction);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(report.fused_transitions, 0u);
+
+  const auto original = sched::DfsScheduler(model.net).search();
+  const auto same = sched::DfsScheduler(reduced.value()).search();
+  EXPECT_EQ(original.status, sched::SearchStatus::kFeasible);
+  EXPECT_EQ(same.status, sched::SearchStatus::kFeasible);
+  EXPECT_EQ(same.trace.size(), original.trace.size());
+}
+
+TEST(Reduce, IdempotentOnCompactModel) {
+  auto model = builder::build_tpn(workload::mine_pump_specification())
+                   .value();
+  ReductionReport first_report;
+  auto once = reduce_series(model.net, &first_report);
+  ASSERT_TRUE(once.ok());
+  ReductionReport second_report;
+  auto twice = reduce_series(once.value(), &second_report);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(second_report.fused_transitions, 0u);
+  EXPECT_EQ(stats(once.value()).transitions,
+            stats(twice.value()).transitions);
+}
+
+}  // namespace
+}  // namespace ezrt::tpn

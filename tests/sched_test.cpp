@@ -1,0 +1,597 @@
+// Unit tests for the DFS scheduler: feasibility, infeasibility, pruning
+// modes, partial-order reduction, trace replay and schedule extraction.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "sched/dfs.hpp"
+#include "sched/schedule_table.hpp"
+#include "tpn/analysis.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::sched {
+namespace {
+
+using builder::BlockStyle;
+using builder::BuildOptions;
+using builder::BuiltModel;
+using spec::SchedulingType;
+using spec::Specification;
+using spec::TimingConstraints;
+
+[[nodiscard]] BuiltModel build(const Specification& s,
+                               BuildOptions options = {}) {
+  auto model = builder::build_tpn(s, options);
+  EXPECT_TRUE(model.ok()) << (model.ok() ? "" : model.error().to_string());
+  return std::move(model).value();
+}
+
+[[nodiscard]] Specification two_tasks() {
+  Specification s("two");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 2, 8, 10});
+  s.add_task("B", TimingConstraints{0, 0, 3, 9, 10});
+  return s;
+}
+
+// -- Hand-built nets -----------------------------------------------------------
+
+TEST(Dfs, TrivialGoalAtInitialState) {
+  tpn::TimePetriNet net;
+  net.add_place("pend", 1, tpn::PlaceRole::kEnd);
+  net.add_place("p", 1);
+  const auto t = net.add_transition("t", TimeInterval(0, 0));
+  net.add_input(t, PlaceId(1));
+  ASSERT_TRUE(net.validate().ok());
+
+  DfsScheduler scheduler(net);
+  const SearchOutcome out = scheduler.search();
+  EXPECT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_TRUE(out.trace.empty());
+  EXPECT_EQ(out.stats.states_visited, 1u);
+}
+
+TEST(Dfs, LinearChainReachesGoal) {
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const PlaceId end = net.add_place("pend", 0, tpn::PlaceRole::kEnd);
+  const auto t1 = net.add_transition("t1", TimeInterval(2, 4));
+  const auto t2 = net.add_transition("t2", TimeInterval(1, 1));
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  net.add_input(t2, b);
+  net.add_output(t2, end);
+  ASSERT_TRUE(net.validate().ok());
+
+  DfsScheduler scheduler(net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  ASSERT_EQ(out.trace.size(), 2u);
+  EXPECT_EQ(out.trace[0].transition, t1);
+  EXPECT_EQ(out.trace[0].delay, 2u);  // earliest policy
+  EXPECT_EQ(out.trace[1].at, 3u);
+}
+
+TEST(Dfs, UnreachableGoalIsInfeasible) {
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  net.add_place("pend", 0, tpn::PlaceRole::kEnd);  // never marked
+  const auto t = net.add_transition("t", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_output(t, b);
+  ASSERT_TRUE(net.validate().ok());
+
+  DfsScheduler scheduler(net);
+  const SearchOutcome out = scheduler.search();
+  EXPECT_EQ(out.status, SearchStatus::kInfeasible);
+  EXPECT_TRUE(out.trace.empty());
+  EXPECT_GT(out.stats.backtracks, 0u);
+}
+
+TEST(Dfs, CustomGoalPredicate) {
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const auto t = net.add_transition("t", TimeInterval(0, 0));
+  net.add_input(t, a);
+  net.add_output(t, b);
+  ASSERT_TRUE(net.validate().ok());
+
+  DfsScheduler scheduler(net);
+  scheduler.set_goal(
+      [&](const tpn::Marking& m) { return m[b] == 1; });
+  EXPECT_EQ(scheduler.search().status, SearchStatus::kFeasible);
+}
+
+TEST(Dfs, BacktracksOverWrongChoice) {
+  // Conflict: t_good leads to the goal, t_bad to a dead end. The DFS must
+  // recover via backtracking regardless of candidate order.
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId dead = net.add_place("dead", 0);
+  const PlaceId end = net.add_place("pend", 0, tpn::PlaceRole::kEnd);
+  const auto bad =
+      net.add_transition("bad", TimeInterval(0, 1), /*priority=*/1);
+  const auto good =
+      net.add_transition("good", TimeInterval(0, 1), /*priority=*/2);
+  net.add_input(bad, a);
+  net.add_output(bad, dead);
+  net.add_input(good, a);
+  net.add_output(good, end);
+  ASSERT_TRUE(net.validate().ok());
+
+  SchedulerOptions options;
+  options.pruning = PruningMode::kNone;  // keep both candidates
+  DfsScheduler scheduler(net, options);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  ASSERT_EQ(out.trace.size(), 1u);
+  EXPECT_EQ(out.trace[0].transition, good);
+  EXPECT_GE(out.stats.backtracks, 1u);
+}
+
+TEST(Dfs, PriorityFilterCanLoseSchedules) {
+  // Same net: with the paper's FT_P filter, only the min-priority (bad)
+  // branch is explored, so the search reports infeasible — documenting
+  // that the filter trades completeness for speed.
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId dead = net.add_place("dead", 0);
+  const PlaceId end = net.add_place("pend", 0, tpn::PlaceRole::kEnd);
+  const auto bad =
+      net.add_transition("bad", TimeInterval(0, 1), /*priority=*/1);
+  const auto good =
+      net.add_transition("good", TimeInterval(0, 1), /*priority=*/2);
+  net.add_input(bad, a);
+  net.add_output(bad, dead);
+  net.add_input(good, a);
+  net.add_output(good, end);
+  ASSERT_TRUE(net.validate().ok());
+
+  SchedulerOptions options;
+  options.pruning = PruningMode::kPriorityFilter;
+  DfsScheduler scheduler(net, options);
+  EXPECT_EQ(scheduler.search().status, SearchStatus::kInfeasible);
+}
+
+TEST(Dfs, MaxStatesLimit) {
+  Specification s = workload::mine_pump_specification();
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.max_states = 100;
+  DfsScheduler scheduler(model.net, options);
+  const SearchOutcome out = scheduler.search();
+  EXPECT_EQ(out.status, SearchStatus::kLimitReached);
+  EXPECT_LE(out.stats.states_visited, 101u);
+}
+
+TEST(Dfs, AllInDomainFindsDelayedFiring) {
+  // Goal requires t1 to fire at exactly time 3 within [0,5]: earliest-only
+  // misses it, the exhaustive policy finds it. The "gate" transition g
+  // with [3,3] must fire first; t1 after it.
+  tpn::TimePetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId g_in = net.add_place("g_in", 1);
+  const PlaceId g_out = net.add_place("g_out", 0);
+  const PlaceId end = net.add_place("pend", 0, tpn::PlaceRole::kEnd);
+  const auto t1 = net.add_transition("t1", TimeInterval(0, 5));
+  const auto gate = net.add_transition("gate", TimeInterval(3, 3));
+  // t1 consumes a AND g_out: it can only fire after the gate.
+  net.add_input(t1, a);
+  net.add_input(t1, g_out);
+  net.add_output(t1, end);
+  net.add_input(gate, g_in);
+  net.add_output(gate, g_out);
+  ASSERT_TRUE(net.validate().ok());
+
+  DfsScheduler scheduler(net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.trace.back().at, 3u);
+}
+
+TEST(Dfs, DeterministicAcrossRuns) {
+  Specification s = workload::mine_pump_specification();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome a = scheduler.search();
+  const SearchOutcome b = scheduler.search();
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stats.states_visited, b.stats.states_visited);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].transition, b.trace[i].transition);
+    EXPECT_EQ(a.trace[i].at, b.trace[i].at);
+  }
+}
+
+// -- Replay ---------------------------------------------------------------------
+
+TEST(Replay, AcceptsOwnTrace) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto final_state = scheduler.replay(out.trace);
+  ASSERT_TRUE(final_state.ok());
+  EXPECT_TRUE(tpn::is_final_marking(model.net,
+                                    final_state.value().marking()));
+}
+
+TEST(Replay, RejectsTamperedDelay) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  out.trace[0].delay += 1;  // violates the firing domain or timestamps
+  EXPECT_FALSE(scheduler.replay(out.trace).ok());
+}
+
+TEST(Replay, RejectsForeignTransitionOrder) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  std::swap(out.trace.front(), out.trace.back());
+  EXPECT_FALSE(scheduler.replay(out.trace).ok());
+}
+
+// -- Built models ----------------------------------------------------------------
+
+TEST(DfsOnModels, TwoTasksFeasible) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  // Compact blocks: fork + 2 arrivals + 2*(tr,tc,tf) + join = 10 firings.
+  EXPECT_EQ(out.trace.size(), 10u);
+}
+
+TEST(DfsOnModels, OverloadedSetInfeasible) {
+  // Two tasks, both need 6 of 10 units with deadline 10: U > 1.
+  Specification s("overload");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 6, 10, 10});
+  s.add_task("B", TimingConstraints{0, 0, 6, 10, 10});
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.pruning = PruningMode::kNone;  // full search, still infeasible
+  DfsScheduler scheduler(model.net, options);
+  EXPECT_EQ(scheduler.search().status, SearchStatus::kInfeasible);
+}
+
+TEST(DfsOnModels, NonPreemptiveBlockingInfeasibleButPreemptiveFeasible) {
+  // Long task C (c=8) + urgent A (d=2, p=5 phase 4): non-preemptive C
+  // blocks A past its deadline; making C preemptive fixes it.
+  auto make = [](SchedulingType mode) {
+    Specification s("blocking");
+    s.add_processor("cpu");
+    s.add_task("A", TimingConstraints{4, 0, 1, 2, 5});
+    s.add_task("C", TimingConstraints{0, 0, 8, 10, 10}, mode);
+    return s;
+  };
+  {
+    const BuiltModel model = build(make(SchedulingType::kNonPreemptive));
+    SchedulerOptions options;
+    options.pruning = PruningMode::kNone;
+    DfsScheduler scheduler(model.net, options);
+    EXPECT_EQ(scheduler.search().status, SearchStatus::kInfeasible);
+  }
+  {
+    const BuiltModel model = build(make(SchedulingType::kPreemptive));
+    DfsScheduler scheduler(model.net);
+    EXPECT_EQ(scheduler.search().status, SearchStatus::kFeasible);
+  }
+}
+
+TEST(DfsOnModels, PartialOrderReductionPreservesVerdictAndShrinksSpace) {
+  Specification s = workload::mine_pump_specification();
+  const BuiltModel model = build(s);
+
+  SchedulerOptions with_por;
+  with_por.partial_order_reduction = true;
+  SchedulerOptions without_por;
+  without_por.partial_order_reduction = false;
+
+  const SearchOutcome a = DfsScheduler(model.net, with_por).search();
+  const SearchOutcome b = DfsScheduler(model.net, without_por).search();
+  EXPECT_EQ(a.status, SearchStatus::kFeasible);
+  EXPECT_EQ(b.status, SearchStatus::kFeasible);
+  EXPECT_LE(a.stats.states_visited, b.stats.states_visited);
+}
+
+TEST(DfsOnModels, MinePumpMatchesPaperScale) {
+  // §5: 3268 states searched, minimum 3130, on the paper's machine 330 ms.
+  // The minimum (feasible path length) is reproduced exactly; the visited
+  // count depends on DFS tie-breaking and must stay in the same ballpark.
+  Specification s = workload::mine_pump_specification();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.trace.size(), 3130u);
+  EXPECT_GE(out.stats.states_visited, 3130u);
+  EXPECT_LE(out.stats.states_visited, 6000u);
+}
+
+TEST(DfsOnModels, PrecedenceOrdersExecution) {
+  Specification s("prec");
+  s.add_processor("cpu");
+  s.add_task("T1", TimingConstraints{0, 0, 15, 100, 250});
+  s.add_task("T2", TimingConstraints{0, 0, 20, 150, 250});
+  s.add_precedence(TaskId(0), TaskId(1));
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().items.size(), 2u);
+  const auto& items = table.value().items;
+  EXPECT_EQ(items[0].task, TaskId(0));
+  EXPECT_GE(items[1].start, items[0].start + items[0].duration);
+}
+
+// -- Schedule extraction -----------------------------------------------------------
+
+TEST(ScheduleExtraction, NonPreemptiveSegments) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().items.size(), 2u);
+  for (const ScheduleItem& item : table.value().items) {
+    EXPECT_FALSE(item.preempted);
+    EXPECT_EQ(item.instance, 0u);
+    EXPECT_EQ(item.duration,
+              s.task(item.task).timing.computation);
+  }
+  EXPECT_EQ(table.value().schedule_period, 10u);
+}
+
+TEST(ScheduleExtraction, PreemptiveChunksMerge) {
+  // One preemptive task alone: its chunks are contiguous and must merge
+  // into a single segment.
+  Specification s("solo");
+  s.add_processor("cpu");
+  s.add_task("P", TimingConstraints{0, 0, 5, 10, 10},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().items.size(), 1u);
+  EXPECT_EQ(table.value().items[0].duration, 5u);
+  EXPECT_FALSE(table.value().items[0].preempted);
+}
+
+TEST(ScheduleExtraction, PreemptionSetsResumeFlag) {
+  // Urgent A (phase 2, c=1, d=1) preempts long preemptive C (c=6, d=10):
+  // C must appear as >= 2 segments, continuations flagged.
+  Specification s("preempt");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{2, 0, 1, 1, 10});
+  s.add_task("C", TimingConstraints{0, 0, 6, 10, 10},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+
+  std::size_t c_segments = 0;
+  std::size_t resumed = 0;
+  Time c_total = 0;
+  for (const ScheduleItem& item : table.value().items) {
+    if (s.task(item.task).name == "C") {
+      ++c_segments;
+      c_total += item.duration;
+      resumed += item.preempted ? 1 : 0;
+    }
+  }
+  EXPECT_GE(c_segments, 2u);
+  EXPECT_EQ(resumed, c_segments - 1);
+  EXPECT_EQ(c_total, 6u);
+}
+
+TEST(ScheduleExtraction, TableIsSortedByStart) {
+  Specification s = workload::mine_pump_specification();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().items.size(), 782u);
+  for (std::size_t i = 1; i < table.value().items.size(); ++i) {
+    EXPECT_LE(table.value().items[i - 1].start,
+              table.value().items[i].start);
+  }
+  EXPECT_LE(table.value().makespan, 30000u);
+}
+
+TEST(ScheduleExtraction, Fig8StyleRendering) {
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  DfsScheduler scheduler(model.net);
+  const SearchOutcome out = scheduler.search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+  const std::string rendered = to_string(table.value(), s);
+  EXPECT_NE(rendered.find("struct ScheduleItem scheduleTable"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("(int *)A"), std::string::npos);
+  EXPECT_NE(rendered.find("starts"), std::string::npos);
+}
+
+// -- Optimizing objectives -----------------------------------------------------
+
+TEST(Optimize, MakespanMatchesFirstFeasibleOnSerialWork) {
+  // Two tasks on one CPU: any order completes at c1 + c2.
+  Specification s = two_tasks();
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeMakespan;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.best_cost, 5u);  // 2 + 3
+  EXPECT_GE(out.solutions_found, 1u);
+}
+
+TEST(Optimize, MakespanPrefersParallelProcessors) {
+  // Same two tasks on two CPUs: optimal makespan is max(c1, c2) = 3.
+  Specification s("dual");
+  s.add_processor("cpu0");
+  s.add_processor("cpu1");
+  spec::Task a;
+  a.name = "A";
+  a.timing = TimingConstraints{0, 0, 2, 8, 10};
+  a.processor = ProcessorId(0);
+  s.add_task(std::move(a));
+  spec::Task b;
+  b.name = "B";
+  b.timing = TimingConstraints{0, 0, 3, 9, 10};
+  b.processor = ProcessorId(1);
+  s.add_task(std::move(b));
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeMakespan;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.best_cost, 3u);
+}
+
+TEST(Optimize, SwitchesAvoidsNeedlessPreemption) {
+  // A preemptive long task and a short one with a generous deadline: the
+  // first-feasible search (deadline-monotonic order) may interleave, but
+  // zero-preemption schedules exist; the optimizer must find one with
+  // exactly 2 switches (one per task).
+  Specification s("np-possible");
+  s.add_processor("cpu");
+  s.add_task("L", TimingConstraints{0, 0, 6, 20, 20},
+             SchedulingType::kPreemptive);
+  s.add_task("S", TimingConstraints{0, 0, 2, 20, 20},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeSwitches;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.best_cost, 2u);
+}
+
+TEST(Optimize, SwitchesExploitsReleaseWindowToAvoidPreemption) {
+  // Urgent A (phase 2, d=1) vs long preemptive C (d=10): C's release
+  // window [0, 4] lets the optimizer *delay* C until after A — two
+  // switches, no preemption. (A greedy work-conserving scheduler would
+  // start C at 0 and pay three.)
+  Specification s("avoidable");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{2, 0, 1, 1, 10});
+  s.add_task("C", TimingConstraints{0, 0, 6, 10, 10},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeSwitches;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.best_cost, 2u);
+}
+
+TEST(Optimize, SwitchesPaysTrulyForcedPreemptions) {
+  // Tightening C's deadline to 7 closes the delay escape: C must start
+  // by t=1, A preempts at 2, C resumes — three switches minimum.
+  Specification s("forced");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{2, 0, 1, 1, 10});
+  s.add_task("C", TimingConstraints{0, 0, 6, 7, 10},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeSwitches;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  EXPECT_EQ(out.best_cost, 3u);
+}
+
+TEST(Optimize, OptimalTraceStillValidates) {
+  Specification s("valid");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{2, 0, 1, 2, 10});
+  s.add_task("C", TimingConstraints{0, 0, 6, 10, 10},
+             SchedulingType::kPreemptive);
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeSwitches;
+  options.pruning = PruningMode::kNone;
+  const SearchOutcome out = DfsScheduler(model.net, options).search();
+  ASSERT_EQ(out.status, SearchStatus::kFeasible);
+  // The optimal trace replays and extracts into a valid table.
+  DfsScheduler replayer(model.net);
+  ASSERT_TRUE(replayer.replay(out.trace).ok());
+  auto table = extract_schedule(s, model, out.trace);
+  ASSERT_TRUE(table.ok());
+}
+
+TEST(Optimize, InfeasibleStaysInfeasible) {
+  Specification s("overload");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 6, 10, 10});
+  s.add_task("B", TimingConstraints{0, 0, 6, 10, 10});
+  const BuiltModel model = build(s);
+  SchedulerOptions options;
+  options.objective = Objective::kMinimizeMakespan;
+  options.pruning = PruningMode::kNone;
+  EXPECT_EQ(DfsScheduler(model.net, options).search().status,
+            SearchStatus::kInfeasible);
+}
+
+TEST(Optimize, MakespanNeverWorseThanFirstFeasible) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    workload::WorkloadConfig config;
+    config.seed = seed;
+    config.tasks = 3;
+    config.utilization = 0.5;
+    config.period_pool = {16, 32};
+    auto s = workload::generate(config).value();
+    const BuiltModel model = build(s);
+
+    SchedulerOptions first;
+    first.pruning = PruningMode::kNone;
+    const SearchOutcome baseline = DfsScheduler(model.net, first).search();
+    if (baseline.status != SearchStatus::kFeasible) {
+      continue;
+    }
+    SchedulerOptions optimal = first;
+    optimal.objective = Objective::kMinimizeMakespan;
+    const SearchOutcome best = DfsScheduler(model.net, optimal).search();
+    ASSERT_EQ(best.status, SearchStatus::kFeasible) << "seed " << seed;
+    EXPECT_LE(best.best_cost, baseline.trace.back().at) << "seed " << seed;
+  }
+}
+
+TEST(SearchStatusNames, AllNamed) {
+  EXPECT_STREQ(to_string(SearchStatus::kFeasible), "feasible");
+  EXPECT_STREQ(to_string(SearchStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SearchStatus::kLimitReached), "limit-reached");
+}
+
+}  // namespace
+}  // namespace ezrt::sched

@@ -1,0 +1,114 @@
+// Unit tests for the WCET sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include "runtime/sensitivity.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::runtime {
+namespace {
+
+using spec::Specification;
+using spec::TimingConstraints;
+
+TEST(Sensitivity, UnschedulableBaselineShortCircuits) {
+  Specification s("overload");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 6, 10, 10});
+  s.add_task("B", TimingConstraints{0, 0, 6, 10, 10});
+  const SensitivityReport report = analyze_sensitivity(s);
+  EXPECT_FALSE(report.baseline_schedulable);
+  EXPECT_EQ(report.max_scaling_permille, 0u);
+  EXPECT_TRUE(report.headroom.empty());
+}
+
+TEST(Sensitivity, LightLoadScalesSubstantially) {
+  Specification s("light");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 10, 10});
+  const SensitivityReport report = analyze_sensitivity(s);
+  ASSERT_TRUE(report.baseline_schedulable);
+  // One task with c=1, d=10: c can grow to 10 => scaling cap hit (x4).
+  EXPECT_GE(report.max_scaling_permille, 3900u);
+  ASSERT_EQ(report.headroom.size(), 1u);
+  EXPECT_EQ(report.headroom[0].extra_wcet, 9u);  // c 1 -> 10 == d
+}
+
+TEST(Sensitivity, TightScheduleHasNoHeadroom) {
+  // Two tasks filling the period completely: any growth breaks it.
+  Specification s("tight");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 5, 10, 10});
+  s.add_task("B", TimingConstraints{0, 0, 5, 10, 10});
+  const SensitivityReport report = analyze_sensitivity(s);
+  ASSERT_TRUE(report.baseline_schedulable);
+  // WCETs are integers, so scaling quantizes: with c = 5 anything below
+  // x1.2 floors back to 5. The first factor that actually grows a budget
+  // (x1.2 -> c = 6) must be rejected.
+  EXPECT_LT(report.max_scaling_permille, 1200u);
+  for (const TaskHeadroom& h : report.headroom) {
+    EXPECT_EQ(h.extra_wcet, 0u) << s.task(h.task).name;
+  }
+}
+
+TEST(Sensitivity, HeadroomIsPerTask) {
+  // A short urgent task and a long lazy one: the lazy one has room.
+  Specification s("mixed");
+  s.add_processor("cpu");
+  s.add_task("urgent", TimingConstraints{0, 0, 2, 4, 20});
+  s.add_task("lazy", TimingConstraints{0, 0, 4, 20, 20});
+  const SensitivityReport report = analyze_sensitivity(s);
+  ASSERT_TRUE(report.baseline_schedulable);
+  ASSERT_EQ(report.headroom.size(), 2u);
+  const Time urgent_room = report.headroom[0].extra_wcet;
+  const Time lazy_room = report.headroom[1].extra_wcet;
+  EXPECT_LE(urgent_room, 2u);   // bounded by d - c = 2
+  EXPECT_GE(lazy_room, 10u);    // plenty of idle after both
+}
+
+TEST(Sensitivity, MinePumpHeadroom) {
+  const SensitivityReport report =
+      analyze_sensitivity(workload::mine_pump_specification());
+  ASSERT_TRUE(report.baseline_schedulable);
+  // U = 0.30 leaves real scaling room; the binding constraint is PMC's
+  // 10-of-20 deadline window against 25-unit CH4H blocking.
+  EXPECT_GT(report.max_scaling_permille, 1000u);
+  ASSERT_EQ(report.headroom.size(), 10u);
+  for (const TaskHeadroom& h : report.headroom) {
+    EXPECT_GE(h.extra_wcet, 0u);
+  }
+}
+
+TEST(Sensitivity, RespectsSchedulerOptions) {
+  // The crafted idle-insertion set: pruned-search baseline is
+  // unschedulable, complete-search baseline is schedulable.
+  Specification s("crafted");
+  s.add_processor("cpu");
+  s.add_task("long", TimingConstraints{0, 0, 5, 9, 10});
+  s.add_task("short", TimingConstraints{1, 0, 2, 2, 10});
+
+  const SensitivityReport pruned = analyze_sensitivity(s);
+  EXPECT_FALSE(pruned.baseline_schedulable);
+
+  SensitivityOptions options;
+  options.scheduler.pruning = sched::PruningMode::kNone;
+  const SensitivityReport complete = analyze_sensitivity(s, options);
+  EXPECT_TRUE(complete.baseline_schedulable);
+}
+
+TEST(Sensitivity, ScalingNeverBelowBaseline) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::WorkloadConfig config;
+    config.seed = seed;
+    config.tasks = 4;
+    config.utilization = 0.4;
+    config.period_pool = {30, 60};
+    auto s = workload::generate(config).value();
+    const SensitivityReport report = analyze_sensitivity(s);
+    if (report.baseline_schedulable) {
+      EXPECT_GE(report.max_scaling_permille, 1000u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ezrt::runtime

@@ -1,0 +1,240 @@
+// Unit tests for the specification metamodel and its semantic validation.
+#include <gtest/gtest.h>
+
+#include "base/assert.hpp"
+#include "spec/specification.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::spec {
+namespace {
+
+[[nodiscard]] Specification two_task_spec() {
+  Specification s("demo");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 2, 8, 10});
+  s.add_task("B", TimingConstraints{0, 0, 3, 9, 10});
+  return s;
+}
+
+TEST(Specification, ValidatesMinimalSpec) {
+  Specification s = two_task_spec();
+  EXPECT_TRUE(s.validate().ok());
+}
+
+TEST(Specification, RejectsEmptyTaskSet) {
+  Specification s("empty");
+  s.add_processor("cpu");
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, RejectsMissingProcessor) {
+  Specification s("no-cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 2, 4});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, TasksDefaultToFirstProcessor) {
+  Specification s = two_task_spec();
+  ASSERT_TRUE(s.validate().ok());
+  EXPECT_EQ(s.task(TaskId(0)).processor, ProcessorId(0));
+}
+
+TEST(Specification, RejectsZeroComputation) {
+  Specification s("bad");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 0, 5, 10});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, RejectsDeadlineBeyondPeriod) {
+  Specification s("bad");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 20, 10});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, RejectsComputationBeyondDeadline) {
+  Specification s("bad");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 6, 5, 10});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, RejectsEmptyReleaseWindow) {
+  // r + c > d leaves no instant at which the task could start on time.
+  Specification s("bad");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 5, 3, 7, 10});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, AcceptsTightReleaseWindow) {
+  Specification s("ok");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 4, 3, 7, 10});  // window [4,4]
+  EXPECT_TRUE(s.validate().ok());
+}
+
+TEST(Specification, RejectsDuplicateTaskNames) {
+  Specification s("dups");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 5, 10});
+  s.add_task("A", TimingConstraints{0, 0, 1, 5, 10});
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Specification, MintsIdentifiers) {
+  Specification s = two_task_spec();
+  ASSERT_TRUE(s.validate().ok());
+  EXPECT_FALSE(s.task(TaskId(0)).identifier.empty());
+  EXPECT_NE(s.task(TaskId(0)).identifier, s.task(TaskId(1)).identifier);
+}
+
+TEST(Specification, FindTaskByName) {
+  Specification s = two_task_spec();
+  EXPECT_EQ(s.find_task("B"), TaskId(1));
+  EXPECT_FALSE(s.find_task("Z").has_value());
+}
+
+// -- Relations ----------------------------------------------------------------
+
+TEST(Relations, PrecedenceIsRecorded) {
+  Specification s = two_task_spec();
+  s.add_precedence(TaskId(0), TaskId(1));
+  ASSERT_EQ(s.task(TaskId(0)).precedes.size(), 1u);
+  EXPECT_EQ(s.task(TaskId(0)).precedes[0], TaskId(1));
+  EXPECT_TRUE(s.validate().ok());
+}
+
+TEST(Relations, PrecedenceDeduplicates) {
+  Specification s = two_task_spec();
+  s.add_precedence(TaskId(0), TaskId(1));
+  s.add_precedence(TaskId(0), TaskId(1));
+  EXPECT_EQ(s.task(TaskId(0)).precedes.size(), 1u);
+}
+
+TEST(Relations, SelfPrecedenceRefused) {
+  Specification s = two_task_spec();
+  EXPECT_THROW(s.add_precedence(TaskId(0), TaskId(0)), ContractViolation);
+}
+
+TEST(Relations, PrecedenceCycleRejected) {
+  Specification s("cycle");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 5, 10});
+  s.add_task("B", TimingConstraints{0, 0, 1, 5, 10});
+  s.add_task("C", TimingConstraints{0, 0, 1, 5, 10});
+  s.add_precedence(TaskId(0), TaskId(1));
+  s.add_precedence(TaskId(1), TaskId(2));
+  s.add_precedence(TaskId(2), TaskId(0));
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Relations, ExclusionIsSymmetric) {
+  // §3.2: if A EXCLUDES B then B EXCLUDES A.
+  Specification s = two_task_spec();
+  s.add_exclusion(TaskId(0), TaskId(1));
+  ASSERT_EQ(s.task(TaskId(0)).excludes.size(), 1u);
+  ASSERT_EQ(s.task(TaskId(1)).excludes.size(), 1u);
+  EXPECT_TRUE(s.validate().ok());
+}
+
+TEST(Relations, AsymmetricExclusionDetectedOnValidate) {
+  Specification s = two_task_spec();
+  // Bypass add_exclusion to simulate a hand-edited document.
+  s.task(TaskId(0)).excludes.push_back(TaskId(1));
+  EXPECT_FALSE(s.validate().ok());
+}
+
+// -- Messages -----------------------------------------------------------------
+
+TEST(Messages, ConnectedMessageValidates) {
+  Specification s = two_task_spec();
+  Message m;
+  m.name = "M1";
+  m.bus = "can0";
+  m.communication = 2;
+  const MessageId id = s.add_message(std::move(m));
+  s.connect_message(TaskId(0), id, TaskId(1));
+  EXPECT_TRUE(s.validate().ok());
+  EXPECT_EQ(s.message(id).sender, TaskId(0));
+  EXPECT_EQ(s.message(id).receiver, TaskId(1));
+  EXPECT_EQ(s.task(TaskId(0)).precedes_msgs.size(), 1u);
+}
+
+TEST(Messages, UnconnectedMessageRejected) {
+  Specification s = two_task_spec();
+  Message m;
+  m.name = "M1";
+  m.bus = "can0";
+  s.add_message(std::move(m));
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(Messages, SelfLoopRejected) {
+  Specification s = two_task_spec();
+  Message m;
+  m.name = "M1";
+  m.bus = "can0";
+  const MessageId id = s.add_message(std::move(m));
+  s.connect_message(TaskId(0), id, TaskId(0));
+  EXPECT_FALSE(s.validate().ok());
+}
+
+// -- Derived quantities ---------------------------------------------------------
+
+TEST(Derived, SchedulePeriodIsLcm) {
+  Specification s("lcm");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.add_task("B", TimingConstraints{0, 0, 1, 6, 6});
+  auto ps = s.schedule_period();
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps.value(), 12u);
+}
+
+TEST(Derived, InstanceCounts) {
+  Specification s("inst");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 1, 4, 4});
+  s.add_task("B", TimingConstraints{0, 0, 1, 6, 6});
+  EXPECT_EQ(s.instance_count(TaskId(0)).value(), 3u);
+  EXPECT_EQ(s.instance_count(TaskId(1)).value(), 2u);
+  EXPECT_EQ(s.total_instances().value(), 5u);
+}
+
+TEST(Derived, MinePumpInstanceCountMatchesPaper) {
+  // §5: "10 tasks, implying 782 tasks' instances".
+  spec::Specification s = workload::mine_pump_specification();
+  EXPECT_EQ(s.task_count(), 10u);
+  EXPECT_EQ(s.schedule_period().value(), 30000u);
+  EXPECT_EQ(s.total_instances().value(), 782u);
+}
+
+TEST(Derived, Utilization) {
+  Specification s("util");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 2, 10, 10});  // 0.2
+  s.add_task("B", TimingConstraints{0, 0, 5, 20, 20});  // 0.25
+  EXPECT_NEAR(s.utilization(), 0.45, 1e-9);
+}
+
+TEST(Derived, HyperPeriodOverflowReported) {
+  Specification s("overflow");
+  s.add_processor("cpu");
+  // Large mutually prime periods whose LCM exceeds 64 bits.
+  s.add_task("A", TimingConstraints{0, 0, 1, 1, (1ull << 62) - 1});
+  s.add_task("B", TimingConstraints{0, 0, 1, 1, (1ull << 61) - 1});
+  s.add_task("C", TimingConstraints{0, 0, 1, 1, (1ull << 60) - 1});
+  auto ps = s.schedule_period();
+  ASSERT_FALSE(ps.ok());
+  EXPECT_EQ(ps.error().code(), ErrorCode::kLimitExceeded);
+}
+
+TEST(SchedulingType, Names) {
+  EXPECT_STREQ(to_string(SchedulingType::kPreemptive), "preemptive");
+  EXPECT_STREQ(to_string(SchedulingType::kNonPreemptive), "non-preemptive");
+}
+
+}  // namespace
+}  // namespace ezrt::spec

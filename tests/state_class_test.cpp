@@ -1,0 +1,228 @@
+// Unit tests for the dense-time state-class graph, including
+// cross-validation against the discrete-clock engine.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "sched/dfs.hpp"
+#include "sched/reachability.hpp"
+#include "tpn/state_class.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::tpn {
+namespace {
+
+TEST(StateClass, InitialDomainIsStaticIntervals) {
+  TimePetriNet net("init");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 1);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(2, 5));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(1, 9));
+  net.add_input(t1, a);
+  net.add_output(t1, o);
+  net.add_input(t2, b);
+  net.add_output(t2, o);
+  ASSERT_TRUE(net.validate().ok());
+
+  const StateClass c0 = StateClass::initial(net);
+  ASSERT_EQ(c0.enabled().size(), 2u);
+  EXPECT_EQ(c0.earliest(t1), 2u);
+  EXPECT_EQ(c0.latest(t1), 5u);
+  EXPECT_EQ(c0.earliest(t2), 1u);
+  EXPECT_EQ(c0.latest(t2), 9u);
+}
+
+TEST(StateClass, FirabilityRequiresBeatingOtherUpperBounds) {
+  // t_late [9,9] can never fire before t_soon's LFT 3.
+  TimePetriNet net("order");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 1);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId late = net.add_transition("late", TimeInterval(9, 9));
+  const TransitionId soon = net.add_transition("soon", TimeInterval(0, 3));
+  net.add_input(late, a);
+  net.add_output(late, o);
+  net.add_input(soon, b);
+  net.add_output(soon, o);
+  ASSERT_TRUE(net.validate().ok());
+
+  const StateClass c0 = StateClass::initial(net);
+  EXPECT_FALSE(c0.firable(net, late));
+  EXPECT_TRUE(c0.firable(net, soon));
+  const auto firable = c0.firable_set(net);
+  ASSERT_EQ(firable.size(), 1u);
+  EXPECT_EQ(firable[0], soon);
+}
+
+TEST(StateClass, OverlappingIntervalsBothFirable) {
+  TimePetriNet net("overlap");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 1);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(2, 6));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(4, 8));
+  net.add_input(t1, a);
+  net.add_output(t1, o);
+  net.add_input(t2, b);
+  net.add_output(t2, o);
+  ASSERT_TRUE(net.validate().ok());
+  const StateClass c0 = StateClass::initial(net);
+  EXPECT_TRUE(c0.firable(net, t1));
+  EXPECT_TRUE(c0.firable(net, t2));  // can fire at 4..6 before t1's LFT
+}
+
+TEST(StateClass, PersistentTransitionKeepsElapsedTime) {
+  // Fire t1 (forced in [2,2]); persistent t2 [0,10] has then waited
+  // exactly 2: its remaining window is [0, 8] relative to the new class.
+  TimePetriNet net("persist");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 1);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(2, 2));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(0, 10));
+  net.add_input(t1, a);
+  net.add_output(t1, o);
+  net.add_input(t2, b);
+  net.add_output(t2, o);
+  ASSERT_TRUE(net.validate().ok());
+
+  const StateClass c1 = StateClass::initial(net).fire(net, t1);
+  ASSERT_EQ(c1.enabled().size(), 1u);
+  EXPECT_EQ(c1.earliest(t2), 0u);
+  EXPECT_EQ(c1.latest(t2), 8u);
+}
+
+TEST(StateClass, NewlyEnabledGetsFreshInterval) {
+  TimePetriNet net("fresh");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId mid = net.add_place("mid", 0);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(1, 4));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(3, 7));
+  net.add_input(t1, a);
+  net.add_output(t1, mid);
+  net.add_input(t2, mid);
+  net.add_output(t2, o);
+  ASSERT_TRUE(net.validate().ok());
+
+  const StateClass c1 = StateClass::initial(net).fire(net, t1);
+  EXPECT_EQ(c1.earliest(t2), 3u);
+  EXPECT_EQ(c1.latest(t2), 7u);
+}
+
+TEST(StateClass, UnboundedLftSurvivesFiring) {
+  TimePetriNet net("inf");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 1);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(1, 1));
+  const TransitionId lazy =
+      net.add_transition("lazy", TimeInterval::at_least(0));
+  net.add_input(t1, a);
+  net.add_output(t1, o);
+  net.add_input(lazy, b);
+  net.add_output(lazy, o);
+  ASSERT_TRUE(net.validate().ok());
+  const StateClass c1 = StateClass::initial(net).fire(net, t1);
+  EXPECT_EQ(c1.latest(lazy), kTimeInfinity);
+}
+
+TEST(StateClass, EqualityIsCanonical) {
+  TimePetriNet net("canon");
+  const PlaceId a = net.add_place("a", 2);
+  const PlaceId o = net.add_place("o", 0);
+  const TransitionId t = net.add_transition("t", TimeInterval(1, 1));
+  net.add_input(t, a);
+  net.add_output(t, o);
+  ASSERT_TRUE(net.validate().ok());
+  // Firing t once from a 2-token pool re-enables it freshly: the class
+  // after one firing has the same domain shape as the initial class but
+  // a different marking.
+  const StateClass c0 = StateClass::initial(net);
+  const StateClass c1 = c0.fire(net, t);
+  EXPECT_FALSE(c0 == c1);
+  EXPECT_NE(c0.hash(), c1.hash());
+  // And equal construction paths yield equal classes.
+  const StateClass c1b = StateClass::initial(net).fire(net, t);
+  EXPECT_TRUE(c1 == c1b);
+  EXPECT_EQ(c1.hash(), c1b.hash());
+}
+
+TEST(ClassGraph, LinearChainHasOneClassPerStep) {
+  TimePetriNet net("chain");
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const PlaceId end = net.add_place("pend", 0, PlaceRole::kEnd);
+  const TransitionId t1 = net.add_transition("t1", TimeInterval(1, 2));
+  const TransitionId t2 = net.add_transition("t2", TimeInterval(0, 5));
+  net.add_input(t1, a);
+  net.add_output(t1, b);
+  net.add_input(t2, b);
+  net.add_output(t2, end);
+  ASSERT_TRUE(net.validate().ok());
+
+  const ClassGraphResult result = build_class_graph(net);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.classes_explored, 3u);
+  EXPECT_TRUE(result.final_reachable);
+  EXPECT_FALSE(result.miss_reachable);
+}
+
+TEST(ClassGraph, BoundHonored) {
+  auto model =
+      builder::build_tpn(workload::mine_pump_specification()).value();
+  ClassGraphOptions options;
+  options.max_classes = 500;
+  const ClassGraphResult result = build_class_graph(model.net, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.classes_explored, 500u);
+}
+
+/// Cross-validation: for the integer-interval models the builder emits,
+/// the dense-time class graph and the discrete-clock reachability agree
+/// on goal reachability.
+class ClassGraphAgreement : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassGraphAgreement, FinalMarkingVerdictsMatchDiscreteEngine) {
+  workload::WorkloadConfig config;
+  config.seed = GetParam();
+  config.tasks = 3;
+  config.utilization = 0.5;
+  config.period_pool = {12, 24};
+  config.deadline_min_factor = 0.7;
+  auto s = workload::generate(config).value();
+  auto model = builder::build_tpn(s).value();
+
+  const ClassGraphResult dense = build_class_graph(model.net);
+  ASSERT_TRUE(dense.complete);
+
+  const sched::ReachabilityResult discrete = sched::explore(model.net);
+  ASSERT_TRUE(discrete.complete);
+
+  EXPECT_EQ(dense.final_reachable, discrete.final_reachable)
+      << "dense and discrete engines disagree";
+  // Dense time can only see *more* behaviors (non-integer firing times),
+  // so a discrete miss implies a dense miss.
+  if (discrete.miss_reachable) {
+    EXPECT_TRUE(dense.miss_reachable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassGraphAgreement,
+                         testing::Range<std::uint64_t>(1, 9));
+
+TEST(ClassGraph, Fig3ModelFullyAnalyzed) {
+  spec::Specification s("fig3");
+  s.add_processor("cpu");
+  s.add_task("T1", spec::TimingConstraints{0, 0, 15, 100, 250});
+  s.add_task("T2", spec::TimingConstraints{0, 0, 20, 150, 250});
+  s.add_precedence(TaskId(0), TaskId(1));
+  auto model = builder::build_tpn(s).value();
+  const ClassGraphResult result = build_class_graph(model.net);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.final_reachable);
+  EXPECT_GT(result.classes_explored, 5u);
+}
+
+}  // namespace
+}  // namespace ezrt::tpn

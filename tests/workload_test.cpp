@@ -1,0 +1,198 @@
+// Unit tests for the synthetic workload generator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/generator.hpp"
+
+namespace ezrt::workload {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10 && !diverged; ++i) {
+    diverged = a.next() != b.next();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(UUniFast, SharesSumToTotal) {
+  Rng rng(11);
+  const auto shares = uunifast(8, 0.75, rng);
+  ASSERT_EQ(shares.size(), 8u);
+  const double sum = std::accumulate(shares.begin(), shares.end(), 0.0);
+  EXPECT_NEAR(sum, 0.75, 1e-9);
+  for (double share : shares) {
+    EXPECT_GT(share, 0.0);
+    EXPECT_LT(share, 0.75);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsAll) {
+  Rng rng(11);
+  const auto shares = uunifast(1, 0.4, rng);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_NEAR(shares[0], 0.4, 1e-12);
+}
+
+TEST(Generator, ProducesValidSpecification) {
+  WorkloadConfig config;
+  config.tasks = 8;
+  config.utilization = 0.6;
+  config.seed = 42;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().task_count(), 8u);
+  // validate() was already run by the generator; a second call must agree.
+  spec::Specification copy = s.value();
+  EXPECT_TRUE(copy.validate().ok());
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.tasks = 6;
+  config.seed = 99;
+  auto a = generate(config);
+  auto b = generate(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (TaskId id : a.value().task_ids()) {
+    EXPECT_EQ(a.value().task(id).timing.period,
+              b.value().task(id).timing.period);
+    EXPECT_EQ(a.value().task(id).timing.computation,
+              b.value().task(id).timing.computation);
+    EXPECT_EQ(a.value().task(id).timing.deadline,
+              b.value().task(id).timing.deadline);
+  }
+}
+
+TEST(Generator, UtilizationCloseToTarget) {
+  WorkloadConfig config;
+  config.tasks = 10;
+  config.utilization = 0.5;
+  config.seed = 7;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());
+  // Rounding WCETs to integers distorts the sum a little.
+  EXPECT_NEAR(s.value().utilization(), 0.5, 0.15);
+}
+
+TEST(Generator, PeriodsComeFromPool) {
+  WorkloadConfig config;
+  config.tasks = 20;
+  config.period_pool = {30, 60};
+  config.seed = 13;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());
+  for (TaskId id : s.value().task_ids()) {
+    const Time p = s.value().task(id).timing.period;
+    EXPECT_TRUE(p == 30 || p == 60) << p;
+  }
+  EXPECT_EQ(s.value().schedule_period().value(), 60u);
+}
+
+TEST(Generator, PreemptiveFractionRespected) {
+  WorkloadConfig config;
+  config.tasks = 40;
+  config.preemptive_fraction = 1.0;
+  config.seed = 3;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());
+  for (TaskId id : s.value().task_ids()) {
+    EXPECT_EQ(s.value().task(id).scheduling,
+              spec::SchedulingType::kPreemptive);
+  }
+}
+
+TEST(Generator, PrecedenceEdgesAcyclicAndSamePeriod) {
+  WorkloadConfig config;
+  config.tasks = 12;
+  config.precedence_edges = 6;
+  config.period_pool = {50};
+  config.seed = 21;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());  // validate() inside would reject cycles
+  std::size_t edges = 0;
+  for (TaskId id : s.value().task_ids()) {
+    for (TaskId other : s.value().task(id).precedes) {
+      EXPECT_EQ(s.value().task(id).timing.period,
+                s.value().task(other).timing.period);
+      ++edges;
+    }
+  }
+  EXPECT_GT(edges, 0u);
+}
+
+TEST(Generator, ExclusionPairsSymmetric) {
+  WorkloadConfig config;
+  config.tasks = 8;
+  config.exclusion_pairs = 3;
+  config.seed = 17;
+  auto s = generate(config);
+  ASSERT_TRUE(s.ok());
+  for (TaskId id : s.value().task_ids()) {
+    for (TaskId other : s.value().task(id).excludes) {
+      const auto& back = s.value().task(other).excludes;
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  WorkloadConfig config;
+  config.tasks = 0;
+  EXPECT_FALSE(generate(config).ok());
+  config.tasks = 3;
+  config.period_pool.clear();
+  EXPECT_FALSE(generate(config).ok());
+  config.period_pool = {10};
+  config.utilization = 1.5;
+  EXPECT_FALSE(generate(config).ok());
+}
+
+TEST(MinePump, MatchesTableOne) {
+  const spec::Specification s = mine_pump_specification();
+  ASSERT_EQ(s.task_count(), 10u);
+  const TaskId pmc = *s.find_task("PMC");
+  EXPECT_EQ(s.task(pmc).timing.computation, 10u);
+  EXPECT_EQ(s.task(pmc).timing.deadline, 20u);
+  EXPECT_EQ(s.task(pmc).timing.period, 80u);
+  const TaskId afh = *s.find_task("AFH");
+  EXPECT_EQ(s.task(afh).timing.period, 6000u);
+  spec::Specification copy = s;
+  EXPECT_TRUE(copy.validate().ok());
+}
+
+}  // namespace
+}  // namespace ezrt::workload

@@ -1,0 +1,141 @@
+// Robustness sweeps for the XML substrate: randomly generated documents
+// must round-trip exactly, and randomly mutated documents must either
+// parse to *something* or be rejected cleanly — never crash or hang.
+#include <gtest/gtest.h>
+
+#include "base/strings.hpp"
+#include "workload/generator.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace ezrt::xml {
+namespace {
+
+/// Random structure generator: bounded depth/fanout, hostile-ish content.
+class DocBuilder {
+ public:
+  explicit DocBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] Document build() {
+    Document doc;
+    doc.root = std::make_unique<Element>(name());
+    populate(*doc.root, 0);
+    return doc;
+  }
+
+ private:
+  [[nodiscard]] std::string name() {
+    static constexpr const char* kNames[] = {"task", "net", "place",
+                                             "code", "a",   "rt-spec"};
+    return kNames[rng_.below(std::size(kNames))];
+  }
+
+  [[nodiscard]] std::string text() {
+    static constexpr const char* kTexts[] = {
+        "plain",           "a < b && c > d", "quote\"inside",
+        "ampers&nd",       "  spaced out  ", "tab\tand\nnewline",
+        "'apostrophe'",    "<looks-like-tag>", "unicode \xC3\xA9",
+    };
+    return kTexts[rng_.below(std::size(kTexts))];
+  }
+
+  void populate(Element& element, int depth) {
+    const std::uint64_t attributes = rng_.below(3);
+    for (std::uint64_t i = 0; i < attributes; ++i) {
+      element.set_attribute("attr" + std::to_string(i), text());
+    }
+    if (depth >= 3 || rng_.below(3) == 0) {
+      element.set_text(text());
+      return;
+    }
+    const std::uint64_t children = 1 + rng_.below(3);
+    for (std::uint64_t i = 0; i < children; ++i) {
+      populate(element.add_child(name()), depth + 1);
+    }
+  }
+
+  workload::Rng rng_;
+};
+
+/// Structural equality of two elements (names, attributes, trimmed text,
+/// children recursively).
+[[nodiscard]] bool same_structure(const Element& a, const Element& b) {
+  if (a.name() != b.name()) {
+    return false;
+  }
+  if (a.attributes().size() != b.attributes().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.attributes().size(); ++i) {
+    if (a.attributes()[i].name != b.attributes()[i].name ||
+        a.attributes()[i].value != b.attributes()[i].value) {
+      return false;
+    }
+  }
+  if (trim(a.text()) != trim(b.text())) {
+    return false;
+  }
+  if (a.children().size() != b.children().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (!same_structure(*a.children()[i], *b.children()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class XmlFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzz, RandomDocumentsRoundTrip) {
+  DocBuilder builder(GetParam());
+  const Document original = builder.build();
+  const std::string serialized = to_string(original);
+  auto reparsed = parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  EXPECT_TRUE(same_structure(*original.root, *reparsed.value().root))
+      << serialized;
+}
+
+TEST_P(XmlFuzz, MutatedDocumentsNeverCrash) {
+  DocBuilder builder(GetParam());
+  std::string document = to_string(builder.build());
+  workload::Rng rng(GetParam() * 31 + 7);
+  // Apply a handful of byte-level mutations; the parser must terminate
+  // with either a document or an error for every variant.
+  for (int round = 0; round < 20; ++round) {
+    std::string mutated = document;
+    const std::uint64_t kind = rng.below(4);
+    const std::size_t pos = rng.below(mutated.size());
+    switch (kind) {
+      case 0:
+        mutated.erase(pos, 1 + rng.below(4));
+        break;
+      case 1:
+        mutated.insert(pos, std::string("<&\">") +
+                                static_cast<char>('a' + rng.below(26)));
+        break;
+      case 2:
+        mutated[pos] = static_cast<char>(rng.below(128));
+        break;
+      default:
+        mutated = mutated.substr(0, pos);  // truncation
+        break;
+    }
+    auto result = parse(mutated);
+    if (result.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      EXPECT_TRUE(parse(to_string(*result.value().root)).ok());
+    } else {
+      EXPECT_FALSE(result.error().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz,
+                         testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ezrt::xml

@@ -1,0 +1,209 @@
+// Unit tests for the XML substrate: DOM, parser, writer, round-trips.
+#include <gtest/gtest.h>
+
+#include "base/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace ezrt::xml {
+namespace {
+
+TEST(XmlParser, ParsesMinimalDocument) {
+  auto doc = parse("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->name(), "root");
+  EXPECT_TRUE(doc.value().root->children().empty());
+}
+
+TEST(XmlParser, ParsesDeclarationAndComments) {
+  auto doc = parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- a comment -->\n"
+      "<root><!-- inner --><child/></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->children().size(), 1u);
+}
+
+TEST(XmlParser, ParsesAttributes) {
+  auto doc = parse("<task name=\"T1\" period='80'/>");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.attribute("name"), "T1");
+  EXPECT_EQ(root.attribute("period"), "80");
+  EXPECT_FALSE(root.attribute("missing").has_value());
+}
+
+TEST(XmlParser, ParsesNestedElementsAndText) {
+  auto doc = parse("<a><b>hello</b><b>world</b></a>");
+  ASSERT_TRUE(doc.ok());
+  const auto children = doc.value().root->find_children("b");
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0]->text(), "hello");
+  EXPECT_EQ(children[1]->text(), "world");
+}
+
+TEST(XmlParser, DecodesPredefinedEntities) {
+  auto doc = parse("<x>a &lt; b &amp;&amp; c &gt; d &quot;&apos;</x>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "a < b && c > d \"'");
+}
+
+TEST(XmlParser, DecodesCharacterReferences) {
+  auto doc = parse("<x>&#65;&#x42;</x>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "AB");
+}
+
+TEST(XmlParser, DecodesUtf8CharacterReference) {
+  auto doc = parse("<x>&#233;</x>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "\xC3\xA9");
+}
+
+TEST(XmlParser, ParsesCdata) {
+  auto doc = parse("<code><![CDATA[if (a < b) { x &= 1; }]]></code>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "if (a < b) { x &= 1; }");
+}
+
+TEST(XmlParser, AttributeEntitiesDecoded) {
+  auto doc = parse("<x v=\"a&amp;b\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->attribute("v"), "a&b");
+}
+
+TEST(XmlParser, SkipsDoctype) {
+  auto doc = parse("<!DOCTYPE pnml><pnml/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->name(), "pnml");
+}
+
+TEST(XmlParser, RejectsMismatchedTags) {
+  auto doc = parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.error().code(), ErrorCode::kParseError);
+}
+
+TEST(XmlParser, RejectsUnterminatedElement) {
+  EXPECT_FALSE(parse("<a><b>").ok());
+}
+
+TEST(XmlParser, RejectsContentAfterRoot) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParser, RejectsUnknownEntity) {
+  EXPECT_FALSE(parse("<a>&nope;</a>").ok());
+}
+
+TEST(XmlParser, RejectsMissingRoot) {
+  EXPECT_FALSE(parse("   ").ok());
+}
+
+TEST(XmlParser, ErrorCarriesLineInformation) {
+  auto doc = parse("<a>\n\n<b oops</b></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message().find("line 3"), std::string::npos);
+}
+
+TEST(XmlDom, RequireAttributeReportsElement) {
+  Element e("place");
+  auto r = e.require_attribute("id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("place"), std::string::npos);
+}
+
+TEST(XmlDom, SetAttributeReplaces) {
+  Element e("x");
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.attribute("k"), "2");
+}
+
+TEST(XmlDom, LabelTextReadsPnmlConvention) {
+  auto doc = parse("<place><name><text> pst_T1 </text></name></place>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->label_text("name"), "pst_T1");
+}
+
+TEST(XmlDom, LabelTextFallsBackToDirectText) {
+  auto doc = parse("<task><name>T1</name></task>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->label_text("name"), "T1");
+}
+
+TEST(XmlWriter, EscapesTextAndAttributes) {
+  Element e("x");
+  e.set_attribute("v", "a<b\"c&d");
+  e.set_text("1 < 2 & 3");
+  const std::string out = to_string(e);
+  EXPECT_NE(out.find("a&lt;b&quot;c&amp;d"), std::string::npos);
+  EXPECT_NE(out.find("1 &lt; 2 &amp; 3"), std::string::npos);
+}
+
+TEST(XmlWriter, SelfClosesEmptyElements) {
+  Element e("empty");
+  EXPECT_EQ(to_string(e), "<empty/>\n");
+}
+
+TEST(XmlWriter, CompactLeafForm) {
+  Element e("name");
+  e.set_text("T1");
+  EXPECT_EQ(to_string(e), "<name>T1</name>\n");
+}
+
+TEST(XmlWriter, DocumentIncludesDeclaration) {
+  Document doc;
+  doc.root = std::make_unique<Element>("pnml");
+  const std::string out = to_string(doc);
+  EXPECT_EQ(out.rfind("<?xml version=\"1.0\"", 0), 0u);
+}
+
+TEST(XmlRoundTrip, StructurePreserved) {
+  Document doc;
+  doc.root = std::make_unique<Element>("net");
+  doc.root->set_attribute("id", "n1");
+  Element& p = doc.root->add_child("place");
+  p.set_attribute("id", "p0");
+  p.add_child("name").add_child("text").set_text("pstart");
+  Element& t = doc.root->add_child("transition");
+  t.set_attribute("id", "t0");
+
+  auto reparsed = parse(to_string(doc));
+  ASSERT_TRUE(reparsed.ok());
+  const Element& root = *reparsed.value().root;
+  EXPECT_EQ(root.name(), "net");
+  EXPECT_EQ(root.attribute("id"), "n1");
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.find_child("place")->label_text("name"), "pstart");
+}
+
+TEST(XmlRoundTrip, SpecialCharactersSurvive) {
+  Document doc;
+  doc.root = std::make_unique<Element>("code");
+  doc.root->set_text("while (a < b && c > d) { s = \"x\"; }");
+  auto reparsed = parse(to_string(doc));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(std::string(trim(reparsed.value().root->text())),
+            "while (a < b && c > d) { s = \"x\"; }");
+}
+
+TEST(XmlEntities, DecodeEntitiesDirect) {
+  auto r = decode_entities("x &lt; y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "x < y");
+}
+
+TEST(XmlEntities, RejectsUnterminated) {
+  EXPECT_FALSE(decode_entities("a &lt b").ok());
+}
+
+TEST(XmlEntities, RejectsOutOfRangeCharRef) {
+  EXPECT_FALSE(decode_entities("&#x110000;").ok());
+  EXPECT_FALSE(decode_entities("&#0;").ok());
+}
+
+}  // namespace
+}  // namespace ezrt::xml

@@ -1,0 +1,11 @@
+// Thin process entry point for the ezrt command-line tool (src/cli).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ezrt::cli::run(args, std::cout, std::cerr);
+}

@@ -27,6 +27,24 @@ inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ull;
   return h;
 }
 
+/// XOR-combinable per-cell hash (Zobrist with computed keys): a full
+/// splitmix64-style avalanche over (index, value, seed). A digest formed as
+/// XOR of cells can be updated incrementally when one cell changes —
+/// X ^= hash_cell(i, old) ^ hash_cell(i, new) — which the scheduler's
+/// state fingerprint relies on (docs/semantics.md §5).
+[[nodiscard]] constexpr std::uint64_t hash_cell(std::uint64_t index,
+                                                std::uint64_t value,
+                                                std::uint64_t seed) {
+  std::uint64_t z =
+      seed + index * 0x9e3779b97f4a7c15ull + value * 0xd1b54a32d192ed03ull;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
 /// Hashes a span of integral values.
 template <typename T>
 [[nodiscard]] constexpr std::uint64_t hash_span(std::span<const T> values,

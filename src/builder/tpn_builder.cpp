@@ -1,0 +1,365 @@
+#include "builder/tpn_builder.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ezrt::builder {
+namespace {
+
+using tpn::PlaceRole;
+using tpn::Priority;
+using tpn::TimePetriNet;
+using tpn::TransitionRole;
+
+// Priority layering (smaller value = preferred under FT_P, §4.4.1).
+//
+// Finish transitions outrank everything so that completing exactly at the
+// deadline is preferred over missing it (tf_i [0,0] beats td_i whenever
+// both are forced at the same instant). Releases and grants carry
+// deadline-monotonic priorities, the paper's default arbitration between
+// simultaneously ready tasks.
+//
+// Forced bookkeeping (arrivals, computation ends, lock grabs) sits BELOW
+// every release. It cannot be starved — strong semantics fires it the
+// moment its upper bound reaches 0, and the partial-order reduction
+// singles it out at that instant before the filter runs — but ranking it
+// higher would be disastrous: the filter compares transitions across
+// different firing delays, so a "preferred" arrival due far in the future
+// would suppress a release fireable now and idle the processor until the
+// next arrival instant.
+//
+// The deadline watchdog ranks last for the same cross-delay reason: a
+// zero-slack task (c == d) has its compute-end and watchdog fireable at
+// the same delay, and the watchdog winning the filter would prune the
+// on-time branch. On genuinely doomed branches the watchdog still fires
+// (nothing else survives to outrank it) and the miss place prunes.
+constexpr Priority kPriorityStructural = 0;  // tstart / tend / tf_i
+constexpr Priority kPriorityTaskBase = 16;   // tr / tg / tmacq: base + d_i
+constexpr Priority kPriorityForced = 0x40000000;  // tph/ta/tc/texcl/tmrel
+constexpr Priority kPriorityDeadline = 0x50000000;  // td_i / tpc_i
+
+[[nodiscard]] Priority task_priority(Time deadline) {
+  constexpr Time kCeiling = 1'000'000'000;
+  return kPriorityTaskBase + static_cast<Priority>(std::min(deadline, kCeiling));
+}
+
+}  // namespace
+
+const char* to_string(BlockStyle style) {
+  switch (style) {
+    case BlockStyle::kCompact:
+      return "compact";
+    case BlockStyle::kPaper:
+      return "paper";
+  }
+  return "unknown";
+}
+
+Result<BuiltModel> build_tpn(const spec::Specification& input,
+                             BuildOptions options) {
+  // validate() fills missing identifiers, so it runs on a private copy.
+  spec::Specification spec = input;
+  if (Status status = spec.validate(); !status.ok()) {
+    return status.error();
+  }
+  const auto period = spec.schedule_period();
+  if (!period.ok()) {
+    return period.error();
+  }
+  const auto instances = spec.total_instances();
+  if (!instances.ok()) {
+    return instances.error();
+  }
+
+  BuiltModel model;
+  model.schedule_period = period.value();
+  model.total_instances = instances.value();
+  TimePetriNet& net = model.net;
+  net.set_name(spec.name());
+  const std::size_t task_count = spec.task_count();
+
+  // Processor resource places (one token each; §3.3.2 Fig 2).
+  for (ProcessorId pid : spec.processor_ids()) {
+    model.processors.push_back(net.add_place("pproc_" + spec.processor(pid).name,
+                                             1, PlaceRole::kProcessor));
+  }
+
+  // Bus resources and message blocks (§3.3.5). The transfer chain is
+  //   tf_sender -> pmsg_wait -> tmacq [0, grant] -> pmsg_xfer
+  //             -> tmrel [comm, comm] -> pmsg_done -> tr_receiver,
+  // with the bus place held between tmacq and tmrel so messages on the same
+  // bus serialize.
+  std::unordered_map<std::string, PlaceId> bus_places;
+  std::vector<std::vector<PlaceId>> msg_sent(task_count);   // tf_i produces
+  std::vector<std::vector<PlaceId>> msg_ready(task_count);  // tr_i consumes
+  for (MessageId mid : spec.message_ids()) {
+    const spec::Message& msg = spec.message(mid);
+    PlaceId bus;
+    if (auto it = bus_places.find(msg.bus); it != bus_places.end()) {
+      bus = it->second;
+    } else {
+      bus = net.add_place("pbus_" + msg.bus, 1, PlaceRole::kBus);
+      bus_places.emplace(msg.bus, bus);
+      model.buses.push_back(bus);
+    }
+    const PlaceId wait = net.add_place("pmsg_" + msg.name + "_wait", 0);
+    const PlaceId xfer = net.add_place("pmsg_" + msg.name + "_xfer", 0);
+    const PlaceId done = net.add_place("pmsg_" + msg.name + "_done", 0);
+    const TransitionId acquire = net.add_transition(
+        "tmacq_" + msg.name, TimeInterval(0, msg.grant_bus),
+        task_priority(spec.task(msg.receiver).timing.deadline),
+        TransitionRole::kCommunication);
+    net.add_input(acquire, wait);
+    net.add_input(acquire, bus);
+    net.add_output(acquire, xfer);
+    const TransitionId release = net.add_transition(
+        "tmrel_" + msg.name, TimeInterval::exactly(msg.communication),
+        kPriorityForced, TransitionRole::kCommunication);
+    net.add_input(release, xfer);
+    net.add_output(release, done);
+    net.add_output(release, bus);
+    msg_sent[msg.sender.value()].push_back(wait);
+    msg_ready[msg.receiver.value()].push_back(done);
+  }
+
+  // Exclusion lock places, one per unordered pair (§3.3.4). The closure is
+  // symmetric, so each pair is visited from its lower-id endpoint.
+  std::vector<std::vector<PlaceId>> task_locks(task_count);
+  for (TaskId a : spec.task_ids()) {
+    for (TaskId b : spec.task(a).excludes) {
+      if (b.value() < a.value()) {
+        continue;
+      }
+      const PlaceId lock =
+          net.add_place("pexcl_" + spec.task(a).name + "_" + spec.task(b).name,
+                        1, PlaceRole::kExclusionLock);
+      task_locks[a.value()].push_back(lock);
+      task_locks[b.value()].push_back(lock);
+    }
+  }
+
+  // Precedence places (§3.3.3): tf_before produces, tr_after consumes.
+  std::vector<std::vector<PlaceId>> prec_out(task_count);
+  std::vector<std::vector<PlaceId>> prec_in(task_count);
+  for (TaskId a : spec.task_ids()) {
+    for (TaskId b : spec.task(a).precedes) {
+      const PlaceId p =
+          net.add_place("pprec_" + spec.task(a).name + "_" + spec.task(b).name,
+                        0, PlaceRole::kPrecedence);
+      prec_out[a.value()].push_back(p);
+      prec_in[b.value()].push_back(p);
+    }
+  }
+
+  model.task_nets.resize(task_count);
+  for (TaskId tid : spec.task_ids()) {
+    const spec::Task& task = spec.task(tid);
+    const spec::TimingConstraints& timing = task.timing;
+    TaskNet& tn = model.task_nets[tid.value()];
+    tn.instances =
+        static_cast<std::uint32_t>(model.schedule_period / timing.period);
+    const std::string& nm = task.name;
+    const auto wcet = static_cast<std::uint32_t>(timing.computation);
+    const bool preemptive = task.scheduling == spec::SchedulingType::kPreemptive;
+    const std::vector<PlaceId>& locks = task_locks[tid.value()];
+    // The fused release measures its window from processor availability,
+    // which matches [r, d-c] only when r = 0 and the task runs to
+    // completion; everything else uses the literal 4-stage structure.
+    const bool compact = options.style == BlockStyle::kCompact &&
+                         !preemptive && timing.release == 0;
+
+    // -- Places ------------------------------------------------------------
+    tn.start = net.add_place("pst_" + nm, options.fork_join ? 0 : 1,
+                             PlaceRole::kStart, tid);
+    if (tn.instances > 1) {
+      tn.wait_arrival =
+          net.add_place("pwa_" + nm, 0, PlaceRole::kWaitArrival, tid);
+    }
+    tn.wait_release =
+        net.add_place("pwr_" + nm, 0, PlaceRole::kWaitRelease, tid);
+    if (!compact) {
+      tn.wait_grant = net.add_place("pwg_" + nm, 0, PlaceRole::kWaitGrant, tid);
+    }
+    if (preemptive && !locks.empty()) {
+      tn.locked = net.add_place("pwexcl_" + nm, 0, PlaceRole::kLocked, tid);
+    }
+    tn.wait_compute =
+        net.add_place("pwc_" + nm, 0, PlaceRole::kWaitCompute, tid);
+    tn.wait_finish = net.add_place("pwf_" + nm, 0, PlaceRole::kWaitFinish, tid);
+    tn.finished = net.add_place("pf_" + nm, 0, PlaceRole::kFinished, tid);
+    tn.wait_deadline =
+        net.add_place("pwd_" + nm, 0, PlaceRole::kWaitDeadline, tid);
+    tn.miss_pending =
+        net.add_place("pwpc_" + nm, 0, PlaceRole::kMissPending, tid);
+    tn.missed = net.add_place("pdm_" + nm, 0, PlaceRole::kMissed, tid);
+
+    // -- Arrival block (§3.3.1) --------------------------------------------
+    // tph [ph, ph] banks the remaining N-1 instance tokens; ta [p, p]
+    // converts one banked token into a request every period.
+    tn.phase =
+        net.add_transition("tph_" + nm, TimeInterval::exactly(timing.phase),
+                           kPriorityForced, TransitionRole::kPhase, tid);
+    net.add_input(tn.phase, tn.start);
+    net.add_output(tn.phase, tn.wait_release);
+    net.add_output(tn.phase, tn.wait_deadline);
+    if (tn.instances > 1) {
+      net.add_output(tn.phase, tn.wait_arrival, tn.instances - 1);
+      tn.period =
+          net.add_transition("ta_" + nm, TimeInterval::exactly(timing.period),
+                             kPriorityForced, TransitionRole::kPeriod, tid);
+      net.add_input(tn.period, tn.wait_arrival);
+      net.add_output(tn.period, tn.wait_release);
+      net.add_output(tn.period, tn.wait_deadline);
+    }
+
+    // -- Deadline-checking block (§3.3.1) ----------------------------------
+    tn.deadline =
+        net.add_transition("td_" + nm, TimeInterval::exactly(timing.deadline),
+                           kPriorityDeadline, TransitionRole::kDeadlineHit, tid);
+    net.add_input(tn.deadline, tn.wait_deadline);
+    net.add_output(tn.deadline, tn.miss_pending);
+    tn.miss = net.add_transition("tpc_" + nm, TimeInterval::exactly(0),
+                                 kPriorityDeadline,
+                                 TransitionRole::kDeadlineMiss, tid);
+    net.add_input(tn.miss, tn.miss_pending);
+    net.add_output(tn.miss, tn.missed);
+
+    // -- Task structure (§3.3.2) -------------------------------------------
+    const TimeInterval window(timing.release,
+                              timing.deadline - timing.computation);
+    const PlaceId proc = model.processors[task.processor.value()];
+    tn.release = net.add_transition("tr_" + nm, window,
+                                    task_priority(timing.deadline),
+                                    TransitionRole::kRelease, tid);
+    net.add_input(tn.release, tn.wait_release);
+    for (PlaceId p : prec_in[tid.value()]) {
+      net.add_input(tn.release, p);
+    }
+    for (PlaceId p : msg_ready[tid.value()]) {
+      net.add_input(tn.release, p);
+    }
+
+    if (compact) {
+      // Fused release+grant: tr takes the processor (and the NP locks),
+      // tc [c, c] returns everything.
+      net.add_input(tn.release, proc);
+      for (PlaceId lock : locks) {
+        net.add_input(tn.release, lock);
+      }
+      net.add_output(tn.release, tn.wait_compute);
+      tn.compute = net.add_transition(
+          "tc_" + nm, TimeInterval::exactly(timing.computation),
+          kPriorityForced, TransitionRole::kCompute, tid);
+      net.add_input(tn.compute, tn.wait_compute);
+      net.add_output(tn.compute, tn.wait_finish);
+      net.add_output(tn.compute, proc);
+      for (PlaceId lock : locks) {
+        net.add_output(tn.compute, lock);
+      }
+    } else if (!preemptive) {
+      // Literal Fig 2 structure: tg [0, 0] grabs processor and locks.
+      net.add_output(tn.release, tn.wait_grant);
+      tn.grant = net.add_transition("tg_" + nm, TimeInterval::exactly(0),
+                                    task_priority(timing.deadline),
+                                    TransitionRole::kGrant, tid);
+      net.add_input(tn.grant, tn.wait_grant);
+      net.add_input(tn.grant, proc);
+      for (PlaceId lock : locks) {
+        net.add_input(tn.grant, lock);
+      }
+      net.add_output(tn.grant, tn.wait_compute);
+      tn.compute = net.add_transition(
+          "tc_" + nm, TimeInterval::exactly(timing.computation),
+          kPriorityForced, TransitionRole::kCompute, tid);
+      net.add_input(tn.compute, tn.wait_compute);
+      net.add_output(tn.compute, tn.wait_finish);
+      net.add_output(tn.compute, proc);
+      for (PlaceId lock : locks) {
+        net.add_output(tn.compute, lock);
+      }
+    } else {
+      // Preemptive (§3.3.2 Fig 4): the release banks c unit chunks; every
+      // chunk is granted and computed individually, so higher-priority
+      // grants can interleave between chunks. With exclusion relations,
+      // texcl [0, 0] first licenses all chunks by taking every lock
+      // atomically; tf returns the locks when the instance completes.
+      net.add_output(tn.release, tn.wait_grant, wcet);
+      PlaceId chunk_pool = tn.wait_grant;
+      if (!locks.empty()) {
+        tn.acquire = net.add_transition("texcl_" + nm, TimeInterval::exactly(0),
+                                        kPriorityForced,
+                                        TransitionRole::kExclusionAcquire, tid);
+        net.add_input(tn.acquire, tn.wait_grant, wcet);
+        for (PlaceId lock : locks) {
+          net.add_input(tn.acquire, lock);
+        }
+        net.add_output(tn.acquire, tn.locked, wcet);
+        chunk_pool = tn.locked;
+      }
+      tn.grant = net.add_transition("tg_" + nm, TimeInterval::exactly(0),
+                                    task_priority(timing.deadline),
+                                    TransitionRole::kGrant, tid);
+      net.add_input(tn.grant, chunk_pool);
+      net.add_input(tn.grant, proc);
+      net.add_output(tn.grant, tn.wait_compute);
+      tn.compute =
+          net.add_transition("tc_" + nm, TimeInterval::exactly(1),
+                             kPriorityForced, TransitionRole::kCompute, tid);
+      net.add_input(tn.compute, tn.wait_compute);
+      net.add_output(tn.compute, tn.wait_finish);
+      net.add_output(tn.compute, proc);
+    }
+
+    if (task.code.has_value()) {
+      net.transition(tn.compute).code = tid.value();
+    }
+
+    // -- Completion --------------------------------------------------------
+    tn.finish =
+        net.add_transition("tf_" + nm, TimeInterval::exactly(0),
+                           kPriorityStructural, TransitionRole::kFinish, tid);
+    net.add_input(tn.finish, tn.wait_finish, preemptive ? wcet : 1);
+    net.add_input(tn.finish, tn.wait_deadline);
+    net.add_output(tn.finish, tn.finished);
+    if (preemptive) {
+      for (PlaceId lock : locks) {
+        net.add_output(tn.finish, lock);
+      }
+    }
+    for (PlaceId p : prec_out[tid.value()]) {
+      net.add_output(tn.finish, p);
+    }
+    for (PlaceId p : msg_sent[tid.value()]) {
+      net.add_output(tn.finish, p);
+    }
+  }
+
+  // -- Fork/join envelope (§3.3.1) -----------------------------------------
+  if (options.fork_join) {
+    model.start = net.add_place("pstart", 1, PlaceRole::kStart);
+    const TransitionId fork =
+        net.add_transition("tstart", TimeInterval::exactly(0),
+                           kPriorityStructural, TransitionRole::kFork);
+    net.add_input(fork, model.start);
+    const TransitionId join =
+        net.add_transition("tend", TimeInterval::exactly(0),
+                           kPriorityStructural, TransitionRole::kJoin);
+    for (TaskId tid : spec.task_ids()) {
+      const TaskNet& tn = model.task_nets[tid.value()];
+      net.add_output(fork, tn.start);
+      net.add_input(join, tn.finished, tn.instances);
+    }
+    model.end = net.add_place("pend", 0, PlaceRole::kEnd);
+    net.add_output(join, model.end);
+  }
+
+  if (Status status = net.validate(); !status.ok()) {
+    return status.error();
+  }
+  return model;
+}
+
+}  // namespace ezrt::builder

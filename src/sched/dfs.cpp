@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/assert.hpp"
@@ -27,27 +28,24 @@ struct Fingerprint {
 };
 
 struct FingerprintHash {
-  std::size_t operator()(Fingerprint f) const noexcept { return f.a; }
+  std::size_t operator()(Fingerprint f) const noexcept {
+    return hash_mix(f.a, f.b);
+  }
 };
 
 [[nodiscard]] Fingerprint fingerprint(const State& s) {
-  Fingerprint f;
-  f.a = s.hash();
-  // Second hash with a different seed over the same data.
-  const auto tokens = s.marking().tokens();
-  std::uint64_t h = 0x9e3779b97f4a7c15ull;
-  h = hash_span<std::uint32_t>(tokens, h);
-  for (std::size_t i = 0; i < s.clock_count(); ++i) {
-    h = hash_mix(h, s.clock(TransitionId(
-                     static_cast<std::uint32_t>(i))));
-  }
-  f.b = h;
-  return f;
+  // The state's Zobrist digest: maintained incrementally by the firing
+  // engine, recomputed densely for cacheless (reference-engine) states —
+  // same function either way, so identical timed states always collide.
+  const tpn::StateDigest d = s.digest();
+  return Fingerprint{d.a, d.b};
 }
 
-/// One branching alternative: fire `transition` after `delay`.
+/// One branching alternative: fire `fireable.transition` after `delay`.
+/// The full FireableTransition is kept so the firing can go through
+/// Semantics::fire_fireable without re-deriving the domain.
 struct Candidate {
-  TransitionId transition;
+  FireableTransition fireable;
   Time delay;
 };
 
@@ -78,6 +76,13 @@ DfsScheduler::DfsScheduler(const tpn::TimePetriNet& net,
   goal_ = [this](const tpn::Marking& m) {
     return tpn::is_final_marking(*net_, m);
   };
+  for (PlaceId p : net.place_ids()) {
+    const tpn::PlaceRole role = net.place(p).role;
+    if (role == tpn::PlaceRole::kMissPending ||
+        role == tpn::PlaceRole::kMissed) {
+      miss_places_.push_back(p);
+    }
+  }
 }
 
 SearchOutcome DfsScheduler::search() const {
@@ -87,18 +92,57 @@ SearchOutcome DfsScheduler::search() const {
 
   const bool priority_filter =
       options_.pruning == PruningMode::kPriorityFilter;
+  const bool incremental =
+      options_.engine == SuccessorEngine::kIncremental;
+
+  auto has_miss = [&](const tpn::Marking& m) {
+    for (PlaceId p : miss_places_) {
+      if (m[p] > 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // One successor computation per candidate. The incremental engine
+  // trusts the candidate's precomputed domain (it came out of
+  // fireable_into on the same state) and skips the rescan; the reference
+  // engine re-runs the dense Definition 3.1 and strips the enabled-set
+  // cache, so the whole search stays on the dense code paths.
+  auto fire_step = [&](const State& s, const Candidate& c) {
+    return incremental
+               ? semantics_.fire_fireable(s, c.fireable, c.delay)
+               : semantics_.fire_reference(s, c.fireable.transition, c.delay);
+  };
+
+  // Scratch fireable buffer plus a pool of retired candidate vectors:
+  // expansion allocates nothing once the search reaches steady state.
+  std::vector<FireableTransition> ft;
+  std::vector<std::vector<Candidate>> pool;
+  auto pooled_vector = [&]() {
+    if (pool.empty()) {
+      return std::vector<Candidate>{};
+    }
+    std::vector<Candidate> v = std::move(pool.back());
+    pool.pop_back();
+    return v;
+  };
+  auto retire = [&](std::vector<Candidate>&& v) {
+    pool.push_back(std::move(v));
+  };
 
   // Generates the ordered branching alternatives for a state.
-  auto expand = [&](const State& s) -> std::vector<Candidate> {
+  auto expand_into = [&](const State& s, std::vector<Candidate>& candidates) {
+    candidates.clear();
     // The reduction must look at the *unfiltered* fireable set: a
     // conflict-free, zero-lower-bound transition (e.g. an arrival whose
     // instant has come) commutes with every alternative and is fired
     // first even when the priority filter would prefer something else —
     // otherwise a grant could sneak in ahead of a simultaneous arrival
     // and hide the newly arrived task from the scheduler.
-    std::vector<FireableTransition> ft = semantics_.fireable(s, false);
+    semantics_.fireable_into(s, false, ft);
     if (ft.empty()) {
-      return {};
+      return;
     }
 
     // The reduction preserves schedule *existence* and makespan (it only
@@ -129,7 +173,7 @@ SearchOutcome DfsScheduler::search() const {
       for (const FireableTransition& f : ft) {
         if (f.earliest != 0 ||
             semantics_.dynamic_upper_bound(s, f.transition) != 0 ||
-            !tpn::structurally_conflict_free(*net_, f.transition)) {
+            !net_->conflict_free(f.transition)) {
           continue;
         }
         bool output_consumers_fresh = true;
@@ -145,20 +189,15 @@ SearchOutcome DfsScheduler::search() const {
           }
         }
         if (output_consumers_fresh) {
-          return {Candidate{f.transition, 0}};
+          candidates.push_back(Candidate{f, 0});
+          return;
         }
       }
     }
 
-    if (priority_filter && !ft.empty()) {
+    if (priority_filter) {
       // The paper's FT_P(s): keep only minimal-priority transitions.
-      tpn::Priority best = net_->transition(ft[0].transition).priority;
-      for (const FireableTransition& f : ft) {
-        best = std::min(best, net_->transition(f.transition).priority);
-      }
-      std::erase_if(ft, [&](const FireableTransition& f) {
-        return net_->transition(f.transition).priority != best;
-      });
+      tpn::apply_priority_filter(*net_, ft);
     }
 
     // Deterministic exploration order: priority, then earliest firing
@@ -176,11 +215,10 @@ SearchOutcome DfsScheduler::search() const {
                 return x.transition.value() < y.transition.value();
               });
 
-    std::vector<Candidate> candidates;
     if (options_.firing_times == FiringTimePolicy::kEarliest) {
       candidates.reserve(ft.size());
       for (const FireableTransition& f : ft) {
-        candidates.push_back(Candidate{f.transition, f.earliest});
+        candidates.push_back(Candidate{f, f.earliest});
       }
     } else {
       for (const FireableTransition& f : ft) {
@@ -189,11 +227,10 @@ SearchOutcome DfsScheduler::search() const {
                    "AllInDomain: firing domain too wide; raise "
                    "max_domain_width or use kEarliest");
         for (Time q = f.earliest; q <= f.latest; ++q) {
-          candidates.push_back(Candidate{f.transition, q});
+          candidates.push_back(Candidate{f, q});
         }
       }
     }
-    return candidates;
   };
 
   if (options_.objective != Objective::kFirstFeasible) {
@@ -235,10 +272,10 @@ SearchOutcome DfsScheduler::search() const {
 
     BbFrame root;
     root.state = State::initial(*net_);
-    root.candidates = expand(root.state);
+    expand_into(root.state, root.candidates);
     best_seen.emplace(key_of(root.state, TaskId()), 0);
     stats.states_visited = 1;
-    if (goal_(root.state.marking())) {
+    if (goal_(std::as_const(root.state).marking())) {
       out.status = SearchStatus::kFeasible;
       out.solutions_found = 1;
       return out;
@@ -251,6 +288,7 @@ SearchOutcome DfsScheduler::search() const {
       stats.max_depth =
           std::max<std::uint64_t>(stats.max_depth, stack.size());
       if (frame.next >= frame.candidates.size()) {
+        retire(std::move(frame.candidates));
         stack.pop_back();
         if (!current.empty()) {
           current.pop_back();
@@ -259,7 +297,8 @@ SearchOutcome DfsScheduler::search() const {
         continue;
       }
       const Candidate cand = frame.candidates[frame.next++];
-      const tpn::Transition& fired = net_->transition(cand.transition);
+      const tpn::Transition& fired =
+          net_->transition(cand.fireable.transition);
 
       std::uint64_t edge_cost = 0;
       TaskId last_compute = frame.last_compute;
@@ -276,10 +315,9 @@ SearchOutcome DfsScheduler::search() const {
         continue;  // cannot improve the incumbent
       }
 
-      State next = semantics_.fire(frame.state, cand.transition,
-                                   cand.delay);
+      State next = fire_step(frame.state, cand);
       ++stats.transitions_fired;
-      if (tpn::has_deadline_miss(*net_, next.marking())) {
+      if (has_miss(std::as_const(next).marking())) {
         ++stats.pruned_deadline;
         continue;
       }
@@ -296,9 +334,9 @@ SearchOutcome DfsScheduler::search() const {
         ++stats.states_visited;
       }
 
-      current.push_back(
-          FiringEvent{cand.transition, cand.delay, next.elapsed()});
-      if (goal_(next.marking())) {
+      current.push_back(FiringEvent{cand.fireable.transition, cand.delay,
+                                    next.elapsed()});
+      if (goal_(std::as_const(next).marking())) {
         best_cost = cost;
         best_trace = current;
         ++out.solutions_found;
@@ -313,7 +351,8 @@ SearchOutcome DfsScheduler::search() const {
       }
       BbFrame child;
       child.state = std::move(next);
-      child.candidates = expand(child.state);
+      child.candidates = pooled_vector();
+      expand_into(child.state, child.candidates);
       child.cost = cost;
       child.last_compute = last_compute;
       stack.push_back(std::move(child));
@@ -340,7 +379,7 @@ SearchOutcome DfsScheduler::search() const {
   visited.insert(fingerprint(s0));
   stats.states_visited = 1;
 
-  if (goal_(s0.marking())) {
+  if (goal_(std::as_const(s0).marking())) {
     out.status = SearchStatus::kFeasible;
     stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - t0)
@@ -350,7 +389,7 @@ SearchOutcome DfsScheduler::search() const {
 
   out.trace.clear();
   stack.push_back(Frame{std::move(s0), {}, 0});
-  stack.back().candidates = expand(stack.back().state);
+  expand_into(stack.back().state, stack.back().candidates);
 
   while (!stack.empty()) {
     Frame& frame = stack.back();
@@ -358,6 +397,7 @@ SearchOutcome DfsScheduler::search() const {
 
     if (frame.next >= frame.candidates.size()) {
       // Subtree exhausted: backtrack.
+      retire(std::move(frame.candidates));
       stack.pop_back();
       if (!out.trace.empty()) {
         out.trace.pop_back();
@@ -367,10 +407,10 @@ SearchOutcome DfsScheduler::search() const {
     }
 
     const Candidate cand = frame.candidates[frame.next++];
-    State next = semantics_.fire(frame.state, cand.transition, cand.delay);
+    State next = fire_step(frame.state, cand);
     ++stats.transitions_fired;
 
-    if (tpn::has_deadline_miss(*net_, next.marking())) {
+    if (has_miss(std::as_const(next).marking())) {
       ++stats.pruned_deadline;
       continue;
     }
@@ -381,9 +421,9 @@ SearchOutcome DfsScheduler::search() const {
     ++stats.states_visited;
 
     out.trace.push_back(
-        FiringEvent{cand.transition, cand.delay, next.elapsed()});
+        FiringEvent{cand.fireable.transition, cand.delay, next.elapsed()});
 
-    if (goal_(next.marking())) {
+    if (goal_(std::as_const(next).marking())) {
       out.status = SearchStatus::kFeasible;
       stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
@@ -403,7 +443,8 @@ SearchOutcome DfsScheduler::search() const {
 
     Frame child;
     child.state = std::move(next);
-    child.candidates = expand(child.state);
+    child.candidates = pooled_vector();
+    expand_into(child.state, child.candidates);
     stack.push_back(std::move(child));
   }
 

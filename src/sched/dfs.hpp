@@ -40,6 +40,16 @@ enum class FiringTimePolicy : std::uint8_t {
   kAllInDomain,  ///< try every integer delay in the firing domain
 };
 
+/// How successors are computed. Both engines implement the same
+/// Definition 3.1 firing rule and must produce bit-identical searches;
+/// kReference exists as the oracle the incremental engine is checked
+/// against (tests/incremental_test.cpp) and for debugging suspected
+/// cache-maintenance bugs in the field.
+enum class SuccessorEngine : std::uint8_t {
+  kIncremental,  ///< O(|affected(t)|) per firing via the enabled-set cache
+  kReference,    ///< dense O(|T|) rescan per firing (literal Definition 3.1)
+};
+
 /// What the search optimizes. The paper's algorithm stops at the first
 /// feasible schedule; the optimizing modes keep exploring with
 /// branch-and-bound (partial cost is monotone, so a branch whose cost
@@ -57,6 +67,7 @@ struct SchedulerOptions {
   FiringTimePolicy firing_times = FiringTimePolicy::kEarliest;
   bool partial_order_reduction = true;
   Objective objective = Objective::kFirstFeasible;
+  SuccessorEngine engine = SuccessorEngine::kIncremental;
   /// Abort with kLimitReached after this many distinct states (0 = off).
   /// For optimizing objectives the incumbent found so far is returned.
   std::uint64_t max_states = 0;
@@ -109,6 +120,9 @@ class DfsScheduler {
   tpn::Semantics semantics_;
   SchedulerOptions options_;
   GoalPredicate goal_;
+  /// Deadline-miss places, collected once so the per-firing undesirable-
+  /// state check touches only them instead of scanning every place.
+  std::vector<PlaceId> miss_places_;
 };
 
 }  // namespace ezrt::sched

@@ -18,6 +18,9 @@ NetStats stats(const TimePetriNet& net) {
 }
 
 bool structurally_conflict_free(const TimePetriNet& net, TransitionId t) {
+  if (net.validated()) {
+    return net.conflict_free(t);  // cached by validate()
+  }
   for (const Arc& arc : net.inputs(t)) {
     if (net.consumers(arc.place).size() > 1) {
       return false;

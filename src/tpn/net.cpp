@@ -1,5 +1,6 @@
 #include "tpn/net.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "base/assert.hpp"
@@ -187,6 +188,52 @@ Status TimePetriNet::validate() {
       consumers_[arc.place].push_back(t);
     }
   }
+
+  // Affected-set index (CSR): the transitions whose enabledness a firing
+  // of t can change are exactly the consumers of •t ∪ t•. Dedup'd via a
+  // scratch membership vector, sorted so iteration order is the id order
+  // the dense reference scan uses.
+  affected_offsets_.assign(transitions_.size() + 1, 0);
+  affected_flat_.clear();
+  std::vector<std::uint8_t> member(transitions_.size(), 0);
+  std::vector<TransitionId> scratch;
+  for (TransitionId t : transitions_.ids()) {
+    scratch.clear();
+    const auto collect = [&](const std::vector<Arc>& arcs) {
+      for (const Arc& arc : arcs) {
+        for (TransitionId u : consumers_[arc.place]) {
+          if (!member[u.value()]) {
+            member[u.value()] = 1;
+            scratch.push_back(u);
+          }
+        }
+      }
+    };
+    collect(inputs_[t]);
+    collect(outputs_[t]);
+    for (TransitionId u : scratch) {
+      member[u.value()] = 0;
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](TransitionId a, TransitionId b) {
+                return a.value() < b.value();
+              });
+    affected_flat_.insert(affected_flat_.end(), scratch.begin(),
+                          scratch.end());
+    affected_offsets_[t.value() + 1] =
+        static_cast<std::uint32_t>(affected_flat_.size());
+  }
+
+  conflict_free_.assign(transitions_.size(), 1);
+  for (TransitionId t : transitions_.ids()) {
+    for (const Arc& arc : inputs_[t]) {
+      if (consumers_[arc.place].size() > 1) {
+        conflict_free_[t.value()] = 0;
+        break;
+      }
+    }
+  }
+
   validated_ = true;
   return Status();
 }

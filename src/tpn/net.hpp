@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,23 @@ class TimePetriNet {
     return consumers_[p];
   }
 
+  /// Transitions whose enabledness can change when t fires: the consumers
+  /// of t's input and output places, dedup'd and sorted by id (computed by
+  /// validate(); CSR layout). Always contains t itself, since t consumes
+  /// its own preset. This is the static dependency index the incremental
+  /// firing engine rechecks instead of all of T (docs/semantics.md §5).
+  [[nodiscard]] std::span<const TransitionId> affected(TransitionId t) const {
+    return {affected_flat_.data() + affected_offsets_[t.value()],
+            affected_offsets_[t.value() + 1] - affected_offsets_[t.value()]};
+  }
+
+  /// Cached structural conflict-freedom: no input place of t feeds any
+  /// other transition (computed by validate(); used by the partial-order
+  /// reduction on every expansion).
+  [[nodiscard]] bool conflict_free(TransitionId t) const {
+    return conflict_free_[t.value()] != 0;
+  }
+
   /// Initial marking m0 as a dense token vector.
   [[nodiscard]] std::vector<std::uint32_t> initial_marking() const;
 
@@ -167,7 +185,8 @@ class TimePetriNet {
   /// every transition has at least one input (the building blocks never
   /// produce source transitions, and a source transition with a bounded
   /// interval would make every marking diverge). Also populates the
-  /// consumer index. Must be called once after construction.
+  /// consumer index, the affected-set index and the conflict-free bits.
+  /// Must be called once after construction.
   [[nodiscard]] Status validate();
 
   [[nodiscard]] bool validated() const { return validated_; }
@@ -179,6 +198,11 @@ class TimePetriNet {
   IdVector<TransitionId, std::vector<Arc>> inputs_;
   IdVector<TransitionId, std::vector<Arc>> outputs_;
   IdVector<PlaceId, std::vector<TransitionId>> consumers_;
+  // CSR storage for affected(): transition t's neighborhood occupies
+  // affected_flat_[affected_offsets_[t] .. affected_offsets_[t+1]).
+  std::vector<std::uint32_t> affected_offsets_;
+  std::vector<TransitionId> affected_flat_;
+  std::vector<std::uint8_t> conflict_free_;
   bool validated_ = false;
 };
 

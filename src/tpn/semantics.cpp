@@ -1,6 +1,7 @@
 #include "tpn/semantics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "base/assert.hpp"
@@ -57,31 +58,141 @@ Time Semantics::max_time_advance(
   return bound;
 }
 
+void Semantics::refresh_enabled_cache(State& s) const {
+  s.reset_enabled_cache(net_->transition_count());
+  for (TransitionId t : net_->transition_ids()) {
+    if (is_enabled(s.marking_, t)) {
+      s.set_enabled_bit(t);
+    }
+  }
+}
+
 std::vector<FireableTransition> Semantics::fireable(
     const State& s, bool priority_filter) const {
-  const std::vector<TransitionId> enabled_set = enabled(s.marking());
-  const Time bound = max_time_advance(s, enabled_set);
-
   std::vector<FireableTransition> out;
-  out.reserve(enabled_set.size());
-  for (TransitionId t : enabled_set) {
-    const Time dlb = dynamic_lower_bound(s, t);
-    if (dlb <= bound) {
-      out.push_back(FireableTransition{t, dlb, bound});
+  fireable_into(s, priority_filter, out);
+  return out;
+}
+
+void Semantics::fireable_into(const State& s, bool priority_filter,
+                              std::vector<FireableTransition>& out) const {
+  out.clear();
+  if (s.enabled_cache_valid()) {
+    // Iterate the maintained enabled set (in transition-id order, exactly
+    // as the dense scan would): one pass for the time bound, one for the
+    // surviving candidates.
+    const auto words = s.enabled_words();
+    const auto for_each_enabled = [&](auto&& body) {
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w != 0) {
+          const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+          w &= w - 1;
+          body(TransitionId(static_cast<std::uint32_t>(wi * 64) + bit));
+        }
+      }
+    };
+    Time bound = kTimeInfinity;
+    for_each_enabled([&](TransitionId t) {
+      bound = std::min(bound, dynamic_upper_bound(s, t));
+    });
+    out.reserve(s.enabled_count());
+    for_each_enabled([&](TransitionId t) {
+      const Time dlb = dynamic_lower_bound(s, t);
+      if (dlb <= bound) {
+        out.push_back(FireableTransition{t, dlb, bound});
+      }
+    });
+  } else {
+    // No cache (hand-built or externally mutated state): dense reference
+    // enumeration.
+    const std::vector<TransitionId> enabled_set = enabled(s.marking());
+    const Time bound = max_time_advance(s, enabled_set);
+    out.reserve(enabled_set.size());
+    for (TransitionId t : enabled_set) {
+      const Time dlb = dynamic_lower_bound(s, t);
+      if (dlb <= bound) {
+        out.push_back(FireableTransition{t, dlb, bound});
+      }
     }
   }
 
-  if (priority_filter && !out.empty()) {
-    // FT_P(s): only transitions of minimal priority value survive.
-    Priority best = std::numeric_limits<Priority>::max();
-    for (const FireableTransition& f : out) {
-      best = std::min(best, net_->transition(f.transition).priority);
-    }
-    std::erase_if(out, [&](const FireableTransition& f) {
-      return net_->transition(f.transition).priority != best;
-    });
+  if (priority_filter) {
+    apply_priority_filter(*net_, out);
   }
-  return out;
+}
+
+State Semantics::fire_incremental(const State& s, TransitionId t,
+                                  Time q) const {
+  State next = s;
+  if (!next.enabled_cache_valid()) {
+    refresh_enabled_cache(next);  // reflects the pre-firing marking m
+  }
+  if (!next.digest_valid()) {
+    next.refresh_digest();
+  }
+
+  // (1) Token flow: m' = m - W(p,t) + W(t,p) — touches only •t ∪ t•, and
+  // the identity digest is patched cell-by-cell alongside.
+  for (const Arc& arc : net_->inputs(t)) {
+    const std::uint32_t before = next.marking_[arc.place];
+    next.marking_.remove(arc.place, arc.weight);
+    next.digest_token_update(arc.place.value(), before, before - arc.weight);
+  }
+  for (const Arc& arc : net_->outputs(t)) {
+    const std::uint32_t before = next.marking_[arc.place];
+    next.marking_.add(arc.place, arc.weight);
+    next.digest_token_update(arc.place.value(), before, before + arc.weight);
+  }
+
+  // (2) Advance the clock of every transition enabled in m by q. For
+  // transitions outside affected(t) whose enabledness cannot change, this
+  // IS the Definition 3.1 update; for the rest, step (3) overrides.
+  if (q > 0) {
+    const auto& words = next.enabled_words_;
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t w = words[wi];
+      while (w != 0) {
+        const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+        w &= w - 1;
+        const std::size_t i = wi * 64 + bit;
+        const Time c = next.clocks_[i];
+        next.clocks_[i] = c + q;
+        next.digest_clock_update(i, c, c + q);
+      }
+    }
+  }
+
+  // (3) Re-evaluate the affected neighborhood against m' (Definition 3.1
+  // compares enabledness in m and m' only — never any intermediate
+  // marking, so disabled-then-re-enabled within this one firing lands in
+  // the "newly enabled" case by comparing against the cached m bits).
+  for (TransitionId u : net_->affected(t)) {
+    const bool enabled_before = next.cached_enabled(u);
+    bool reset = false;
+    if (!is_enabled(next.marking_, u)) {
+      if (enabled_before) {
+        next.clear_enabled_bit(u);
+      }
+      reset = true;  // canonical form for disabled
+    } else if (!enabled_before || u == t) {
+      if (!enabled_before) {
+        next.set_enabled_bit(u);
+      }
+      reset = true;  // newly enabled, or the fired one
+    }
+    // else: persistently enabled and not fired — step (2) advanced it.
+    if (reset) {
+      const Time c = next.clocks_[u.value()];
+      if (c != 0) {
+        next.clocks_[u.value()] = 0;
+        next.digest_clock_update(u.value(), c, 0);
+      }
+    }
+  }
+
+  next.elapsed_ = s.elapsed_ + q;
+  return next;
 }
 
 State Semantics::fire(const State& s, TransitionId t, Time q) const {
@@ -94,21 +205,45 @@ State Semantics::fire(const State& s, TransitionId t, Time q) const {
   EZRT_CHECK(q >= dlb && q <= bound,
              "fire: delay outside the firing domain of '" +
                  net_->transition(t).name + "'");
+  return fire_incremental(s, t, q);
+}
+
+State Semantics::fire_fireable(const State& s, const FireableTransition& f,
+                               Time q) const {
+  EZRT_ASSERT(q >= f.earliest && q <= f.latest,
+              "fire_fireable: delay outside the precomputed domain of '" +
+                  net_->transition(f.transition).name + "'");
+  return fire_incremental(s, f.transition, q);
+}
+
+State Semantics::fire_reference(const State& s, TransitionId t,
+                                Time q) const {
+  EZRT_CHECK(is_enabled(s.marking(), t),
+             "fire: transition '" + net_->transition(t).name +
+                 "' is not enabled");
+  const Time dlb = dynamic_lower_bound(s, t);
+  const std::vector<TransitionId> old_enabled = enabled(s.marking());
+  const Time bound = max_time_advance(s, old_enabled);
+  EZRT_CHECK(q >= dlb && q <= bound,
+             "fire: delay outside the firing domain of '" +
+                 net_->transition(t).name + "'");
 
   State next = s;
+  next.drop_enabled_cache();
+  next.drop_digest();
   // (1) Token flow: m' = m - W(p,t) + W(t,p).
   for (const Arc& arc : net_->inputs(t)) {
-    next.marking().remove(arc.place, arc.weight);
+    next.marking_.remove(arc.place, arc.weight);
   }
   for (const Arc& arc : net_->outputs(t)) {
-    next.marking().add(arc.place, arc.weight);
+    next.marking_.add(arc.place, arc.weight);
   }
 
   // (2) Clock update (Definition 3.1). A transition enabled in the new
   // marking gets clock 0 if it is the fired one or was disabled before,
   // and advances by q otherwise. Disabled transitions are normalized to 0.
   for (TransitionId tk : net_->transition_ids()) {
-    if (!is_enabled(next.marking(), tk)) {
+    if (!is_enabled(next.marking_, tk)) {
       next.set_clock(tk, 0);
       continue;
     }
@@ -143,11 +278,27 @@ Result<State> Semantics::try_fire(const State& s, TransitionId t, Time q)
   return fire(s, t, q);
 }
 
+void apply_priority_filter(const TimePetriNet& net,
+                           std::vector<FireableTransition>& ft) {
+  if (ft.empty()) {
+    return;
+  }
+  // FT_P(s): only transitions of minimal priority value survive.
+  Priority best = std::numeric_limits<Priority>::max();
+  for (const FireableTransition& f : ft) {
+    best = std::min(best, net.transition(f.transition).priority);
+  }
+  std::erase_if(ft, [&](const FireableTransition& f) {
+    return net.transition(f.transition).priority != best;
+  });
+}
+
 State State::initial(const TimePetriNet& net) {
   State s;
   s.marking_ = Marking(net.initial_marking());
   s.clocks_.assign(net.transition_count(), 0);
   s.elapsed_ = 0;
+  s.refresh_digest();
   return s;
 }
 

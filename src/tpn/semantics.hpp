@@ -69,9 +69,30 @@ class Semantics {
   [[nodiscard]] std::vector<FireableTransition> fireable(
       const State& s, bool priority_filter = false) const;
 
+  /// As `fireable`, but appends into a caller-owned buffer (cleared first)
+  /// so the search can reuse one allocation across millions of states.
+  void fireable_into(const State& s, bool priority_filter,
+                     std::vector<FireableTransition>& out) const;
+
   /// Definition 3.1: fires t at relative time q. Precondition: t fireable
-  /// at s and q inside its firing domain (checked).
+  /// at s and q inside its firing domain (checked). Successors are
+  /// computed incrementally over affected(t); see docs/semantics.md §5.
   [[nodiscard]] State fire(const State& s, TransitionId t, Time q) const;
+
+  /// Hot-path firing for the scheduler: trusts that `f` came from
+  /// `fireable(s)` and `q` lies in its domain (asserted in debug builds
+  /// only), skipping the enabledness and domain re-checks `fire` pays.
+  [[nodiscard]] State fire_fireable(const State& s,
+                                    const FireableTransition& f,
+                                    Time q) const;
+
+  /// The literal dense Definition 3.1 (full |T| rescan, no cached enabled
+  /// set): the reference implementation the incremental engine is checked
+  /// against (tests/incremental_test.cpp). Results never carry an
+  /// enabled-set cache, so a search over reference successors exercises
+  /// the dense code paths throughout.
+  [[nodiscard]] State fire_reference(const State& s, TransitionId t,
+                                     Time q) const;
 
   /// Convenience: fire with domain checking reported as a Result instead of
   /// a contract violation (used by IO/replay paths on untrusted traces).
@@ -79,7 +100,21 @@ class Semantics {
                                        Time q) const;
 
  private:
+  /// Rebuilds s's enabled bitset from its marking (dense scan).
+  void refresh_enabled_cache(State& s) const;
+
+  /// Shared core of fire/fire_fireable: incremental successor computation.
+  [[nodiscard]] State fire_incremental(const State& s, TransitionId t,
+                                       Time q) const;
+
   const TimePetriNet* net_;
 };
+
+/// The paper's FT_P(s) restriction: erases every candidate whose priority
+/// is not minimal. Shared between Semantics::fireable and the scheduler's
+/// expansion (which must filter *after* the partial-order reduction looked
+/// at the unfiltered set).
+void apply_priority_filter(const TimePetriNet& net,
+                           std::vector<FireableTransition>& ft);
 
 }  // namespace ezrt::tpn

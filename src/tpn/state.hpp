@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "base/hash.hpp"
@@ -17,6 +18,21 @@
 
 namespace ezrt::tpn {
 
+/// 128-bit state identity digest for the scheduler's visited set: two
+/// independent XORs of `hash_cell` values over every (place, tokens) and
+/// (transition, clock) cell. XOR-combinable, so Semantics maintains it
+/// incrementally across firings instead of rehashing the whole state.
+struct StateDigest {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+inline constexpr std::uint64_t kDigestSeedA = kHashSeed;
+inline constexpr std::uint64_t kDigestSeedB = 0x9e3779b97f4a7c15ull;
+/// Separates the clock cells from the token cells in the digest's index
+/// space (place i and transition i must not cancel each other out).
+inline constexpr std::uint64_t kDigestClockDomain = 0x636c6f636b73ull;
+
 class State {
  public:
   State() = default;
@@ -25,12 +41,25 @@ class State {
   [[nodiscard]] static State initial(const TimePetriNet& net);
 
   [[nodiscard]] const Marking& marking() const { return marking_; }
-  [[nodiscard]] Marking& marking() { return marking_; }
+  /// Mutable access drops the enabled-set cache: external marking edits
+  /// (hand-built test states, IO) would silently invalidate it, and a
+  /// missing cache merely costs one dense rescan on the next Semantics
+  /// contact. Semantics itself maintains the cache through the firing
+  /// rule and bypasses this accessor.
+  [[nodiscard]] Marking& marking() {
+    enabled_words_.clear();
+    enabled_count_ = 0;
+    digest_valid_ = false;
+    return marking_;
+  }
 
   [[nodiscard]] Time clock(TransitionId t) const {
     return clocks_[t.value()];
   }
-  void set_clock(TransitionId t, Time value) { clocks_[t.value()] = value; }
+  void set_clock(TransitionId t, Time value) {
+    clocks_[t.value()] = value;
+    digest_valid_ = false;
+  }
 
   [[nodiscard]] std::size_t clock_count() const { return clocks_.size(); }
 
@@ -40,6 +69,58 @@ class State {
   /// but kept here because schedule extraction needs absolute times.
   [[nodiscard]] Time elapsed() const { return elapsed_; }
   void set_elapsed(Time t) { elapsed_ = t; }
+
+  [[nodiscard]] std::span<const Time> clocks() const {
+    return {clocks_.data(), clocks_.size()};
+  }
+
+  // -- Enabled-set cache ---------------------------------------------------
+  // Dense bitset over transitions, maintained incrementally by Semantics
+  // (docs/semantics.md §5). Derived from the marking, so it is excluded
+  // from hash/identity; empty means "not computed" (states built by hand
+  // or whose marking was mutated externally), and any Semantics entry
+  // point recomputes it from the marking on demand.
+
+  [[nodiscard]] bool enabled_cache_valid() const {
+    return !enabled_words_.empty();
+  }
+  /// Precondition: enabled_cache_valid().
+  [[nodiscard]] bool cached_enabled(TransitionId t) const {
+    return (enabled_words_[t.value() >> 6] >> (t.value() & 63)) & 1u;
+  }
+  /// Number of set bits; meaningful only while the cache is valid.
+  [[nodiscard]] std::uint32_t enabled_count() const { return enabled_count_; }
+  [[nodiscard]] std::span<const std::uint64_t> enabled_words() const {
+    return {enabled_words_.data(), enabled_words_.size()};
+  }
+
+  // -- Identity digest -----------------------------------------------------
+
+  [[nodiscard]] bool digest_valid() const { return digest_valid_; }
+
+  /// Dense recomputation of the digest from marking + clocks (no caching).
+  [[nodiscard]] StateDigest compute_digest() const {
+    StateDigest d;
+    const auto toks = marking_.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      d.a ^= hash_cell(i, toks[i], kDigestSeedA);
+      d.b ^= hash_cell(i, toks[i], kDigestSeedB);
+    }
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      d.a ^= hash_cell(i, clocks_[i], kDigestSeedA ^ kDigestClockDomain);
+      d.b ^= hash_cell(i, clocks_[i], kDigestSeedB ^ kDigestClockDomain);
+    }
+    return d;
+  }
+
+  /// The maintained digest when valid, a dense recomputation otherwise.
+  /// Both paths evaluate the same function, so a search mixing cached and
+  /// cacheless states (or the incremental and reference engines) sees
+  /// identical fingerprints for identical timed states.
+  [[nodiscard]] StateDigest digest() const {
+    return digest_valid_ ? StateDigest{digest_a_, digest_b_}
+                         : compute_digest();
+  }
 
   /// Hash over marking and clocks (identity excludes `elapsed`).
   [[nodiscard]] std::uint64_t hash() const {
@@ -54,9 +135,55 @@ class State {
 
  private:
   friend class Semantics;
+
+  void reset_enabled_cache(std::size_t transition_count) {
+    enabled_words_.assign((transition_count + 63) / 64, 0);
+    enabled_count_ = 0;
+  }
+  void set_enabled_bit(TransitionId t) {
+    enabled_words_[t.value() >> 6] |= std::uint64_t{1} << (t.value() & 63);
+    ++enabled_count_;
+  }
+  void clear_enabled_bit(TransitionId t) {
+    enabled_words_[t.value() >> 6] &= ~(std::uint64_t{1} << (t.value() & 63));
+    --enabled_count_;
+  }
+  void drop_enabled_cache() {
+    enabled_words_.clear();
+    enabled_count_ = 0;
+  }
+
+  void refresh_digest() {
+    const StateDigest d = compute_digest();
+    digest_a_ = d.a;
+    digest_b_ = d.b;
+    digest_valid_ = true;
+  }
+  void drop_digest() { digest_valid_ = false; }
+  /// Folds a token-count change of place index `p` into the digest.
+  void digest_token_update(std::size_t p, std::uint64_t before,
+                           std::uint64_t after) {
+    digest_a_ ^= hash_cell(p, before, kDigestSeedA) ^
+                 hash_cell(p, after, kDigestSeedA);
+    digest_b_ ^= hash_cell(p, before, kDigestSeedB) ^
+                 hash_cell(p, after, kDigestSeedB);
+  }
+  /// Folds a clock change of transition index `t` into the digest.
+  void digest_clock_update(std::size_t t, Time before, Time after) {
+    digest_a_ ^= hash_cell(t, before, kDigestSeedA ^ kDigestClockDomain) ^
+                 hash_cell(t, after, kDigestSeedA ^ kDigestClockDomain);
+    digest_b_ ^= hash_cell(t, before, kDigestSeedB ^ kDigestClockDomain) ^
+                 hash_cell(t, after, kDigestSeedB ^ kDigestClockDomain);
+  }
+
   Marking marking_;
   std::vector<Time> clocks_;
   Time elapsed_ = 0;
+  std::vector<std::uint64_t> enabled_words_;
+  std::uint32_t enabled_count_ = 0;
+  std::uint64_t digest_a_ = 0;
+  std::uint64_t digest_b_ = 0;
+  bool digest_valid_ = false;
 };
 
 }  // namespace ezrt::tpn

@@ -1,0 +1,304 @@
+// Equivalence guardrail for the incremental firing engine (docs/semantics.md
+// §5): the cached-enabled-set engine must be observationally identical to
+// the dense Definition 3.1 reference — same fireable sets, same successor
+// states, and bit-identical searches (traces, statuses, effort counters)
+// across all model families. Plus direct fire() edge cases the incremental
+// clock maintenance must preserve.
+#include <gtest/gtest.h>
+
+#include "builder/tpn_builder.hpp"
+#include "sched/dfs.hpp"
+#include "tpn/semantics.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt {
+namespace {
+
+using sched::DfsScheduler;
+using sched::SchedulerOptions;
+using sched::SearchOutcome;
+using sched::SuccessorEngine;
+using spec::Specification;
+using spec::TimingConstraints;
+using tpn::FireableTransition;
+using tpn::Semantics;
+using tpn::State;
+using tpn::TimePetriNet;
+using workload::WorkloadConfig;
+
+[[nodiscard]] TimePetriNet build_net(const Specification& s) {
+  auto model = builder::build_tpn(s);
+  EXPECT_TRUE(model.ok()) << (model.ok() ? "" : model.error().to_string());
+  return std::move(model).value().net;
+}
+
+[[nodiscard]] SearchOutcome run(const TimePetriNet& net,
+                                SchedulerOptions options,
+                                SuccessorEngine engine) {
+  options.engine = engine;
+  DfsScheduler scheduler(net, options);
+  return scheduler.search();
+}
+
+/// Runs the same search with both engines and requires bit-identical
+/// results: status, the full trace, and every effort counter.
+void expect_search_equivalent(const TimePetriNet& net,
+                              SchedulerOptions options = {}) {
+  const SearchOutcome inc = run(net, options, SuccessorEngine::kIncremental);
+  const SearchOutcome ref = run(net, options, SuccessorEngine::kReference);
+
+  EXPECT_EQ(inc.status, ref.status)
+      << to_string(inc.status) << " vs " << to_string(ref.status);
+  ASSERT_EQ(inc.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < inc.trace.size(); ++i) {
+    EXPECT_EQ(inc.trace[i].transition, ref.trace[i].transition) << "at " << i;
+    EXPECT_EQ(inc.trace[i].delay, ref.trace[i].delay) << "at " << i;
+    EXPECT_EQ(inc.trace[i].at, ref.trace[i].at) << "at " << i;
+  }
+  EXPECT_EQ(inc.stats.states_visited, ref.stats.states_visited);
+  EXPECT_EQ(inc.stats.transitions_fired, ref.stats.transitions_fired);
+  EXPECT_EQ(inc.stats.backtracks, ref.stats.backtracks);
+  EXPECT_EQ(inc.stats.pruned_deadline, ref.stats.pruned_deadline);
+  EXPECT_EQ(inc.stats.pruned_visited, ref.stats.pruned_visited);
+  EXPECT_EQ(inc.stats.max_depth, ref.stats.max_depth);
+  EXPECT_EQ(inc.best_cost, ref.best_cost);
+  EXPECT_EQ(inc.solutions_found, ref.solutions_found);
+}
+
+[[nodiscard]] Specification generated(WorkloadConfig config) {
+  auto spec = workload::generate(config);
+  EXPECT_TRUE(spec.ok()) << (spec.ok() ? "" : spec.error().to_string());
+  return std::move(spec).value();
+}
+
+// -- Search equivalence across model families ---------------------------------
+
+TEST(IncrementalEquivalence, MinePumpCaseStudy) {
+  expect_search_equivalent(build_net(workload::mine_pump_specification()));
+}
+
+TEST(IncrementalEquivalence, PrecedenceWorkload) {
+  WorkloadConfig config;
+  config.tasks = 4;
+  config.utilization = 0.35;
+  config.precedence_edges = 3;
+  config.seed = 7;
+  expect_search_equivalent(build_net(generated(config)));
+}
+
+TEST(IncrementalEquivalence, ExclusionWorkload) {
+  WorkloadConfig config;
+  config.tasks = 4;
+  config.utilization = 0.35;
+  config.exclusion_pairs = 2;
+  config.seed = 11;
+  expect_search_equivalent(build_net(generated(config)));
+}
+
+TEST(IncrementalEquivalence, PreemptiveWorkload) {
+  WorkloadConfig config;
+  config.tasks = 3;
+  config.utilization = 0.3;
+  config.preemptive_fraction = 1.0;
+  config.seed = 13;
+  SchedulerOptions options;
+  options.max_states = 50'000;  // preemptive chunking inflates the space
+  expect_search_equivalent(build_net(generated(config)), options);
+}
+
+TEST(IncrementalEquivalence, RandomWorkloadSweep) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    WorkloadConfig config;
+    config.tasks = 5;
+    config.utilization = 0.5;
+    config.seed = seed;
+    SchedulerOptions options;
+    options.max_states = 20'000;  // bound infeasible exhaustions
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_search_equivalent(build_net(generated(config)), options);
+  }
+}
+
+[[nodiscard]] Specification two_tasks() {
+  Specification s("two");
+  s.add_processor("cpu");
+  s.add_task("A", TimingConstraints{0, 0, 2, 8, 10});
+  s.add_task("B", TimingConstraints{0, 0, 3, 9, 10});
+  return s;
+}
+
+TEST(IncrementalEquivalence, UnprunedSearch) {
+  SchedulerOptions options;
+  options.pruning = sched::PruningMode::kNone;
+  options.partial_order_reduction = false;
+  options.max_states = 50'000;
+  expect_search_equivalent(build_net(two_tasks()), options);
+}
+
+TEST(IncrementalEquivalence, AllInDomainFiringTimes) {
+  SchedulerOptions options;
+  options.firing_times = sched::FiringTimePolicy::kAllInDomain;
+  options.max_states = 10'000;
+  expect_search_equivalent(build_net(two_tasks()), options);
+}
+
+TEST(IncrementalEquivalence, BranchAndBoundMakespan) {
+  SchedulerOptions options;
+  options.objective = sched::Objective::kMinimizeMakespan;
+  options.max_states = 50'000;
+  expect_search_equivalent(build_net(two_tasks()), options);
+}
+
+TEST(IncrementalEquivalence, BranchAndBoundSwitches) {
+  SchedulerOptions options;
+  options.objective = sched::Objective::kMinimizeSwitches;
+  options.max_states = 50'000;
+  expect_search_equivalent(build_net(two_tasks()), options);
+}
+
+// -- Stepwise fire vs fire_reference -------------------------------------------
+
+// Walks one path through the mine-pump TLTS keeping two copies of the
+// state: one advanced by the incremental fire(), one by the dense
+// fire_reference(). At every step the timed states and the full fireable
+// enumerations (cached bitset vs dense scan) must agree exactly.
+TEST(IncrementalEquivalence, StepwiseWalkMatchesReference) {
+  const TimePetriNet net = build_net(workload::mine_pump_specification());
+  const Semantics sem(net);
+
+  State inc = State::initial(net);
+  State ref = State::initial(net);
+  for (int step = 0; step < 500; ++step) {
+    const std::vector<FireableTransition> ft_inc = sem.fireable(inc, true);
+    const std::vector<FireableTransition> ft_ref = sem.fireable(ref, true);
+    ASSERT_EQ(ft_inc.size(), ft_ref.size()) << "step " << step;
+    for (std::size_t i = 0; i < ft_inc.size(); ++i) {
+      ASSERT_EQ(ft_inc[i].transition, ft_ref[i].transition);
+      ASSERT_EQ(ft_inc[i].earliest, ft_ref[i].earliest);
+      ASSERT_EQ(ft_inc[i].latest, ft_ref[i].latest);
+    }
+    if (ft_inc.empty()) {
+      break;
+    }
+    const FireableTransition f = ft_inc[step % ft_inc.size()];
+    inc = sem.fire(inc, f.transition, f.earliest);
+    ref = sem.fire_reference(ref, f.transition, f.earliest);
+    ASSERT_TRUE(inc.same_timed_state(ref)) << "diverged at step " << step;
+    ASSERT_EQ(inc.elapsed(), ref.elapsed());
+  }
+}
+
+// -- fire() edge cases ---------------------------------------------------------
+
+// Self-loop: t consumes and reproduces its own input token. The fired
+// transition's clock resets to 0 (it fired); a neighbor u reading the same
+// place is enabled in both m and m' — Definition 3.1 compares only those
+// two markings, so u is *persistent* and its clock advances by q.
+TEST(FireEdgeCases, SelfLoopArc) {
+  TimePetriNet net;
+  const PlaceId p = net.add_place("p", 1);
+  const PlaceId sink = net.add_place("sink", 0);
+  const auto t = net.add_transition("t", TimeInterval(1, 4));
+  const auto u = net.add_transition("u", TimeInterval(20, 30));
+  net.add_input(t, p);
+  net.add_output(t, p);  // self-loop
+  net.add_input(u, p);
+  net.add_output(u, sink);
+  ASSERT_TRUE(net.validate().ok());
+  const Semantics sem(net);
+
+  const State s0 = State::initial(net);
+  const State s1 = sem.fire(s0, t, 2);
+  EXPECT_EQ(s1.marking()[p], 1u);       // token restored by the loop
+  EXPECT_EQ(s1.clock(t), 0);            // fired => reset
+  EXPECT_EQ(s1.clock(u), 2);            // persistent => advanced
+  EXPECT_TRUE(sem.fire_reference(s0, t, 2).same_timed_state(s1));
+
+  // Fire the loop again: u keeps accumulating across self-loop firings.
+  const State s2 = sem.fire(s1, t, 3);
+  EXPECT_EQ(s2.clock(u), 5);
+  EXPECT_TRUE(sem.fire_reference(s1, t, 3).same_timed_state(s2));
+}
+
+// Weight > 1: t needs two tokens of p and produces two into out; u needs
+// one of p. Firing t drains p entirely, so u flips to disabled and its
+// clock is normalized to 0.
+TEST(FireEdgeCases, WeightedArcs) {
+  TimePetriNet net;
+  const PlaceId p = net.add_place("p", 2);
+  const PlaceId out = net.add_place("out", 0);
+  const auto t = net.add_transition("t", TimeInterval(0, 5));
+  const auto u = net.add_transition("u", TimeInterval(10, 20));
+  net.add_input(t, p, 2);
+  net.add_output(t, out, 2);
+  net.add_input(u, p);
+  net.add_output(u, out);
+  ASSERT_TRUE(net.validate().ok());
+  const Semantics sem(net);
+
+  const State s0 = State::initial(net);
+  ASSERT_TRUE(sem.is_enabled(s0.marking(), u));
+  const State s1 = sem.fire(s0, t, 4);
+  EXPECT_EQ(s1.marking()[p], 0u);
+  EXPECT_EQ(s1.marking()[out], 2u);
+  EXPECT_FALSE(sem.is_enabled(s1.marking(), u));
+  EXPECT_EQ(s1.clock(u), 0);  // disabled => canonical 0, not 4
+  EXPECT_TRUE(sem.fire_reference(s0, t, 4).same_timed_state(s1));
+}
+
+// Disabled-then-re-enabled: u ran up a clock, was disabled (clock
+// normalized to 0), and a later firing re-enables it while q > 0 time
+// passes. The newly-enabled rule must reset u's clock to 0 — in
+// particular it must NOT inherit the q advance that persistent
+// transitions receive in the same firing.
+TEST(FireEdgeCases, DisabledThenReenabledClockResets) {
+  TimePetriNet net;
+  const PlaceId pa = net.add_place("pa", 1);
+  const PlaceId pb = net.add_place("pb", 1);
+  const PlaceId pc = net.add_place("pc", 0);
+  const PlaceId sink = net.add_place("sink", 0);
+  const auto u = net.add_transition("u", TimeInterval(50, 60));
+  const auto w = net.add_transition("w", TimeInterval(0, 10));
+  const auto x = net.add_transition("x", TimeInterval(0, 10));
+  net.add_input(u, pa);
+  net.add_input(u, pb);
+  net.add_output(u, sink);
+  net.add_input(w, pb);  // steals u's second token
+  net.add_output(w, pc);
+  net.add_input(x, pc);  // gives it back
+  net.add_output(x, pb);
+  ASSERT_TRUE(net.validate().ok());
+  const Semantics sem(net);
+
+  const State s0 = State::initial(net);
+  const State s1 = sem.fire(s0, w, 4);  // u accumulated 4, then disabled
+  EXPECT_FALSE(sem.is_enabled(s1.marking(), u));
+  EXPECT_EQ(s1.clock(u), 0);
+  EXPECT_TRUE(sem.fire_reference(s0, w, 4).same_timed_state(s1));
+
+  const State s2 = sem.fire(s1, x, 3);  // re-enabled within this firing
+  EXPECT_TRUE(sem.is_enabled(s2.marking(), u));
+  EXPECT_EQ(s2.clock(u), 0);  // newly enabled => 0, not 3 and not 7
+  EXPECT_TRUE(sem.fire_reference(s1, x, 3).same_timed_state(s2));
+}
+
+// fire_fireable must agree with fire for candidates drawn from fireable().
+TEST(FireEdgeCases, FireFireableMatchesFire) {
+  const TimePetriNet net = build_net(two_tasks());
+  const Semantics sem(net);
+  State s = State::initial(net);
+  for (int step = 0; step < 40; ++step) {
+    const auto ft = sem.fireable(s, true);
+    if (ft.empty()) {
+      break;
+    }
+    const FireableTransition f = ft.front();
+    const State via_fire = sem.fire(s, f.transition, f.earliest);
+    const State via_fast = sem.fire_fireable(s, f, f.earliest);
+    ASSERT_TRUE(via_fast.same_timed_state(via_fire)) << "step " << step;
+    s = via_fast;
+  }
+}
+
+}  // namespace
+}  // namespace ezrt

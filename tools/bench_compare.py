@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Run the tracked search benchmarks and maintain BENCH_search.json.
+
+Executes bench_scaling and bench_pipeline_end_to_end in Google Benchmark's
+JSON mode, records the results under a label ("before" / "after"), and
+prints a comparison table once both labels exist. The trajectory file
+BENCH_search.json lives at the repo root so every PR's measured speedup is
+reproducible with:
+
+    cmake --build build -t bench_all          # or:
+    tools/bench_compare.py --label after
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_FILE = os.path.join(REPO_ROOT, "BENCH_search.json")
+TRACKED_BENCHES = ["bench_scaling", "bench_pipeline_end_to_end"]
+
+
+def run_bench(binary, extra_args):
+    cmd = [binary, "--benchmark_format=json"] + extra_args
+    print(f"[bench_compare] {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    # The bench binaries print a human-readable report before the JSON
+    # document; skip to the first line that opens the JSON object.
+    text = proc.stdout.decode()
+    return json.loads(text[text.index("{"):])
+
+
+def load_results():
+    if os.path.exists(RESULT_FILE):
+        with open(RESULT_FILE) as f:
+            return json.load(f)
+    return {"description": "Tracked search-benchmark trajectory "
+                           "(tools/bench_compare.py)", "benchmarks": {}}
+
+
+def record(results, label, report):
+    for row in report.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row["name"]
+        entry = results["benchmarks"].setdefault(name, {})
+        entry[label] = {
+            "real_time_ms": row["real_time"] / 1e6
+            if row.get("time_unit") == "ns" else row["real_time"],
+            "iterations": row.get("iterations"),
+            # User-defined counters (states visited, states/sec, ...).
+            "counters": {
+                k: v for k, v in row.items()
+                if k not in ("name", "run_name", "run_type", "repetitions",
+                             "repetition_index", "threads", "iterations",
+                             "real_time", "cpu_time", "time_unit",
+                             "family_index", "per_family_instance_index")
+            },
+        }
+
+
+def print_table(results):
+    rows = []
+    for name, entry in sorted(results["benchmarks"].items()):
+        before = entry.get("before")
+        after = entry.get("after")
+        b = before["real_time_ms"] if before else None
+        a = after["real_time_ms"] if after else None
+        speedup = f"{b / a:5.2f}x" if b and a else "    --"
+        fmt = lambda v: f"{v:12.3f}" if v is not None else "          --"
+        rows.append(f"{name:<44} {fmt(b)} {fmt(a)} {speedup}")
+    header = f"{'benchmark':<44} {'before(ms)':>12} {'after(ms)':>12} {'speedup':>7}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        choices=["before", "after"],
+                        help="which column these runs record")
+    parser.add_argument("--bin-dir", default=os.path.join(REPO_ROOT, "build",
+                                                          "bench"),
+                        help="directory containing the benchmark binaries")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed through")
+    parser.add_argument("--min-time", default="",
+                        help="--benchmark_min_time passed through")
+    args = parser.parse_args()
+
+    extra = []
+    if args.filter:
+        extra.append(f"--benchmark_filter={args.filter}")
+    if args.min_time:
+        extra.append(f"--benchmark_min_time={args.min_time}")
+
+    results = load_results()
+    for bench in TRACKED_BENCHES:
+        binary = os.path.join(args.bin_dir, bench)
+        if not os.path.exists(binary):
+            print(f"[bench_compare] missing {binary}; build first",
+                  file=sys.stderr)
+            return 1
+        record(results, args.label, run_bench(binary, extra))
+
+    with open(RESULT_FILE, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_compare] wrote {RESULT_FILE}", file=sys.stderr)
+    print_table(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

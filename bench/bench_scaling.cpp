@@ -77,6 +77,76 @@ BENCHMARK(BM_Scaling_Utilization)
     ->Arg(90)
     ->Unit(benchmark::kMillisecond);
 
+// -- Thread scaling of the parallel engine (docs/semantics.md §8) ------------
+
+/// Infeasible under complete pruning after ~330k states: the search must
+/// exhaust the whole pruned state space, which is the workload shape that
+/// parallelizes fully (no first-past-the-post early exit).
+[[nodiscard]] spec::Specification exhaustive_infeasible_set() {
+  workload::WorkloadConfig config;
+  config.tasks = 10;
+  config.utilization = 0.95;
+  config.exclusion_pairs = 4;
+  config.seed = 5;
+  return workload::generate(config).value();
+}
+
+void BM_Parallel_ExhaustiveInfeasible(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s = exhaustive_infeasible_set();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.pruning = sched::PruningMode::kNone;
+  options.threads = threads;  // 0 = serial engine
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Parallel_ExhaustiveInfeasible)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// The BM_Scaling_TaskCount/32 workload under the parallel engine: a
+/// feasible instance, so the first worker to reach M_F wins and the
+/// speedup is bounded by how much of the explored frontier lies off the
+/// winning path.
+void BM_Parallel_TaskCount32(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s = scaling_set(32, 0.5, 7);
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.max_states = 2'000'000;
+  options.threads = threads;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Parallel_TaskCount32)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void print_report() {
   std::printf(
       "== Scaling: visited states vs task count (U = 0.5) "

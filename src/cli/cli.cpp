@@ -77,7 +77,7 @@ class Args {
            name == "timer-hz" || name == "cycles" || name == "tasks" ||
            name == "utilization" || name == "seed" || name == "preemptive" ||
            name == "precedence" || name == "exclusion" ||
-           name == "optimize";
+           name == "optimize" || name == "threads";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -140,6 +140,16 @@ class Args {
       return parsed.error();
     }
     scheduler.max_states = parsed.value();
+  }
+  if (auto threads = args.value("threads")) {
+    auto parsed = parse_uint(*threads);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    scheduler.threads = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (args.has("deterministic")) {
+    scheduler.deterministic = true;
   }
   auto parsed = pnml::read_ezspec(document.value());
   if (!parsed.ok()) {
@@ -581,6 +591,8 @@ std::string usage() {
       "  schedule     synthesize a schedule and print the table\n"
       "               [--complete] [--paper-blocks] [--max-states N]\n"
       "               [--trace FILE] [--optimize makespan|switches]\n"
+      "               [--threads N] parallel search (0 = serial engine)\n"
+      "               [--deterministic] thread-count-independent outcome\n"
       "  codegen      emit the scheduled C program  -o DIR\n"
       "               [--target host-sim|bare-metal] [--mcu "
       "generic|8051|arm9|m68k|x86]\n"

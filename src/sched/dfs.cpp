@@ -9,6 +9,8 @@
 
 #include "base/assert.hpp"
 #include "base/hash.hpp"
+#include "sched/expansion.hpp"
+#include "sched/parallel.hpp"
 
 namespace ezrt::sched {
 
@@ -40,14 +42,6 @@ struct FingerprintHash {
   const tpn::StateDigest d = s.digest();
   return Fingerprint{d.a, d.b};
 }
-
-/// One branching alternative: fire `fireable.transition` after `delay`.
-/// The full FireableTransition is kept so the firing can go through
-/// Semantics::fire_fireable without re-deriving the domain.
-struct Candidate {
-  FireableTransition fireable;
-  Time delay;
-};
 
 struct Frame {
   State state;
@@ -86,14 +80,17 @@ DfsScheduler::DfsScheduler(const tpn::TimePetriNet& net,
 }
 
 SearchOutcome DfsScheduler::search() const {
+  // The parallel engine covers the first-feasible objective; the
+  // branch-and-bound objectives keep their serial incumbent bookkeeping
+  // (a shared incumbent would serialize the workers anyway).
+  if (options_.threads > 0 &&
+      options_.objective == Objective::kFirstFeasible) {
+    return parallel_search(*net_, options_, goal_, miss_places_);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   SearchOutcome out;
   SearchStats& stats = out.stats;
-
-  const bool priority_filter =
-      options_.pruning == PruningMode::kPriorityFilter;
-  const bool incremental =
-      options_.engine == SuccessorEngine::kIncremental;
 
   auto has_miss = [&](const tpn::Marking& m) {
     for (PlaceId p : miss_places_) {
@@ -104,20 +101,14 @@ SearchOutcome DfsScheduler::search() const {
     return false;
   };
 
-  // One successor computation per candidate. The incremental engine
-  // trusts the candidate's precomputed domain (it came out of
-  // fireable_into on the same state) and skips the rescan; the reference
-  // engine re-runs the dense Definition 3.1 and strips the enabled-set
-  // cache, so the whole search stays on the dense code paths.
-  auto fire_step = [&](const State& s, const Candidate& c) {
-    return incremental
-               ? semantics_.fire_fireable(s, c.fireable, c.delay)
-               : semantics_.fire_reference(s, c.fireable.transition, c.delay);
-  };
+  // Successor generation and firing shared with the parallel engine
+  // (sched/expansion.hpp) — the differential guarantees between the
+  // engines rest on this being the single definition of the pruned
+  // successor graph.
+  Expander expander(*net_, semantics_, options_);
 
-  // Scratch fireable buffer plus a pool of retired candidate vectors:
-  // expansion allocates nothing once the search reaches steady state.
-  std::vector<FireableTransition> ft;
+  // Pool of retired candidate vectors: expansion allocates nothing once
+  // the search reaches steady state.
   std::vector<std::vector<Candidate>> pool;
   auto pooled_vector = [&]() {
     if (pool.empty()) {
@@ -129,108 +120,6 @@ SearchOutcome DfsScheduler::search() const {
   };
   auto retire = [&](std::vector<Candidate>&& v) {
     pool.push_back(std::move(v));
-  };
-
-  // Generates the ordered branching alternatives for a state.
-  auto expand_into = [&](const State& s, std::vector<Candidate>& candidates) {
-    candidates.clear();
-    // The reduction must look at the *unfiltered* fireable set: a
-    // conflict-free, zero-lower-bound transition (e.g. an arrival whose
-    // instant has come) commutes with every alternative and is fired
-    // first even when the priority filter would prefer something else —
-    // otherwise a grant could sneak in ahead of a simultaneous arrival
-    // and hide the newly arrived task from the scheduler.
-    semantics_.fireable_into(s, false, ft);
-    if (ft.empty()) {
-      return;
-    }
-
-    // The reduction preserves schedule *existence* and makespan (it only
-    // reorders zero-delay firings), but can reorder same-instant compute
-    // completions and thus perturb the switch count: disabled under the
-    // switch-minimizing objective.
-    if (options_.partial_order_reduction &&
-        options_.objective != Objective::kMinimizeSwitches) {
-      // Sound single-successor reduction. A transition t may be fired as
-      // the only successor when:
-      //  (1) it is *forced now* — DUB(t) == 0, so time cannot advance and
-      //      every feasible continuation fires t at delay 0 somewhere in
-      //      its zero-time prefix (requiring only DLB == 0 would be
-      //      unsound: pinning a transition that may legally fire later
-      //      forecloses schedules that delay it past a contested window);
-      //  (2) it is structurally conflict-free — nothing else consumes its
-      //      inputs, so no alternative order ever disables it; and
-      //  (3) every consumer of each of t's output places has clock 0 —
-      //      otherwise t's produced tokens can keep such a consumer
-      //      *continuously enabled* across the zero-time window where an
-      //      alternative order would have toggled it (clock reset), and
-      //      the end states genuinely differ. The canonical hazard is an
-      //      arrival producing the next deadline-watchdog token at the
-      //      very instant the previous instance finishes: arrival-first
-      //      keeps td enabled with its old clock and dooms the branch.
-      // Under (1)-(3) firing t commutes with every zero-delay
-      // alternative, so exploring only t preserves schedule existence.
-      for (const FireableTransition& f : ft) {
-        if (f.earliest != 0 ||
-            semantics_.dynamic_upper_bound(s, f.transition) != 0 ||
-            !net_->conflict_free(f.transition)) {
-          continue;
-        }
-        bool output_consumers_fresh = true;
-        for (const tpn::Arc& arc : net_->outputs(f.transition)) {
-          for (TransitionId u : net_->consumers(arc.place)) {
-            if (s.clock(u) != 0) {
-              output_consumers_fresh = false;
-              break;
-            }
-          }
-          if (!output_consumers_fresh) {
-            break;
-          }
-        }
-        if (output_consumers_fresh) {
-          candidates.push_back(Candidate{f, 0});
-          return;
-        }
-      }
-    }
-
-    if (priority_filter) {
-      // The paper's FT_P(s): keep only minimal-priority transitions.
-      tpn::apply_priority_filter(*net_, ft);
-    }
-
-    // Deterministic exploration order: priority, then earliest firing
-    // time, then transition index.
-    std::sort(ft.begin(), ft.end(),
-              [&](const FireableTransition& x, const FireableTransition& y) {
-                const auto px = net_->transition(x.transition).priority;
-                const auto py = net_->transition(y.transition).priority;
-                if (px != py) {
-                  return px < py;
-                }
-                if (x.earliest != y.earliest) {
-                  return x.earliest < y.earliest;
-                }
-                return x.transition.value() < y.transition.value();
-              });
-
-    if (options_.firing_times == FiringTimePolicy::kEarliest) {
-      candidates.reserve(ft.size());
-      for (const FireableTransition& f : ft) {
-        candidates.push_back(Candidate{f, f.earliest});
-      }
-    } else {
-      for (const FireableTransition& f : ft) {
-        EZRT_CHECK(f.latest != kTimeInfinity &&
-                       f.latest - f.earliest <= options_.max_domain_width,
-                   "AllInDomain: firing domain too wide; raise "
-                   "max_domain_width or use kEarliest");
-        for (Time q = f.earliest; q <= f.latest; ++q) {
-          candidates.push_back(Candidate{f, q});
-        }
-      }
-    }
   };
 
   if (options_.objective != Objective::kFirstFeasible) {
@@ -272,7 +161,7 @@ SearchOutcome DfsScheduler::search() const {
 
     BbFrame root;
     root.state = State::initial(*net_);
-    expand_into(root.state, root.candidates);
+    expander.expand(root.state, root.candidates);
     best_seen.emplace(key_of(root.state, TaskId()), 0);
     stats.states_visited = 1;
     if (goal_(std::as_const(root.state).marking())) {
@@ -315,7 +204,7 @@ SearchOutcome DfsScheduler::search() const {
         continue;  // cannot improve the incumbent
       }
 
-      State next = fire_step(frame.state, cand);
+      State next = expander.fire(frame.state, cand);
       ++stats.transitions_fired;
       if (has_miss(std::as_const(next).marking())) {
         ++stats.pruned_deadline;
@@ -352,7 +241,7 @@ SearchOutcome DfsScheduler::search() const {
       BbFrame child;
       child.state = std::move(next);
       child.candidates = pooled_vector();
-      expand_into(child.state, child.candidates);
+      expander.expand(child.state, child.candidates);
       child.cost = cost;
       child.last_compute = last_compute;
       stack.push_back(std::move(child));
@@ -389,7 +278,7 @@ SearchOutcome DfsScheduler::search() const {
 
   out.trace.clear();
   stack.push_back(Frame{std::move(s0), {}, 0});
-  expand_into(stack.back().state, stack.back().candidates);
+  expander.expand(stack.back().state, stack.back().candidates);
 
   while (!stack.empty()) {
     Frame& frame = stack.back();
@@ -407,7 +296,7 @@ SearchOutcome DfsScheduler::search() const {
     }
 
     const Candidate cand = frame.candidates[frame.next++];
-    State next = fire_step(frame.state, cand);
+    State next = expander.fire(frame.state, cand);
     ++stats.transitions_fired;
 
     if (has_miss(std::as_const(next).marking())) {
@@ -444,7 +333,7 @@ SearchOutcome DfsScheduler::search() const {
     Frame child;
     child.state = std::move(next);
     child.candidates = pooled_vector();
-    expand_into(child.state, child.candidates);
+    expander.expand(child.state, child.candidates);
     stack.push_back(std::move(child));
   }
 

@@ -73,6 +73,23 @@ struct SchedulerOptions {
   std::uint64_t max_states = 0;
   /// Widest firing domain AllInDomain will enumerate before giving up.
   Time max_domain_width = 10'000;
+  /// Worker threads for the parallel search engine (docs/semantics.md §8):
+  /// work-sharing DFS over disjoint subtrees with a sharded concurrent
+  /// visited set. 0 = the serial engine, preserving today's exploration
+  /// order, trace and statistics bit-for-bit. Parallel search applies to
+  /// the kFirstFeasible objective only; the optimizing (branch-and-bound)
+  /// objectives always run serially regardless of this setting.
+  std::uint32_t threads = 0;
+  /// Fix the outcome across thread counts. The *verdict* of the parallel
+  /// engine is order-independent by construction (both engines explore
+  /// the same pruned successor graph exhaustively); this toggle
+  /// additionally re-derives the reported trace of feasible models with
+  /// the serial engine, so two runs at any thread counts return identical
+  /// traces. Costs one serial search on feasible instances; free on
+  /// infeasible ones. The guarantee requires max_states == 0 (a bounded
+  /// state budget is consumed in an order-dependent way). No effect when
+  /// threads == 0.
+  bool deterministic = false;
 };
 
 enum class SearchStatus : std::uint8_t {
@@ -106,8 +123,11 @@ class DfsScheduler {
   /// Overrides the goal (used by nets without a join block).
   void set_goal(GoalPredicate goal) { goal_ = std::move(goal); }
 
-  /// Runs the search from s0. Deterministic: identical inputs yield
-  /// identical traces and statistics.
+  /// Runs the search from s0. With threads == 0 the search is fully
+  /// deterministic: identical inputs yield identical traces and
+  /// statistics. With threads > 0 the verdict is still deterministic,
+  /// but the reported trace and effort counters depend on scheduling
+  /// unless SchedulerOptions::deterministic is set.
   [[nodiscard]] SearchOutcome search() const;
 
   /// Replays a trace from s0, validating every firing against the timed

@@ -1,0 +1,54 @@
+// Shared successor expansion for the serial and parallel search engines.
+//
+// The soundness of the differential guarantees between the engines (same
+// verdict at any thread count, docs/semantics.md §8) rests on both engines
+// exploring the *same* pruned successor graph. That graph is defined here,
+// once: Expander::expand produces the ordered branching alternatives of a
+// state — partial-order reduction, FT_P priority filter, deterministic
+// candidate ordering and firing-time policy included — and both DfsScheduler
+// and the parallel workers consume it verbatim.
+//
+// An Expander instance is NOT thread-safe (it owns scratch buffers); the
+// parallel engine gives each worker its own. All shared inputs (net,
+// semantics, options) are read-only.
+#pragma once
+
+#include <vector>
+
+#include "sched/dfs.hpp"
+#include "tpn/semantics.hpp"
+
+namespace ezrt::sched {
+
+/// One branching alternative: fire `fireable.transition` after `delay`.
+/// The full FireableTransition is kept so the firing can go through
+/// Semantics::fire_fireable without re-deriving the domain.
+struct Candidate {
+  tpn::FireableTransition fireable;
+  Time delay;
+};
+
+class Expander {
+ public:
+  /// All three referents must outlive the Expander and stay unchanged
+  /// while it is in use.
+  Expander(const tpn::TimePetriNet& net, const tpn::Semantics& semantics,
+           const SchedulerOptions& options);
+
+  /// Generates the ordered branching alternatives for a state into `out`
+  /// (cleared first). Deterministic: a given state always yields the same
+  /// candidate sequence, independent of which engine or thread asks.
+  void expand(const tpn::State& s, std::vector<Candidate>& out);
+
+  /// Fires one candidate under the configured successor engine.
+  [[nodiscard]] tpn::State fire(const tpn::State& s,
+                                const Candidate& c) const;
+
+ private:
+  const tpn::TimePetriNet* net_;
+  const tpn::Semantics* semantics_;
+  const SchedulerOptions* options_;
+  std::vector<tpn::FireableTransition> ft_;  ///< per-instance scratch
+};
+
+}  // namespace ezrt::sched

@@ -1,0 +1,442 @@
+#include "sched/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "sched/expansion.hpp"
+#include "sched/visited_set.hpp"
+#include "tpn/analysis.hpp"
+#include "tpn/semantics.hpp"
+
+namespace ezrt::sched {
+
+namespace {
+
+using tpn::State;
+
+/// An admitted search node handed between workers: the state (already
+/// inserted into the visited set and counted) plus the full firing path
+/// from s0 that produced it — needed so the finder of the goal can return
+/// a complete trace without any global reconstruction step.
+struct WorkItem {
+  State state;
+  Trace prefix;
+};
+
+struct Frame {
+  State state;
+  std::vector<Candidate> candidates;
+  std::size_t next = 0;  ///< index of the next candidate to expand
+};
+
+/// Everything the workers share. The queue/termination protocol is the
+/// classic idle-counting one: a worker that finds the queue empty parks on
+/// the condition variable; when every worker is parked at once the search
+/// space is exhausted and the last one to park declares completion.
+class ParallelSearch {
+ public:
+  ParallelSearch(const tpn::TimePetriNet& net,
+                 const SchedulerOptions& options, const GoalPredicate& goal,
+                 const std::vector<PlaceId>& miss_places)
+      : net_(&net),
+        options_(&options),
+        goal_(&goal),
+        miss_places_(&miss_places),
+        semantics_(net),
+        thread_count_(std::max<std::uint32_t>(1, options.threads)),
+        visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)) {}
+
+  SearchOutcome run();
+
+ private:
+  // -- Work queue ----------------------------------------------------------
+
+  void push_work(WorkItem&& item) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(std::move(item));
+    }
+    queue_len_.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+  }
+
+  /// Blocks until work is available or the search is over; std::nullopt
+  /// means "no more work will ever appear — return from the worker".
+  std::optional<WorkItem> pop_work() {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    for (;;) {
+      if (done_) {
+        return std::nullopt;
+      }
+      if (!queue_.empty()) {
+        WorkItem item = std::move(queue_.front());
+        queue_.pop_front();
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        return item;
+      }
+      ++idle_;
+      if (idle_ == thread_count_) {
+        // Every worker is out of local work and the queue is empty: the
+        // reachable pruned graph is exhausted.
+        done_ = true;
+        queue_cv_.notify_all();
+        return std::nullopt;
+      }
+      queue_cv_.wait(lock);
+      --idle_;
+    }
+  }
+
+  /// Cooperative stop: wakes every parked worker and makes in-flight ones
+  /// unwind at their next stop_ check.
+  void finish() {
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      done_ = true;
+    }
+    queue_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool stopped() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // -- Per-worker search ---------------------------------------------------
+
+  struct Worker {
+    ParallelSearch* search;
+    Expander expander;
+    SearchStats stats;
+    std::vector<Frame> stack;
+    /// Events entering frames 1..n of `stack` (the seed frame has none):
+    /// local_path.size() == stack.size() - 1 whenever the stack is live.
+    Trace local_path;
+    std::vector<std::vector<Candidate>> pool;
+
+    explicit Worker(ParallelSearch* s)
+        : search(s),
+          expander(*s->net_, s->semantics_, *s->options_) {}
+
+    std::vector<Candidate> pooled_vector() {
+      if (pool.empty()) {
+        return {};
+      }
+      std::vector<Candidate> v = std::move(pool.back());
+      pool.pop_back();
+      return v;
+    }
+    void retire(std::vector<Candidate>&& v) { pool.push_back(std::move(v)); }
+  };
+
+  [[nodiscard]] bool has_miss(const tpn::Marking& m) const {
+    for (PlaceId p : *miss_places_) {
+      if (m[p] > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Fires one candidate and runs it through the admission pipeline
+  /// (deadline-miss pruning, concurrent visited set, global state budget,
+  /// goal test). Returns the admitted child state, or std::nullopt when
+  /// the child was pruned *or* the search just ended (goal/limit — the
+  /// caller distinguishes via stopped()). `path_to_parent` must be the
+  /// full firing path from s0 to `parent`.
+  std::optional<State> admit(Worker& w, const State& parent,
+                             const Candidate& cand,
+                             const WorkItem& item,
+                             std::size_t parent_depth,
+                             FiringEvent& event_out) {
+    State next = w.expander.fire(parent, cand);
+    ++w.stats.transitions_fired;
+    if (has_miss(std::as_const(next).marking())) {
+      ++w.stats.pruned_deadline;
+      return std::nullopt;
+    }
+    if (!visited_.insert(next.digest())) {
+      ++w.stats.pruned_visited;
+      return std::nullopt;
+    }
+    const std::uint64_t n =
+        states_.fetch_add(1, std::memory_order_relaxed) + 1;
+    event_out = FiringEvent{cand.fireable.transition, cand.delay,
+                            next.elapsed()};
+    if ((*goal_)(std::as_const(next).marking())) {
+      std::lock_guard<std::mutex> lock(result_mu_);
+      if (!found_) {
+        found_ = true;
+        winning_ = item.prefix;
+        winning_.insert(winning_.end(), w.local_path.begin(),
+                        w.local_path.begin() +
+                            static_cast<std::ptrdiff_t>(parent_depth));
+        winning_.push_back(event_out);
+      }
+      finish();
+      return std::nullopt;
+    }
+    if (options_->max_states != 0 && n >= options_->max_states) {
+      limit_hit_.store(true, std::memory_order_relaxed);
+      finish();
+      return std::nullopt;
+    }
+    return next;
+  }
+
+  /// Donates pending candidates from the *shallowest* unexhausted frame to
+  /// the shared queue while other workers are hungry — shallow siblings
+  /// root the largest unexplored subtrees, so sharing them keeps the
+  /// stolen work coarse.
+  void maybe_offload(Worker& w, const WorkItem& item) {
+    if (thread_count_ == 1) {
+      return;
+    }
+    const std::size_t hunger = thread_count_;
+    if (queue_len_.load(std::memory_order_relaxed) >= hunger) {
+      return;
+    }
+    for (std::size_t i = 0; i < w.stack.size() && !stopped(); ++i) {
+      Frame& frame = w.stack[i];
+      // Keep the frame's last pending candidate for ourselves when it is
+      // the top frame — a worker must not starve itself into a pop/push
+      // cycle on its own donations.
+      const bool top = i + 1 == w.stack.size();
+      while (frame.next + (top ? 1 : 0) < frame.candidates.size() &&
+             queue_len_.load(std::memory_order_relaxed) < hunger) {
+        const Candidate cand = frame.candidates[frame.next++];
+        FiringEvent event;
+        auto child = admit(w, frame.state, cand, item, i, event);
+        if (!child.has_value()) {
+          if (stopped()) {
+            return;
+          }
+          continue;
+        }
+        WorkItem shared;
+        shared.state = std::move(*child);
+        shared.prefix = item.prefix;
+        shared.prefix.insert(shared.prefix.end(), w.local_path.begin(),
+                             w.local_path.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+        shared.prefix.push_back(event);
+        push_work(std::move(shared));
+      }
+      if (frame.next < frame.candidates.size()) {
+        return;  // donated enough; deeper frames stay ours
+      }
+    }
+  }
+
+  /// Depth-first exploration of the subtree rooted at `item.state`.
+  void run_subtree(Worker& w, WorkItem item) {
+    w.stack.clear();
+    w.local_path.clear();
+
+    Frame root;
+    root.state = std::move(item.state);
+    root.candidates = w.pooled_vector();
+    w.expander.expand(root.state, root.candidates);
+    w.stack.push_back(std::move(root));
+
+    while (!w.stack.empty()) {
+      if (stopped()) {
+        return;
+      }
+      maybe_offload(w, item);
+      if (stopped()) {
+        return;
+      }
+      Frame& frame = w.stack.back();
+      w.stats.max_depth = std::max<std::uint64_t>(
+          w.stats.max_depth, item.prefix.size() + w.stack.size());
+      if (frame.next >= frame.candidates.size()) {
+        w.retire(std::move(frame.candidates));
+        w.stack.pop_back();
+        if (!w.local_path.empty()) {
+          w.local_path.pop_back();
+        }
+        ++w.stats.backtracks;
+        continue;
+      }
+      const Candidate cand = frame.candidates[frame.next++];
+      FiringEvent event;
+      auto child = admit(w, frame.state, cand, item, w.stack.size() - 1,
+                         event);
+      if (!child.has_value()) {
+        continue;  // pruned, or the search ended (checked at loop head)
+      }
+      w.local_path.push_back(event);
+      Frame next_frame;
+      next_frame.state = std::move(*child);
+      next_frame.candidates = w.pooled_vector();
+      w.expander.expand(next_frame.state, next_frame.candidates);
+      w.stack.push_back(std::move(next_frame));
+    }
+  }
+
+  void worker_main(SearchStats& stats_out) {
+    Worker w(this);
+    try {
+      for (;;) {
+        std::optional<WorkItem> item = pop_work();
+        if (!item.has_value()) {
+          break;
+        }
+        run_subtree(w, std::move(*item));
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(result_mu_);
+        if (!failure_) {
+          failure_ = std::current_exception();
+        }
+      }
+      finish();
+    }
+    stats_out = w.stats;
+  }
+
+  const tpn::TimePetriNet* net_;
+  const SchedulerOptions* options_;
+  const GoalPredicate* goal_;
+  const std::vector<PlaceId>* miss_places_;
+  tpn::Semantics semantics_;
+  std::uint32_t thread_count_;
+  ShardedVisitedSet visited_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  std::uint32_t idle_ = 0;
+  bool done_ = false;
+  std::atomic<std::size_t> queue_len_{0};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> limit_hit_{false};
+  std::atomic<std::uint64_t> states_{0};
+
+  std::mutex result_mu_;
+  bool found_ = false;
+  Trace winning_;
+  std::exception_ptr failure_;
+};
+
+SearchOutcome ParallelSearch::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchOutcome out;
+
+  State s0 = State::initial(*net_);
+  visited_.insert(s0.digest());
+  states_.store(1, std::memory_order_relaxed);
+
+  if ((*goal_)(std::as_const(s0).marking())) {
+    out.status = SearchStatus::kFeasible;
+    out.stats.states_visited = 1;
+    out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    return out;
+  }
+
+  push_work(WorkItem{std::move(s0), Trace{}});
+
+  std::vector<SearchStats> per_worker(thread_count_);
+  std::vector<std::thread> threads;
+  threads.reserve(thread_count_);
+  for (std::uint32_t i = 0; i < thread_count_; ++i) {
+    threads.emplace_back([this, &per_worker, i] {
+      worker_main(per_worker[i]);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (failure_) {
+    std::rethrow_exception(failure_);
+  }
+
+  SearchStats& stats = out.stats;
+  stats.states_visited = states_.load(std::memory_order_relaxed);
+  for (const SearchStats& ws : per_worker) {
+    stats.transitions_fired += ws.transitions_fired;
+    stats.backtracks += ws.backtracks;
+    stats.pruned_deadline += ws.pruned_deadline;
+    stats.pruned_visited += ws.pruned_visited;
+    stats.max_depth = std::max(stats.max_depth, ws.max_depth);
+  }
+
+  // A goal found concurrently with the state budget running out counts as
+  // feasible — same preference order as the serial engine, which tests the
+  // goal before the limit.
+  if (found_) {
+    out.status = SearchStatus::kFeasible;
+    out.trace = std::move(winning_);
+  } else if (limit_hit_.load(std::memory_order_relaxed)) {
+    out.status = SearchStatus::kLimitReached;
+  } else {
+    out.status = SearchStatus::kInfeasible;
+  }
+  stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  return out;
+}
+
+/// Serial re-derivation for the deterministic toggle.
+[[nodiscard]] SearchOutcome serial_search(const tpn::TimePetriNet& net,
+                                          SchedulerOptions options,
+                                          const GoalPredicate& goal) {
+  options.threads = 0;
+  DfsScheduler scheduler(net, options);
+  scheduler.set_goal(goal);
+  return scheduler.search();
+}
+
+}  // namespace
+
+SearchOutcome parallel_search(const tpn::TimePetriNet& net,
+                              const SchedulerOptions& options,
+                              const GoalPredicate& goal,
+                              const std::vector<PlaceId>& miss_places) {
+  EZRT_CHECK(options.threads >= 1,
+             "parallel_search requires options.threads >= 1");
+  EZRT_CHECK(options.objective == Objective::kFirstFeasible,
+             "parallel_search supports the kFirstFeasible objective only");
+
+  if (options.deterministic && options.max_states != 0) {
+    // A bounded state budget is consumed in a scheduling-dependent order,
+    // so the only way to honor the determinism contract is the serial
+    // engine itself.
+    return serial_search(net, options, goal);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchOutcome out = ParallelSearch(net, options, goal, miss_places).run();
+
+  if (options.deterministic && out.status == SearchStatus::kFeasible) {
+    // The parallel verdict is order-independent; the winning trace is
+    // first-past-the-post. Re-derive the canonical (serial) trace so two
+    // runs at any thread counts return identical outcomes. Infeasible
+    // instances — where exhaustive exploration makes parallelism pay —
+    // skip this: their outcome is already deterministic.
+    out = serial_search(net, options, goal);
+    out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  }
+  return out;
+}
+
+}  // namespace ezrt::sched

@@ -1,0 +1,37 @@
+// Parallel TLTS search (docs/semantics.md §8).
+//
+// A work-sharing depth-first exploration of the same pruned successor
+// graph the serial engine walks (sched/expansion.hpp): worker threads
+// expand disjoint subtrees, admission into the search is arbitrated by a
+// sharded concurrent visited set keyed on the 128-bit Zobrist state digest
+// (sched/visited_set.hpp), and the first worker to reach the final marking
+// stops the others cooperatively through an atomic flag, returning its
+// winning firing schedule. Downstream stages (schedule-table extraction,
+// trace replay, code generation) consume the returned trace exactly as
+// they consume a serial one.
+//
+// Verdict determinism: the candidate expansion is a pure function of the
+// state, so the pruned successor relation is a fixed graph and an
+// exhaustive visited-set search explores exactly its reachable set in any
+// interleaving — the feasible/infeasible verdict cannot depend on thread
+// count (the differential sweep in tests/parallel_test.cpp checks this
+// against the serial engine). The *trace* of a feasible model is
+// first-past-the-post; SchedulerOptions::deterministic re-derives it
+// serially when reproducibility matters more than latency.
+#pragma once
+
+#include <vector>
+
+#include "sched/dfs.hpp"
+
+namespace ezrt::sched {
+
+/// Runs the multi-threaded search. Preconditions (checked): options.threads
+/// >= 1 and options.objective == kFirstFeasible. `goal` must be safe to
+/// call concurrently (a pure function of the marking). `miss_places` is
+/// the precollected undesirable-place set, shared with the serial engine.
+[[nodiscard]] SearchOutcome parallel_search(
+    const tpn::TimePetriNet& net, const SchedulerOptions& options,
+    const GoalPredicate& goal, const std::vector<PlaceId>& miss_places);
+
+}  // namespace ezrt::sched

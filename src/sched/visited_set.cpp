@@ -1,0 +1,94 @@
+#include "sched/visited_set.hpp"
+
+#include <bit>
+
+namespace ezrt::sched {
+
+namespace {
+
+/// In-shard probe start. The shard index consumed the digest's low `a`
+/// bits, so probing mixes both words again — shards stay uniformly filled
+/// even though every key in a shard shares those low bits.
+[[nodiscard]] std::size_t probe_hash(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::size_t>(hash_mix(a, b));
+}
+
+constexpr std::size_t kInitialSlots = 1024;  // power of two, 16 KiB/shard
+
+}  // namespace
+
+ShardedVisitedSet::ShardedVisitedSet(std::size_t shard_count) {
+  const std::size_t n = std::bit_ceil(shard_count == 0 ? 1 : shard_count);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->keys.assign(kInitialSlots * 2, 0);
+    shards_.push_back(std::move(shard));
+  }
+  shard_mask_ = n - 1;
+}
+
+bool ShardedVisitedSet::Shard::insert_locked(std::uint64_t a,
+                                             std::uint64_t b) {
+  const std::size_t slots = keys.size() / 2;
+  if ((count + 1) * 10 >= slots * 7) {
+    grow_locked();
+  }
+  const std::size_t mask = keys.size() / 2 - 1;
+  std::size_t i = probe_hash(a, b) & mask;
+  for (;;) {
+    const std::uint64_t ka = keys[2 * i];
+    const std::uint64_t kb = keys[2 * i + 1];
+    if (ka == 0 && kb == 0) {
+      keys[2 * i] = a;
+      keys[2 * i + 1] = b;
+      ++count;
+      return true;
+    }
+    if (ka == a && kb == b) {
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void ShardedVisitedSet::Shard::grow_locked() {
+  std::vector<std::uint64_t> old = std::move(keys);
+  keys.assign(old.size() * 2, 0);
+  const std::size_t mask = keys.size() / 2 - 1;
+  for (std::size_t j = 0; j < old.size(); j += 2) {
+    const std::uint64_t a = old[j];
+    const std::uint64_t b = old[j + 1];
+    if (a == 0 && b == 0) {
+      continue;
+    }
+    std::size_t i = probe_hash(a, b) & mask;
+    while (keys[2 * i] != 0 || keys[2 * i + 1] != 0) {
+      i = (i + 1) & mask;
+    }
+    keys[2 * i] = a;
+    keys[2 * i + 1] = b;
+  }
+}
+
+bool ShardedVisitedSet::insert(tpn::StateDigest digest) {
+  Shard& shard = *shards_[static_cast<std::size_t>(digest.a) & shard_mask_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (digest.a == 0 && digest.b == 0) {
+    const bool fresh = !shard.zero_present;
+    shard.zero_present = true;
+    return fresh;
+  }
+  return shard.insert_locked(digest.a, digest.b);
+}
+
+std::uint64_t ShardedVisitedSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->count + (shard->zero_present ? 1 : 0);
+  }
+  return total;
+}
+
+}  // namespace ezrt::sched

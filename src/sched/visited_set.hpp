@@ -1,0 +1,64 @@
+// Concurrent visited set over 128-bit state fingerprints.
+//
+// The parallel TLTS search (docs/semantics.md §8) needs one shared "have we
+// seen this state" structure that many workers hit on every admitted state.
+// The set is sharded: a fingerprint is routed to shard `digest mod shards`,
+// and each shard is an independently mutex-protected open-addressing table,
+// so concurrent inserts contend only when they land on the same shard.
+// Storing fingerprints instead of full states keeps memory at 16 bytes per
+// state; the collision probability over two independent 64-bit hashes is
+// negligible against the state counts reachable in practice (same argument
+// as the serial engine's visited set).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/hash.hpp"
+#include "tpn/state.hpp"
+
+namespace ezrt::sched {
+
+class ShardedVisitedSet {
+ public:
+  /// `shard_count` is rounded up to a power of two (minimum 1).
+  explicit ShardedVisitedSet(std::size_t shard_count);
+
+  ShardedVisitedSet(const ShardedVisitedSet&) = delete;
+  ShardedVisitedSet& operator=(const ShardedVisitedSet&) = delete;
+
+  /// Inserts the fingerprint; returns true iff it was not present. Safe to
+  /// call concurrently from any number of threads; for a given digest the
+  /// first caller (in the shard lock's order) gets true, everyone else
+  /// false — exactly once per distinct state.
+  bool insert(tpn::StateDigest digest);
+
+  /// Total distinct fingerprints inserted. Exact once all writers have
+  /// quiesced; a racy lower bound while inserts are in flight.
+  [[nodiscard]] std::uint64_t size() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  /// One open-addressing table: 16-byte slots, linear probing, grown at
+  /// 70% load under the shard mutex. The all-zero slot value doubles as
+  /// the empty marker; the (vanishingly unlikely) genuine {0,0} digest is
+  /// tracked by a side flag instead of a slot.
+  struct Shard {
+    mutable std::mutex mu;  ///< mutable so size() can lock through const
+    std::vector<std::uint64_t> keys;  ///< 2 words per slot: [a0,b0,a1,b1,...]
+    std::size_t count = 0;            ///< occupied slots
+    bool zero_present = false;
+
+    bool insert_locked(std::uint64_t a, std::uint64_t b);
+    void grow_locked();
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+};
+
+}  // namespace ezrt::sched

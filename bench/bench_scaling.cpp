@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "builder/tpn_builder.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "sched/dfs.hpp"
 #include "workload/generator.hpp"
 
@@ -146,6 +148,36 @@ BENCHMARK(BM_Parallel_TaskCount32)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// -- Telemetry overhead (docs/observability.md) ------------------------------
+
+/// The BM_Scaling_TaskCount/32 workload with the full observability
+/// surface enabled: telemetry collection, a live progress sink and a span
+/// tracer. Comparing against BM_Scaling_TaskCount/32 measures the tax of
+/// the masked publishes and relaxed-atomic stores on the search hot loop —
+/// the acceptance bound is < 3% (BENCH_search.json tracks both rows).
+void BM_Scaling_TaskCount32_Telemetry(benchmark::State& state) {
+  const spec::Specification s = scaling_set(32, 0.5, 7);
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.max_states = 2'000'000;
+  options.collect_telemetry = true;
+  obs::ProgressSink sink;
+  obs::Tracer tracer;
+  options.progress = &sink;
+  options.tracer = &tracer;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Scaling_TaskCount32_Telemetry)->Unit(benchmark::kMillisecond);
 
 void print_report() {
   std::printf(

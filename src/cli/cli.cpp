@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -8,10 +9,13 @@
 #include <sstream>
 
 #include "base/strings.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "pnml/ezspec_io.hpp"
 #include "tpn/dot.hpp"
 
 #include "core/project.hpp"
+#include "core/run_report.hpp"
 #include "runtime/cyclic.hpp"
 #include "runtime/dispatcher_sim.hpp"
 #include "runtime/admission.hpp"
@@ -77,7 +81,8 @@ class Args {
            name == "timer-hz" || name == "cycles" || name == "tasks" ||
            name == "utilization" || name == "seed" || name == "preemptive" ||
            name == "precedence" || name == "exclusion" ||
-           name == "optimize" || name == "threads";
+           name == "optimize" || name == "threads" || name == "report" ||
+           name == "trace-out";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -105,7 +110,9 @@ class Args {
 }
 
 /// Loads the project from the spec file named by the first positional.
-[[nodiscard]] Result<core::Project> load_project(const Args& args) {
+/// `tracer` (optional) records the spec-parse stage span.
+[[nodiscard]] Result<core::Project> load_project(
+    const Args& args, obs::Tracer* tracer = nullptr) {
   if (args.positional().empty()) {
     return make_error(ErrorCode::kInvalidArgument,
                       "missing <spec.xml> argument");
@@ -151,7 +158,10 @@ class Args {
   if (args.has("deterministic")) {
     scheduler.deterministic = true;
   }
-  auto parsed = pnml::read_ezspec(document.value());
+  auto parsed = [&] {
+    obs::Span span(tracer, "spec-parse", "pipeline");
+    return pnml::read_ezspec(document.value());
+  }();
   if (!parsed.ok()) {
     return parsed.error();
   }
@@ -199,23 +209,92 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
-  auto project = load_project(args);
+  const auto report_path = args.value("report");
+  const auto trace_out_path = args.value("trace-out");
+  obs::Tracer tracer;
+  obs::Tracer* const tracer_ptr =
+      report_path.has_value() || trace_out_path.has_value() ? &tracer
+                                                            : nullptr;
+  auto project = load_project(args, tracer_ptr);
   if (!project.ok()) {
     err << "error: " << project.error() << "\n";
     return kFailure;
   }
   core::Project& p = project.value();
-  if (auto status = p.schedule(); !status.ok()) {
+  p.set_tracer(tracer_ptr);
+  if (report_path.has_value()) {
+    // Reports carry the per-worker/per-shard breakdown; collection runs
+    // after the verdict and never perturbs the search.
+    p.scheduler_options().collect_telemetry = true;
+  }
+
+  obs::ProgressSink sink;
+  std::optional<obs::ProgressReporter> reporter;
+  if (args.has("progress")) {
+    std::uint64_t interval_ms = 1000;
+    if (auto value = args.value("progress");
+        value.has_value() && !value->empty()) {
+      auto parsed = parse_uint(*value);
+      if (!parsed.ok()) {
+        err << "error: --progress: " << parsed.error() << "\n";
+        return kUsage;
+      }
+      interval_ms = parsed.value();
+    }
+    p.scheduler_options().progress = &sink;
+    // Heartbeats go to stderr so stdout stays parseable.
+    reporter.emplace(sink, err, std::chrono::milliseconds(interval_ms));
+  }
+
+  const Status status = p.schedule();
+  if (reporter.has_value()) {
+    reporter->stop();
+  }
+
+  // Report and Chrome trace are written on success *and* failure: the
+  // effort spent proving infeasibility is exactly what one wants to
+  // inspect afterwards. Run after the table/trace outputs so their
+  // pipeline spans land in the report.
+  auto write_observability = [&]() -> Status {
+    if (report_path.has_value()) {
+      if (auto s = write_file(*report_path, core::run_report_json(p, tracer_ptr));
+          !s.ok()) {
+        return s;
+      }
+      out << "report written to " << *report_path << "\n";
+    }
+    if (trace_out_path.has_value()) {
+      if (auto s = obs::write_trace_file(tracer, *trace_out_path); !s.ok()) {
+        return s;
+      }
+      out << "trace written to " << *trace_out_path << "\n";
+    }
+    return Status();
+  };
+
+  if (!status.ok()) {
     err << "error: " << status.error() << "\n";
     if (p.scheduled()) {
       err << "  states visited: " << p.outcome().stats.states_visited
           << ", backtracks: " << p.outcome().stats.backtracks << "\n";
+    }
+    if (auto s = write_observability(); !s.ok()) {
+      err << "error: " << s.error() << "\n";
     }
     return kFailure;
   }
   const sched::SearchStats& stats = p.outcome().stats;
   out << "feasible schedule: " << p.outcome().trace.size() << " firings, "
       << stats.states_visited << " states, " << stats.elapsed_ms << " ms\n";
+  if (p.outcome().parallel_verdict_ms > 0.0) {
+    out << "deterministic: " << p.outcome().parallel_verdict_ms
+        << " ms parallel verdict + " << stats.elapsed_ms
+        << " ms serial trace re-derivation\n";
+  }
+  out << "search effort: pruned deadline=" << stats.pruned_deadline
+      << " revisited=" << stats.pruned_visited
+      << " priority=" << stats.pruned_priority << ", peak visited "
+      << stats.peak_visited_bytes << " bytes\n";
   if (args.has("optimize")) {
     out << "optimized: best cost " << p.outcome().best_cost << " over "
         << p.outcome().solutions_found << " schedule(s) considered\n";
@@ -229,11 +308,15 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
   if (auto trace_path = args.value("trace")) {
     const std::string document =
         sched::write_trace(p.model().net, p.outcome().trace);
-    if (auto status = write_file(*trace_path, document); !status.ok()) {
-      err << "error: " << status.error() << "\n";
+    if (auto status2 = write_file(*trace_path, document); !status2.ok()) {
+      err << "error: " << status2.error() << "\n";
       return kFailure;
     }
     out << "trace written to " << *trace_path << "\n";
+  }
+  if (auto s = write_observability(); !s.ok()) {
+    err << "error: " << s.error() << "\n";
+    return kFailure;
   }
   return kOk;
 }
@@ -346,19 +429,26 @@ int cmd_export_pnml(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
-  auto project = load_project(args);
+  const auto trace_out_path = args.value("trace-out");
+  obs::Tracer tracer;
+  obs::Tracer* const tracer_ptr =
+      trace_out_path.has_value() ? &tracer : nullptr;
+  auto project = load_project(args, tracer_ptr);
   if (!project.ok()) {
     err << "error: " << project.error() << "\n";
     return kFailure;
   }
   core::Project& p = project.value();
+  p.set_tracer(tracer_ptr);
   auto table = p.table();
   if (!table.ok()) {
     err << "error: " << table.error() << "\n";
     return kFailure;
   }
-  const runtime::DispatcherRun run =
-      runtime::simulate_dispatcher(p.specification(), table.value());
+  runtime::DispatchSimOptions sim_options;
+  sim_options.tracer = tracer_ptr;
+  const runtime::DispatcherRun run = runtime::simulate_dispatcher(
+      p.specification(), table.value(), sim_options);
   out << "dispatcher run: " << run.outcomes.size() << " instances, "
       << run.context_saves << " saves, " << run.context_restores
       << " restores, "
@@ -373,6 +463,14 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   if (!latencies.empty()) {
     out << "end-to-end chain latency:\n"
         << runtime::format_latency(p.specification(), latencies) << "\n";
+  }
+  if (trace_out_path.has_value()) {
+    if (auto status = obs::write_trace_file(tracer, *trace_out_path);
+        !status.ok()) {
+      err << "error: " << status.error() << "\n";
+      return kFailure;
+    }
+    out << "trace written to " << *trace_out_path << "\n";
   }
 
   if (auto cycles = args.value("cycles")) {
@@ -593,6 +691,9 @@ std::string usage() {
       "               [--trace FILE] [--optimize makespan|switches]\n"
       "               [--threads N] parallel search (0 = serial engine)\n"
       "               [--deterministic] thread-count-independent outcome\n"
+      "               [--report FILE] machine-readable run report (JSON)\n"
+      "               [--trace-out FILE] Chrome trace of the pipeline\n"
+      "               [--progress[=MS]] heartbeat on stderr (default 1000)\n"
       "  codegen      emit the scheduled C program  -o DIR\n"
       "               [--target host-sim|bare-metal] [--mcu "
       "generic|8051|arm9|m68k|x86]\n"
@@ -602,6 +703,7 @@ std::string usage() {
       "[--priorities]\n"
       "  simulate     run the dispatcher simulation, metrics and Gantt\n"
       "               [--cycles N] also checks steady-state repetition\n"
+      "               [--trace-out FILE] Chrome trace (virtual-time track)\n"
       "  workload     generate a random task set  [-o FILE] [--tasks N]\n"
       "               [--utilization U] [--seed S] [--preemptive F]\n"
       "               [--precedence N] [--exclusion N]\n"

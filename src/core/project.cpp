@@ -1,6 +1,7 @@
 #include "core/project.hpp"
 
 #include "base/assert.hpp"
+#include "obs/trace.hpp"
 #include "pnml/ezspec_io.hpp"
 #include "pnml/pnml_io.hpp"
 
@@ -21,10 +22,16 @@ Result<Project> Project::from_ezspec(std::string_view document) {
   return Project(std::move(parsed).value());
 }
 
+void Project::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  scheduler_options_.tracer = tracer;
+}
+
 Status Project::build() {
   if (model_.has_value()) {
     return Status();
   }
+  obs::Span span(tracer_, "tpn-build", "pipeline");
   if (auto status = spec_.validate(); !status.ok()) {
     return status;
   }
@@ -33,6 +40,12 @@ Status Project::build() {
     return model.error();
   }
   model_ = std::move(model).value();
+  if (tracer_ != nullptr) {
+    span.set_args("{\"places\":" +
+                  std::to_string(model_->net.place_count()) +
+                  ",\"transitions\":" +
+                  std::to_string(model_->net.transition_count()) + "}");
+  }
   return Status();
 }
 
@@ -46,9 +59,16 @@ Status Project::schedule() {
     if (auto status = build(); !status.ok()) {
       return status;
     }
+    obs::Span span(tracer_, "search", "pipeline");
     sched::DfsScheduler scheduler(model_->net, scheduler_options_);
     // Statistics stay available through outcome() even on failure.
     outcome_ = scheduler.search();
+    if (tracer_ != nullptr) {
+      span.set_args(
+          "{\"status\":\"" + std::string(sched::to_string(outcome_->status)) +
+          "\",\"states\":" + std::to_string(outcome_->stats.states_visited) +
+          "}");
+    }
   }
   if (outcome_->status == sched::SearchStatus::kFeasible) {
     return Status();
@@ -72,6 +92,7 @@ Result<sched::ScheduleTable> Project::table() {
   if (auto status = schedule(); !status.ok()) {
     return status.error();
   }
+  obs::Span span(tracer_, "table-extract", "pipeline");
   auto table = sched::extract_schedule(spec_, *model_, outcome_->trace);
   if (!table.ok()) {
     return table;
@@ -85,6 +106,7 @@ Result<runtime::ValidationReport> Project::validate() {
   if (!t.ok()) {
     return t.error();
   }
+  obs::Span span(tracer_, "validate", "pipeline");
   return runtime::validate_schedule(spec_, t.value());
 }
 
@@ -94,6 +116,7 @@ Result<codegen::GeneratedCode> Project::generate_code(
   if (!t.ok()) {
     return t.error();
   }
+  obs::Span span(tracer_, "codegen", "pipeline");
   return codegen::generate(spec_, t.value(), options);
 }
 
@@ -101,6 +124,7 @@ Result<std::string> Project::export_pnml() {
   if (auto status = build(); !status.ok()) {
     return status.error();
   }
+  obs::Span span(tracer_, "pnml-export", "pipeline");
   return pnml::write_pnml(model_->net);
 }
 

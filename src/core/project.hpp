@@ -25,6 +25,10 @@
 #include "sched/schedule_table.hpp"
 #include "spec/specification.hpp"
 
+namespace ezrt::obs {
+class Tracer;
+}  // namespace ezrt::obs
+
 namespace ezrt::core {
 
 class Project {
@@ -70,6 +74,20 @@ class Project {
   /// ez-spec document of the specification.
   [[nodiscard]] Result<std::string> export_ezspec() const;
 
+  /// Mirrors every pipeline stage this facade runs (TPN build, search,
+  /// table extraction, validation, codegen, PNML export) as a wall-clock
+  /// span on `tracer`, and hands the tracer to the search engines for
+  /// their internal spans. Must outlive the Project; null = off.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Mutable scheduler options, for callers that decide observability
+  /// wiring (progress sink, telemetry collection) after construction.
+  /// Changes take effect for stages that have not run yet.
+  [[nodiscard]] sched::SchedulerOptions& scheduler_options() {
+    return scheduler_options_;
+  }
+
  private:
   spec::Specification spec_;
   builder::BuildOptions build_options_;
@@ -77,6 +95,7 @@ class Project {
   std::optional<builder::BuiltModel> model_;
   std::optional<sched::SearchOutcome> outcome_;
   std::optional<sched::ScheduleTable> table_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ezrt::core

@@ -1,0 +1,238 @@
+#include "core/run_report.hpp"
+
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ezrt::core {
+
+namespace {
+
+using obs::JsonWriter;
+
+[[nodiscard]] std::string_view to_string(sched::PruningMode mode) {
+  switch (mode) {
+    case sched::PruningMode::kNone:
+      return "none";
+    case sched::PruningMode::kPriorityFilter:
+      return "priority-filter";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] std::string_view to_string(sched::FiringTimePolicy policy) {
+  switch (policy) {
+    case sched::FiringTimePolicy::kEarliest:
+      return "earliest";
+    case sched::FiringTimePolicy::kAllInDomain:
+      return "all-in-domain";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] std::string_view to_string(sched::Objective objective) {
+  switch (objective) {
+    case sched::Objective::kFirstFeasible:
+      return "first-feasible";
+    case sched::Objective::kMinimizeMakespan:
+      return "minimize-makespan";
+    case sched::Objective::kMinimizeSwitches:
+      return "minimize-switches";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] std::string_view to_string(sched::SuccessorEngine engine) {
+  switch (engine) {
+    case sched::SuccessorEngine::kIncremental:
+      return "incremental";
+    case sched::SuccessorEngine::kReference:
+      return "reference";
+  }
+  return "unknown";
+}
+
+void write_model(JsonWriter& w, Project& project) {
+  const spec::Specification& spec = project.specification();
+  w.key("model").begin_object();
+  w.member("name", std::string_view(spec.name()));
+  w.member("tasks", static_cast<std::uint64_t>(spec.task_count()));
+  w.member("processors", static_cast<std::uint64_t>(spec.processor_count()));
+  w.member("messages", static_cast<std::uint64_t>(spec.message_count()));
+  w.member("utilization", spec.utilization());
+  if (auto period = spec.schedule_period(); period.ok()) {
+    w.member("schedule_period", period.value());
+  }
+  if (auto instances = spec.total_instances(); instances.ok()) {
+    w.member("total_instances", instances.value());
+  }
+  if (project.built()) {
+    const builder::BuiltModel& model = project.model();
+    w.member("places", static_cast<std::uint64_t>(model.net.place_count()));
+    w.member("transitions",
+             static_cast<std::uint64_t>(model.net.transition_count()));
+  }
+  w.end_object();
+}
+
+void write_options(JsonWriter& w, const sched::SchedulerOptions& opt) {
+  w.key("options").begin_object();
+  w.member("pruning", to_string(opt.pruning));
+  w.member("firing_times", to_string(opt.firing_times));
+  w.member("partial_order_reduction", opt.partial_order_reduction);
+  w.member("objective", to_string(opt.objective));
+  w.member("engine", to_string(opt.engine));
+  w.member("max_states", opt.max_states);
+  w.member("threads", opt.threads);
+  w.member("deterministic", opt.deterministic);
+  w.member("collect_telemetry", opt.collect_telemetry);
+  w.end_object();
+}
+
+void write_search_stats(JsonWriter& w, const sched::SearchStats& s) {
+  w.member("states_visited", s.states_visited);
+  w.member("transitions_fired", s.transitions_fired);
+  w.member("backtracks", s.backtracks);
+  w.member("pruned_deadline", s.pruned_deadline);
+  w.member("pruned_visited", s.pruned_visited);
+  w.member("pruned_priority", s.pruned_priority);
+  w.member("max_depth", s.max_depth);
+  w.member("peak_visited_bytes", s.peak_visited_bytes);
+  w.member("elapsed_ms", s.elapsed_ms);
+}
+
+void write_telemetry(JsonWriter& w, const sched::SearchTelemetry& t) {
+  w.key("telemetry").begin_object();
+  w.member("reduction_singletons", t.reduction_singletons);
+  w.key("workers").begin_array();
+  for (const sched::WorkerTelemetry& worker : t.workers) {
+    w.begin_object();
+    w.member("worker", worker.worker);
+    w.member("expansions", worker.expansions);
+    w.member("donations", worker.donations);
+    w.member("steals", worker.steals);
+    w.member("idle_transitions", worker.idle_transitions);
+    w.member("reduction_singletons", worker.reduction_singletons);
+    write_search_stats(w, worker.stats);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("shards").begin_array();
+  for (const sched::ShardTelemetry& shard : t.shards) {
+    w.begin_object();
+    w.member("slots", shard.slots);
+    w.member("occupied", shard.occupied);
+    w.member("load_factor", shard.load_factor);
+    w.member("probe_max", shard.probe_max);
+    w.member("probe_mean", shard.probe_mean);
+    w.key("probe_hist").begin_array();
+    for (std::uint64_t n : shard.probe_hist) {
+      w.value(n);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_schedule(JsonWriter& w, Project& project) {
+  auto table = project.table();
+  if (!table.ok()) {
+    return;
+  }
+  const spec::Specification& spec = project.specification();
+  const runtime::ScheduleMetrics metrics =
+      runtime::compute_metrics(spec, table.value());
+  w.key("schedule").begin_object();
+  w.member("entries",
+           static_cast<std::uint64_t>(table.value().items.size()));
+  w.member("schedule_period", table.value().schedule_period);
+  w.member("makespan", table.value().makespan);
+  w.member("busy_time", metrics.busy_time);
+  w.member("idle_time", metrics.idle_time);
+  w.member("utilization", metrics.utilization);
+  w.member("total_energy", metrics.total_energy);
+  w.member("total_preemptions", metrics.total_preemptions);
+  w.key("tasks").begin_array();
+  for (const runtime::TaskMetrics& task : metrics.tasks) {
+    w.begin_object();
+    w.member("task", std::string_view(spec.task(task.task).name));
+    w.member("instances", task.instances);
+    w.member("worst_response", task.worst_response);
+    w.member("best_response", task.best_response);
+    w.member("mean_response", task.mean_response);
+    w.member("start_jitter", task.start_jitter);
+    w.member("worst_slack", task.worst_slack);
+    w.member("preemptions", task.preemptions);
+    w.member("energy", task.energy);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_stages(JsonWriter& w, const obs::Tracer& tracer) {
+  w.key("stages").begin_array();
+  for (const obs::Tracer::Event& event : tracer.events()) {
+    if (event.ph != 'X' || event.track != obs::kTrackPipeline) {
+      continue;
+    }
+    w.begin_object();
+    w.member("name", std::string_view(event.name));
+    w.member("category", std::string_view(event.cat));
+    w.member("start_us", event.ts);
+    w.member("duration_us", event.dur);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string run_report_json(Project& project, const obs::Tracer* tracer) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("schema", "ezrt-run-report");
+  w.member("version", 1);
+  write_model(w, project);
+  write_options(w, project.scheduler_options());
+
+  if (project.scheduled()) {
+    const sched::SearchOutcome& outcome = project.outcome();
+    w.key("verdict").begin_object();
+    w.member("status", sched::to_string(outcome.status));
+    w.member("feasible",
+             outcome.status == sched::SearchStatus::kFeasible);
+    w.member("firings", static_cast<std::uint64_t>(outcome.trace.size()));
+    w.member("best_cost", outcome.best_cost);
+    w.member("solutions_found", outcome.solutions_found);
+    w.end_object();
+
+    w.key("search").begin_object();
+    write_search_stats(w, outcome.stats);
+    w.member("parallel_verdict_ms", outcome.parallel_verdict_ms);
+    w.end_object();
+
+    if (outcome.telemetry.collected) {
+      write_telemetry(w, outcome.telemetry);
+    }
+    if (outcome.status == sched::SearchStatus::kFeasible) {
+      write_schedule(w, project);
+    }
+  }
+
+  if (tracer != nullptr) {
+    write_stages(w, *tracer);
+  }
+
+  w.key("counters");
+  obs::Registry::global().write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace ezrt::core

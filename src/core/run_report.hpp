@@ -1,0 +1,30 @@
+// Machine-readable run report (docs/observability.md).
+//
+// One JSON document per pipeline run: model summary, scheduler options,
+// verdict, search-effort statistics, the optional per-worker/per-shard
+// telemetry breakdown, schedule metrics for feasible models, pipeline
+// stage timings and the process-wide counter registry. The shape is
+// pinned by docs/schemas/report.schema.json and validated in CI, so
+// downstream tooling (tools/bench_compare.py --report, dashboards) can
+// rely on it.
+#pragma once
+
+#include <string>
+
+#include "core/project.hpp"
+
+namespace ezrt::obs {
+class Tracer;
+}  // namespace ezrt::obs
+
+namespace ezrt::core {
+
+/// Serializes the report for `project`'s current pipeline state. Stages
+/// that have not run are omitted (the report of a failed run still
+/// carries everything up to the failure); `tracer` (optional) supplies
+/// the wall-clock stage spans. Non-const because reading the schedule
+/// table of a feasible project may extract it on demand.
+[[nodiscard]] std::string run_report_json(Project& project,
+                                          const obs::Tracer* tracer = nullptr);
+
+}  // namespace ezrt::core

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for the observability exports.
+//
+// The run report and the Chrome trace are plain JSON documents; nothing in
+// the pipeline needs parsing or a DOM, so this is a forward-only emitter
+// with container bookkeeping (commas, key/value pairing) and full string
+// escaping. Numbers are emitted losslessly for integers and with enough
+// digits to round-trip for doubles; non-finite doubles degrade to 0 so the
+// output is always valid JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ezrt::obs {
+
+/// Appends `text` to `out` as a quoted, escaped JSON string literal.
+void append_json_string(std::string& out, std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value() / begin_*() call is its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(std::uint32_t n) { return value(std::uint64_t{n}); }
+  JsonWriter& value(int n) { return value(std::int64_t{n}); }
+
+  /// Splices a pre-rendered JSON fragment in value position, verbatim.
+  JsonWriter& raw(std::string_view json);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  /// Writes the separating comma if the current container already has an
+  /// element, and marks it non-empty.
+  void element();
+
+  std::string out_;
+  std::vector<bool> has_elements_;  ///< one flag per open container
+  bool pending_key_ = false;        ///< key() emitted, value expected
+};
+
+}  // namespace ezrt::obs

@@ -1,0 +1,78 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+namespace ezrt::obs {
+
+ProgressReporter::ProgressReporter(const ProgressSink& sink, std::ostream& os,
+                                   std::chrono::milliseconds interval)
+    : sink_(&sink),
+      os_(&os),
+      interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds(1000)),
+      start_(std::chrono::steady_clock::now()),
+      last_tick_(start_) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ProgressReporter::print_line(double seconds) {
+  const std::uint64_t states = sink_->states.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const double tick_s =
+      std::chrono::duration<double>(now - last_tick_).count();
+  const double rate =
+      tick_s > 0.0 ? static_cast<double>(states - last_states_) / tick_s
+                   : 0.0;
+  last_states_ = states;
+  last_tick_ = now;
+
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "[progress] %7.1fs  states=%llu (%.0f/s)  fired=%llu  pruned=%llu  "
+      "depth=%llu  queue=%llu  idle=%llu\n",
+      seconds, static_cast<unsigned long long>(states), rate,
+      static_cast<unsigned long long>(
+          sink_->transitions.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          sink_->pruned.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          sink_->depth.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          sink_->queue.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          sink_->idle_workers.load(std::memory_order_relaxed)));
+  (*os_) << line << std::flush;
+}
+
+void ProgressReporter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      return;  // final line printed by stop()
+    }
+    print_line(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+  }
+}
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  print_line(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count());
+}
+
+}  // namespace ezrt::obs

@@ -1,0 +1,63 @@
+#include "obs/telemetry.hpp"
+
+#include "obs/json.hpp"
+
+namespace ezrt::obs {
+
+namespace {
+
+template <typename Map, typename Make>
+auto& find_or_register(std::mutex& mu, Map& map, const std::string& name,
+                       Make make) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return find_or_register(mu_, counters_, name,
+                          [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return find_or_register(mu_, gauges_, name,
+                          [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return find_or_register(mu_, histograms_, name,
+                          [] { return std::make_unique<Histogram>(); });
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  for (const auto& [name, counter] : counters_) {
+    w.member(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    w.member(name, std::int64_t{gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot s = histogram->snapshot();
+    w.key(name).begin_object();
+    w.member("count", s.count);
+    w.member("sum", s.sum);
+    w.member("max", s.max);
+    w.member("mean", s.mean());
+    w.end_object();
+  }
+  w.end_object();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace ezrt::obs

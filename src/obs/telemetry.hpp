@@ -1,0 +1,153 @@
+// Named counters, gauges and log2 histograms with near-zero-overhead
+// recording.
+//
+// Recording is one relaxed atomic op; lookup by name happens once at
+// registration (hold the returned reference, never re-look-up on a hot
+// path). Defining EZRT_NO_TELEMETRY compiles every recording call down to
+// nothing — the types keep their layout so linked code needs no changes,
+// only the mutation paths vanish. Reads (value()/snapshot()) always work;
+// under EZRT_NO_TELEMETRY they simply report zeros.
+//
+// Instruments registered with a Registry live as long as the registry and
+// never move, so references handed out stay valid across later
+// registrations (node-based storage).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ezrt::obs {
+
+#if defined(EZRT_NO_TELEMETRY)
+inline constexpr bool kTelemetryEnabled = false;
+#else
+inline constexpr bool kTelemetryEnabled = true;
+#endif
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if constexpr (kTelemetryEnabled) {
+      v_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if constexpr (kTelemetryEnabled) {
+      v_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  void add(std::int64_t n) noexcept {
+    if constexpr (kTelemetryEnabled) {
+      v_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Power-of-two bucketed histogram of non-negative samples: bucket 0 counts
+/// sample == 0, bucket i (i >= 1) counts samples with bit_width == i, i.e.
+/// the range [2^(i-1), 2^i). 64 buckets cover the whole uint64 domain.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t sample) noexcept {
+    if constexpr (kTelemetryEnabled) {
+      buckets_[static_cast<std::size_t>(std::bit_width(sample))].fetch_add(
+          1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(sample, std::memory_order_relaxed);
+      // Racy max: good enough for telemetry, monotone under contention.
+      std::uint64_t seen = max_.load(std::memory_order_relaxed);
+      while (sample > seen && !max_.compare_exchange_weak(
+                                  seen, sample, std::memory_order_relaxed)) {
+      }
+    } else {
+      (void)sample;
+    }
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class JsonWriter;
+
+/// Name -> instrument registry. Registration takes a mutex; the returned
+/// references are stable for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Serializes every instrument as one JSON object in value position:
+  /// counters and gauges as numbers, histograms as {count,sum,max,mean}.
+  void write_json(JsonWriter& w) const;
+
+  /// Process-wide registry for cross-cutting pipeline counters.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ezrt::obs

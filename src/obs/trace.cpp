@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace ezrt::obs {
+
+std::uint32_t Tracer::tid_locked() {
+  const auto id = std::this_thread::get_id();
+  auto it = tids_.find(id);
+  if (it == tids_.end()) {
+    it = tids_.emplace(id, static_cast<std::uint32_t>(tids_.size())).first;
+  }
+  return it->second;
+}
+
+void Tracer::complete(std::string_view name, std::string_view cat,
+                      std::uint64_t ts, std::uint64_t dur,
+                      std::string args_json, std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(cat),
+                          std::move(args_json), 'X', ts, dur, track,
+                          tid_locked()});
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat,
+                     std::string args_json) {
+  instant_at(name, cat, now_us(), std::move(args_json), kTrackPipeline);
+}
+
+void Tracer::instant_at(std::string_view name, std::string_view cat,
+                        std::uint64_t ts, std::string args_json,
+                        std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), std::string(cat),
+                          std::move(args_json), 'i', ts, 0, track,
+                          tid_locked()});
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = events_;
+  }
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return snapshot;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<Event> snapshot = events();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Name each track so Perfetto shows meaningful process rows.
+  std::set<std::uint32_t> tracks;
+  for (const Event& e : snapshot) {
+    tracks.insert(e.track);
+  }
+  for (const std::uint32_t track : tracks) {
+    w.begin_object();
+    w.member("name", "process_name");
+    w.member("ph", "M");
+    w.member("pid", track);
+    w.member("tid", std::uint32_t{0});
+    w.member("ts", std::uint64_t{0});
+    w.key("args").begin_object();
+    w.member("name", track == kTrackVirtual
+                         ? "ezrt dispatcher (virtual time)"
+                         : "ezrt pipeline (wall clock)");
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Event& e : snapshot) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.cat);
+    w.member("ph", std::string_view(&e.ph, 1));
+    w.member("ts", e.ts);
+    if (e.ph == 'X') {
+      w.member("dur", e.dur);
+    }
+    if (e.ph == 'i') {
+      w.member("s", "t");  // thread-scoped instant
+    }
+    w.member("pid", e.track);
+    w.member("tid", e.tid);
+    if (!e.args_json.empty()) {
+      w.key("args").raw(e.args_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+  return w.take();
+}
+
+Status write_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot write '" + path + "'");
+  }
+  out << tracer.to_json() << "\n";
+  return Status();
+}
+
+}  // namespace ezrt::obs

@@ -1,0 +1,140 @@
+// Span tracer emitting Chrome trace_event JSON.
+//
+// The pipeline (spec parse -> TPN build -> reduce -> search -> table ->
+// codegen) records each stage as a complete ("X") event; the dispatcher
+// simulation logs its dispatch/preempt/miss activity on a separate virtual-
+// time track. The output loads directly in chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) — see docs/observability.md.
+//
+// Recording is mutex-protected (one lock per finished span, never on a
+// per-state hot path) and every entry point is null-tracer-safe: a Span
+// constructed over a nullptr Tracer is a no-op, so instrumented code needs
+// no conditionals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/result.hpp"
+
+namespace ezrt::obs {
+
+/// Track ("process") ids inside the trace. Wall-clock pipeline stages and
+/// virtual-time dispatcher activity must not share a timeline: Perfetto
+/// renders each pid as its own named process track.
+inline constexpr std::uint32_t kTrackPipeline = 1;  ///< wall clock, us
+inline constexpr std::uint32_t kTrackVirtual = 2;   ///< model time units
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// One recorded trace_event. `args_json` is either empty or a complete
+  /// JSON object literal spliced into the event's "args".
+  struct Event {
+    std::string name;
+    std::string cat;
+    std::string args_json;
+    char ph = 'X';          ///< 'X' complete, 'i' instant
+    std::uint64_t ts = 0;   ///< us (pipeline) or model time (virtual)
+    std::uint64_t dur = 0;  ///< meaningful for 'X' events
+    std::uint32_t track = kTrackPipeline;
+    std::uint32_t tid = 0;
+  };
+
+  /// Microseconds since this tracer's construction (monotonic clock).
+  [[nodiscard]] std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records a complete event with an explicit timestamp and duration.
+  void complete(std::string_view name, std::string_view cat,
+                std::uint64_t ts, std::uint64_t dur,
+                std::string args_json = {},
+                std::uint32_t track = kTrackPipeline);
+
+  /// Records an instant event at now_us() (pipeline track)...
+  void instant(std::string_view name, std::string_view cat,
+               std::string args_json = {});
+  /// ...or at an explicit (e.g. virtual) timestamp.
+  void instant_at(std::string_view name, std::string_view cat,
+                  std::uint64_t ts, std::string args_json = {},
+                  std::uint32_t track = kTrackPipeline);
+
+  /// Snapshot of everything recorded so far, ts-ordered.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// The full Chrome trace document: {"traceEvents":[...],...}. Metadata
+  /// events naming the tracks are prepended automatically.
+  [[nodiscard]] std::string to_json() const;
+
+  /// RAII span: records a complete event from construction to destruction.
+  /// Null-tracer-safe and movable; `set_args` attaches a JSON object
+  /// literal that lands in the event's "args".
+  class Span {
+   public:
+    Span(Tracer* tracer, std::string_view name, std::string_view cat)
+        : tracer_(tracer), name_(name), cat_(cat) {
+      if (tracer_ != nullptr) {
+        start_ = tracer_->now_us();
+      }
+    }
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_),
+          name_(std::move(other.name_)),
+          cat_(std::move(other.cat_)),
+          args_(std::move(other.args_)),
+          start_(other.start_) {
+      other.tracer_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+
+    void set_args(std::string args_json) { args_ = std::move(args_json); }
+
+    ~Span() {
+      if (tracer_ != nullptr) {
+        const std::uint64_t end = tracer_->now_us();
+        tracer_->complete(name_, cat_, start_, end - start_,
+                          std::move(args_));
+      }
+    }
+
+   private:
+    Tracer* tracer_;
+    std::string name_;
+    std::string cat_;
+    std::string args_;
+    std::uint64_t start_ = 0;
+  };
+
+ private:
+  /// Small sequential id for the calling thread (callers hold `mu_`).
+  std::uint32_t tid_locked();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+};
+
+using Span = Tracer::Span;
+
+/// Writes `tracer.to_json()` to `path`.
+[[nodiscard]] Status write_trace_file(const Tracer& tracer,
+                                      const std::string& path);
+
+}  // namespace ezrt::obs

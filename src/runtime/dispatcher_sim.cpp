@@ -5,6 +5,8 @@
 #include <map>
 
 #include "base/hash.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace ezrt::runtime {
 
@@ -32,14 +34,48 @@ namespace {
   return std::clamp<Time>(actual, 1, wcet);
 }
 
+/// args payload identifying one task instance in the trace.
+[[nodiscard]] std::string instance_args(const std::string& task,
+                                        std::uint32_t instance) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .member("task", std::string_view(task))
+      .member("instance", instance + 1)
+      .end_object();
+  return w.take();
+}
+
 }  // namespace
 
 DispatcherRun simulate_dispatcher(const spec::Specification& spec,
                                   const sched::ScheduleTable& table,
                                   const DispatchSimOptions& options) {
   DispatcherRun run;
-  auto fault = [&run](std::string message) {
+  obs::Tracer* const tracer = options.tracer;
+  Time clock = 0;
+  auto fault = [&](std::string message) {
+    if (tracer != nullptr) {
+      obs::JsonWriter w;
+      w.begin_object()
+          .member("message", std::string_view(message))
+          .end_object();
+      tracer->instant_at("fault", "dispatch", clock, w.take(),
+                         obs::kTrackVirtual);
+    }
     run.faults.push_back(std::move(message));
+  };
+  // Closes the span of the segment that just executed on the virtual-time
+  // track; a zero-length segment leaves no span.
+  auto trace_segment = [&](const std::pair<TaskId, std::uint32_t>& key,
+                           Time start, Time executed) {
+    if (tracer == nullptr || executed == 0) {
+      return;
+    }
+    const spec::Task& task = spec.task(key.first);
+    tracer->complete(task.name + "#" + std::to_string(key.second + 1),
+                     "dispatch", start, executed,
+                     instance_args(task.name, key.second),
+                     obs::kTrackVirtual);
   };
 
   std::vector<sched::ScheduleItem> items = table.items;
@@ -54,7 +90,6 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
   std::map<std::pair<TaskId, std::uint32_t>, Time> remaining;
   std::map<std::pair<TaskId, std::uint32_t>, Time> completion;
 
-  Time clock = 0;
   // The instance currently "on the CPU" and how long it still runs in the
   // current segment; used to detect preemptions.
   bool cpu_busy = false;
@@ -87,6 +122,7 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
       const Time executed = ran_until - clock;
       remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
       run.busy_time += executed;
+      trace_segment(on_cpu, clock, executed);
       clock = ran_until;
       if (remaining[on_cpu] == 0) {
         if (!completion.contains(on_cpu)) {
@@ -97,6 +133,12 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
         saved_context = true;  // interrupted with work left
         ++run.context_saves;
         cpu_busy = false;
+        if (tracer != nullptr) {
+          tracer->instant_at(
+              "preempt", "dispatch", dispatch_at,
+              instance_args(spec.task(on_cpu.first).name, on_cpu.second),
+              obs::kTrackVirtual);
+        }
       } else {
         // Segment budget exhausted before the next dispatch with WCET
         // left: the table under-allocated; the instance-completion audit
@@ -148,6 +190,7 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
     const Time executed = segment_ends - clock;
     remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
     run.busy_time += executed;
+    trace_segment(on_cpu, clock, executed);
     if (remaining[on_cpu] == 0 && !completion.contains(on_cpu)) {
       completion[on_cpu] = segment_ends;
     }
@@ -175,6 +218,11 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
           outcome.completion <= outcome.arrival + task.timing.deadline;
       if (!outcome.deadline_met) {
         run.all_deadlines_met = false;
+        if (tracer != nullptr) {
+          tracer->instant_at("deadline-miss", "dispatch", outcome.completion,
+                             instance_args(task.name, key.second),
+                             obs::kTrackVirtual);
+        }
       }
     }
     run.outcomes.push_back(outcome);

@@ -16,6 +16,10 @@
 #include "sched/schedule_table.hpp"
 #include "spec/specification.hpp"
 
+namespace ezrt::obs {
+class Tracer;
+}  // namespace ezrt::obs
+
 namespace ezrt::runtime {
 
 /// One dispatcher activation (timer interrupt) during the simulated run.
@@ -61,6 +65,11 @@ struct DispatcherRun {
 struct DispatchSimOptions {
   double min_execution_fraction = 1.0;
   std::uint64_t seed = 1;
+  /// When set, the run is mirrored onto the tracer's virtual-time track
+  /// (obs::kTrackVirtual): one complete span per executed segment, plus
+  /// instants for preemptions, deadline misses and dispatcher faults.
+  /// Timestamps are model time units, not wall clock. Null = off.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Simulates one schedule period of the dispatcher executing `table`.

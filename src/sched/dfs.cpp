@@ -9,6 +9,7 @@
 
 #include "base/assert.hpp"
 #include "base/hash.hpp"
+#include "obs/progress.hpp"
 #include "sched/expansion.hpp"
 #include "sched/parallel.hpp"
 
@@ -48,6 +49,15 @@ struct Frame {
   std::vector<Candidate> candidates;
   std::size_t next = 0;  ///< index of the next candidate to expand
 };
+
+/// Estimated heap footprint of a node-based hash container (libstdc++
+/// layout: one pointer per bucket, nodes of payload + next pointer).
+template <typename Container>
+[[nodiscard]] std::uint64_t node_container_bytes(const Container& c,
+                                                 std::size_t payload) {
+  return static_cast<std::uint64_t>(c.bucket_count()) * sizeof(void*) +
+         static_cast<std::uint64_t>(c.size()) * (payload + sizeof(void*));
+}
 
 }  // namespace
 
@@ -106,6 +116,36 @@ SearchOutcome DfsScheduler::search() const {
   // engines rest on this being the single definition of the pruned
   // successor graph.
   Expander expander(*net_, semantics_, options_);
+  obs::ProgressSink* const progress = options_.progress;
+
+  // Folds the end-of-search observability fields into `out.stats` and,
+  // when requested, the telemetry breakdown. Runs once per return path;
+  // everything here is deterministic for a deterministic exploration.
+  auto finalize = [&](std::uint64_t visited_bytes) {
+    stats.pruned_priority = expander.counters().pruned_priority;
+    stats.peak_visited_bytes = visited_bytes;
+    stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    if (progress != nullptr) {
+      // Final unmasked publish: the reporter's closing line shows exact
+      // totals even for searches shorter than the publish mask.
+      progress->publish(stats.states_visited, stats.transitions_fired,
+                        stats.pruned_deadline + stats.pruned_visited,
+                        stats.max_depth);
+    }
+    if (options_.collect_telemetry) {
+      out.telemetry.collected = true;
+      out.telemetry.reduction_singletons =
+          expander.counters().reduction_singletons;
+      WorkerTelemetry worker;
+      worker.worker = 0;
+      worker.expansions = expander.counters().expansions;
+      worker.reduction_singletons = expander.counters().reduction_singletons;
+      worker.stats = stats;
+      out.telemetry.workers = {worker};
+    }
+  };
 
   // Pool of retired candidate vectors: expansion allocates nothing once
   // the search reaches steady state.
@@ -167,6 +207,8 @@ SearchOutcome DfsScheduler::search() const {
     if (goal_(std::as_const(root.state).marking())) {
       out.status = SearchStatus::kFeasible;
       out.solutions_found = 1;
+      finalize(node_container_bytes(best_seen, sizeof(Fingerprint) +
+                                                   sizeof(std::uint64_t)));
       return out;
     }
     stack.push_back(std::move(root));
@@ -222,6 +264,12 @@ SearchOutcome DfsScheduler::search() const {
       } else {
         ++stats.states_visited;
       }
+      if (progress != nullptr &&
+          (stats.states_visited & obs::ProgressSink::kPublishMask) == 0) {
+        progress->publish(stats.states_visited, stats.transitions_fired,
+                          stats.pruned_deadline + stats.pruned_visited,
+                          stack.size());
+      }
 
       current.push_back(FiringEvent{cand.fireable.transition, cand.delay,
                                     next.elapsed()});
@@ -255,9 +303,8 @@ SearchOutcome DfsScheduler::search() const {
       out.status = limit_hit ? SearchStatus::kLimitReached
                              : SearchStatus::kInfeasible;
     }
-    stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
+    finalize(node_container_bytes(best_seen, sizeof(Fingerprint) +
+                                                 sizeof(std::uint64_t)));
     return out;
   }
 
@@ -270,9 +317,7 @@ SearchOutcome DfsScheduler::search() const {
 
   if (goal_(std::as_const(s0).marking())) {
     out.status = SearchStatus::kFeasible;
-    stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
+    finalize(node_container_bytes(visited, sizeof(Fingerprint)));
     return out;
   }
 
@@ -308,15 +353,19 @@ SearchOutcome DfsScheduler::search() const {
       continue;
     }
     ++stats.states_visited;
+    if (progress != nullptr &&
+        (stats.states_visited & obs::ProgressSink::kPublishMask) == 0) {
+      progress->publish(stats.states_visited, stats.transitions_fired,
+                        stats.pruned_deadline + stats.pruned_visited,
+                        stack.size());
+    }
 
     out.trace.push_back(
         FiringEvent{cand.fireable.transition, cand.delay, next.elapsed()});
 
     if (goal_(std::as_const(next).marking())) {
       out.status = SearchStatus::kFeasible;
-      stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
+      finalize(node_container_bytes(visited, sizeof(Fingerprint)));
       return out;
     }
 
@@ -324,9 +373,7 @@ SearchOutcome DfsScheduler::search() const {
         stats.states_visited >= options_.max_states) {
       out.status = SearchStatus::kLimitReached;
       out.trace.clear();
-      stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
+      finalize(node_container_bytes(visited, sizeof(Fingerprint)));
       return out;
     }
 
@@ -339,9 +386,7 @@ SearchOutcome DfsScheduler::search() const {
 
   out.status = SearchStatus::kInfeasible;
   out.trace.clear();
-  stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+  finalize(node_container_bytes(visited, sizeof(Fingerprint)));
   return out;
 }
 

@@ -27,6 +27,11 @@
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
 
+namespace ezrt::obs {
+struct ProgressSink;
+class Tracer;
+}  // namespace ezrt::obs
+
 namespace ezrt::sched {
 
 /// Which subset of FT(s) the search branches over.
@@ -90,6 +95,18 @@ struct SchedulerOptions {
   /// state budget is consumed in an order-dependent way). No effect when
   /// threads == 0.
   bool deterministic = false;
+  /// Fill SearchOutcome::telemetry (per-worker and per-shard breakdowns).
+  /// Collection happens after the verdict, so it never perturbs the
+  /// search itself.
+  bool collect_telemetry = false;
+  /// Live progress atomics the engines publish into (masked to every
+  /// 64th admitted state; docs/observability.md). Publishing is
+  /// write-only and never read back, so verdict, trace and SearchStats
+  /// are bit-for-bit identical with or without a sink. Null = off.
+  obs::ProgressSink* progress = nullptr;
+  /// Span tracer for search-internal activity (per-worker lifetime spans
+  /// in the parallel engine). Null = off.
+  obs::Tracer* tracer = nullptr;
 };
 
 enum class SearchStatus : std::uint8_t {
@@ -108,6 +125,13 @@ struct SearchOutcome {
   /// switch count) and how many incumbent schedules were found.
   std::uint64_t best_cost = 0;
   std::uint64_t solutions_found = 0;
+  /// Deterministic parallel runs re-derive the trace serially; this is
+  /// the parallel verdict phase alone, while stats.elapsed_ms covers the
+  /// serial re-derivation that produced the reported trace and counters.
+  /// 0 when no re-derivation happened.
+  double parallel_verdict_ms = 0.0;
+  /// Filled when SchedulerOptions::collect_telemetry is set.
+  SearchTelemetry telemetry;
 };
 
 /// Goal predicate over markings; the default accepts any marking with a

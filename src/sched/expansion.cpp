@@ -26,6 +26,7 @@ State Expander::fire(const State& s, const Candidate& c) const {
 
 void Expander::expand(const State& s, std::vector<Candidate>& candidates) {
   candidates.clear();
+  ++counters_.expansions;
   // The reduction must look at the *unfiltered* fireable set: a
   // conflict-free, zero-lower-bound transition (e.g. an arrival whose
   // instant has come) commutes with every alternative and is fired
@@ -82,6 +83,7 @@ void Expander::expand(const State& s, std::vector<Candidate>& candidates) {
       }
       if (output_consumers_fresh) {
         candidates.push_back(Candidate{f, 0});
+        ++counters_.reduction_singletons;
         return;
       }
     }
@@ -89,7 +91,9 @@ void Expander::expand(const State& s, std::vector<Candidate>& candidates) {
 
   if (options_->pruning == PruningMode::kPriorityFilter) {
     // The paper's FT_P(s): keep only minimal-priority transitions.
+    const std::size_t before = ft_.size();
     tpn::apply_priority_filter(*net_, ft_);
+    counters_.pruned_priority += before - ft_.size();
   }
 
   // Deterministic exploration order: priority, then earliest firing

@@ -30,6 +30,17 @@ struct Candidate {
 
 class Expander {
  public:
+  /// Prune-reason breakdown of every expand() call so far. Plain
+  /// per-instance integers: counting costs nothing measurable and stays
+  /// deterministic for a deterministic exploration.
+  struct Counters {
+    std::uint64_t expansions = 0;  ///< expand() calls
+    /// Fireable transitions dropped by the FT_P priority filter.
+    std::uint64_t pruned_priority = 0;
+    /// Expansions collapsed to one forced successor by the reduction.
+    std::uint64_t reduction_singletons = 0;
+  };
+
   /// All three referents must outlive the Expander and stay unchanged
   /// while it is in use.
   Expander(const tpn::TimePetriNet& net, const tpn::Semantics& semantics,
@@ -44,11 +55,14 @@ class Expander {
   [[nodiscard]] tpn::State fire(const tpn::State& s,
                                 const Candidate& c) const;
 
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
  private:
   const tpn::TimePetriNet* net_;
   const tpn::Semantics* semantics_;
   const SchedulerOptions* options_;
   std::vector<tpn::FireableTransition> ft_;  ///< per-instance scratch
+  Counters counters_;
 };
 
 }  // namespace ezrt::sched

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "base/assert.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "sched/expansion.hpp"
 #include "sched/visited_set.hpp"
 #include "tpn/analysis.hpp"
@@ -55,11 +57,14 @@ class ParallelSearch {
         miss_places_(&miss_places),
         semantics_(net),
         thread_count_(std::max<std::uint32_t>(1, options.threads)),
-        visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)) {}
+        visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)),
+        progress_(options.progress) {}
 
   SearchOutcome run();
 
  private:
+  struct Worker;  // defined below; pop_work counts into it
+
   // -- Work queue ----------------------------------------------------------
 
   void push_work(WorkItem&& item) {
@@ -73,7 +78,9 @@ class ParallelSearch {
 
   /// Blocks until work is available or the search is over; std::nullopt
   /// means "no more work will ever appear — return from the worker".
-  std::optional<WorkItem> pop_work() {
+  /// Counts the caller's steals (items taken from the shared queue) and
+  /// idle transitions into `w`.
+  std::optional<WorkItem> pop_work(Worker& w) {
     std::unique_lock<std::mutex> lock(queue_mu_);
     for (;;) {
       if (done_) {
@@ -83,9 +90,12 @@ class ParallelSearch {
         WorkItem item = std::move(queue_.front());
         queue_.pop_front();
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        ++w.steals;
         return item;
       }
       ++idle_;
+      ++w.idle_transitions;
+      publish_idle(idle_);
       if (idle_ == thread_count_) {
         // Every worker is out of local work and the queue is empty: the
         // reachable pruned graph is exhausted.
@@ -95,6 +105,7 @@ class ParallelSearch {
       }
       queue_cv_.wait(lock);
       --idle_;
+      publish_idle(idle_);
     }
   }
 
@@ -124,6 +135,16 @@ class ParallelSearch {
     /// local_path.size() == stack.size() - 1 whenever the stack is live.
     Trace local_path;
     std::vector<std::vector<Candidate>> pool;
+    // Observability counters (docs/observability.md). Plain integers on
+    // purpose: folded into WorkerTelemetry when the worker retires, never
+    // read concurrently.
+    std::uint64_t donations = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t idle_transitions = 0;
+    /// High-water marks of what this worker already fetch_add-ed into the
+    /// shared progress sink, so each publish pushes only the delta.
+    std::uint64_t published_transitions = 0;
+    std::uint64_t published_pruned = 0;
 
     explicit Worker(ParallelSearch* s)
         : search(s),
@@ -139,6 +160,49 @@ class ParallelSearch {
     }
     void retire(std::vector<Candidate>&& v) { pool.push_back(std::move(v)); }
   };
+
+  // -- Progress publishing -------------------------------------------------
+  //
+  // Write-only relaxed stores into the shared ProgressSink; nothing here is
+  // ever read back by the search, so the verdict and counters stay
+  // bit-identical with or without a sink (docs/semantics.md §8).
+
+  void publish_idle(std::uint32_t idle_now) noexcept {
+    if constexpr (obs::kTelemetryEnabled) {
+      if (progress_ != nullptr) {
+        progress_->idle_workers.store(idle_now, std::memory_order_relaxed);
+      }
+    } else {
+      (void)idle_now;
+    }
+  }
+
+  /// Called on every (kPublishMask + 1)-th globally admitted state. Global
+  /// monotone counters (fired, pruned) are accumulated as per-worker
+  /// deltas; gauges (depth, queue) are plain last-writer-wins stores.
+  void publish_progress(Worker& w, std::uint64_t states_now,
+                        std::uint64_t depth_now) noexcept {
+    if constexpr (obs::kTelemetryEnabled) {
+      obs::ProgressSink& sink = *progress_;
+      sink.states.store(states_now, std::memory_order_relaxed);
+      const std::uint64_t fired = w.stats.transitions_fired;
+      const std::uint64_t pruned =
+          w.stats.pruned_deadline + w.stats.pruned_visited;
+      sink.transitions.fetch_add(fired - w.published_transitions,
+                                 std::memory_order_relaxed);
+      sink.pruned.fetch_add(pruned - w.published_pruned,
+                            std::memory_order_relaxed);
+      w.published_transitions = fired;
+      w.published_pruned = pruned;
+      sink.depth.store(depth_now, std::memory_order_relaxed);
+      sink.queue.store(queue_len_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    } else {
+      (void)w;
+      (void)states_now;
+      (void)depth_now;
+    }
+  }
 
   [[nodiscard]] bool has_miss(const tpn::Marking& m) const {
     for (PlaceId p : *miss_places_) {
@@ -172,6 +236,10 @@ class ParallelSearch {
     }
     const std::uint64_t n =
         states_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress_ != nullptr &&
+        (n & obs::ProgressSink::kPublishMask) == 0) {
+      publish_progress(w, n, item.prefix.size() + parent_depth + 1);
+    }
     event_out = FiringEvent{cand.fireable.transition, cand.delay,
                             next.elapsed()};
     if ((*goal_)(std::as_const(next).marking())) {
@@ -232,6 +300,7 @@ class ParallelSearch {
                                  static_cast<std::ptrdiff_t>(i));
         shared.prefix.push_back(event);
         push_work(std::move(shared));
+        ++w.donations;
       }
       if (frame.next < frame.candidates.size()) {
         return;  // donated enough; deeper frames stay ours
@@ -286,11 +355,13 @@ class ParallelSearch {
     }
   }
 
-  void worker_main(SearchStats& stats_out) {
+  void worker_main(std::uint32_t index, WorkerTelemetry& out) {
     Worker w(this);
+    obs::Span span(options_->tracer, "search-worker", "sched");
+    span.set_args("{\"worker\":" + std::to_string(index) + "}");
     try {
       for (;;) {
-        std::optional<WorkItem> item = pop_work();
+        std::optional<WorkItem> item = pop_work(w);
         if (!item.has_value()) {
           break;
         }
@@ -305,7 +376,14 @@ class ParallelSearch {
       }
       finish();
     }
-    stats_out = w.stats;
+    out.worker = index;
+    out.expansions = w.expander.counters().expansions;
+    out.donations = w.donations;
+    out.steals = w.steals;
+    out.idle_transitions = w.idle_transitions;
+    out.reduction_singletons = w.expander.counters().reduction_singletons;
+    w.stats.pruned_priority = w.expander.counters().pruned_priority;
+    out.stats = w.stats;
   }
 
   const tpn::TimePetriNet* net_;
@@ -315,6 +393,7 @@ class ParallelSearch {
   tpn::Semantics semantics_;
   std::uint32_t thread_count_;
   ShardedVisitedSet visited_;
+  obs::ProgressSink* progress_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -344,6 +423,7 @@ SearchOutcome ParallelSearch::run() {
   if ((*goal_)(std::as_const(s0).marking())) {
     out.status = SearchStatus::kFeasible;
     out.stats.states_visited = 1;
+    out.stats.peak_visited_bytes = visited_.memory_bytes();
     out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
@@ -352,12 +432,12 @@ SearchOutcome ParallelSearch::run() {
 
   push_work(WorkItem{std::move(s0), Trace{}});
 
-  std::vector<SearchStats> per_worker(thread_count_);
+  std::vector<WorkerTelemetry> per_worker(thread_count_);
   std::vector<std::thread> threads;
   threads.reserve(thread_count_);
   for (std::uint32_t i = 0; i < thread_count_; ++i) {
     threads.emplace_back([this, &per_worker, i] {
-      worker_main(per_worker[i]);
+      worker_main(i, per_worker[i]);
     });
   }
   for (std::thread& t : threads) {
@@ -369,12 +449,32 @@ SearchOutcome ParallelSearch::run() {
 
   SearchStats& stats = out.stats;
   stats.states_visited = states_.load(std::memory_order_relaxed);
-  for (const SearchStats& ws : per_worker) {
+  for (const WorkerTelemetry& wt : per_worker) {
+    const SearchStats& ws = wt.stats;
     stats.transitions_fired += ws.transitions_fired;
     stats.backtracks += ws.backtracks;
     stats.pruned_deadline += ws.pruned_deadline;
     stats.pruned_visited += ws.pruned_visited;
+    stats.pruned_priority += ws.pruned_priority;
     stats.max_depth = std::max(stats.max_depth, ws.max_depth);
+  }
+  stats.peak_visited_bytes = visited_.memory_bytes();
+  if (progress_ != nullptr) {
+    // Final unmasked publish with the folded totals (see serial engine).
+    progress_->publish(stats.states_visited, stats.transitions_fired,
+                       stats.pruned_deadline + stats.pruned_visited,
+                       stats.max_depth);
+  }
+
+  // End-of-search collection only: by here every worker has joined, so the
+  // breakdowns are exact and gathering them cannot perturb the search.
+  if (options_->collect_telemetry) {
+    out.telemetry.collected = true;
+    for (const WorkerTelemetry& wt : per_worker) {
+      out.telemetry.reduction_singletons += wt.reduction_singletons;
+    }
+    out.telemetry.workers = std::move(per_worker);
+    out.telemetry.shards = visited_.shard_stats();
   }
 
   // A goal found concurrently with the state budget running out counts as
@@ -422,7 +522,6 @@ SearchOutcome parallel_search(const tpn::TimePetriNet& net,
     return serial_search(net, options, goal);
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
   SearchOutcome out = ParallelSearch(net, options, goal, miss_places).run();
 
   if (options.deterministic && out.status == SearchStatus::kFeasible) {
@@ -431,10 +530,13 @@ SearchOutcome parallel_search(const tpn::TimePetriNet& net,
     // runs at any thread counts return identical outcomes. Infeasible
     // instances — where exhaustive exploration makes parallelism pay —
     // skip this: their outcome is already deterministic.
+    //
+    // The two phases are reported separately (parallel_verdict_ms vs the
+    // serial phase's own stats.elapsed_ms) so the cost of the determinism
+    // toggle is visible instead of folded into one opaque number.
+    const double verdict_ms = out.stats.elapsed_ms;
     out = serial_search(net, options, goal);
-    out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
+    out.parallel_verdict_ms = verdict_ms;
   }
   return out;
 }

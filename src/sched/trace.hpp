@@ -31,8 +31,54 @@ struct SearchStats {
   std::uint64_t backtracks = 0;       ///< frames popped without success
   std::uint64_t pruned_deadline = 0;  ///< successors with a miss marking
   std::uint64_t pruned_visited = 0;   ///< successors already in the set
+  /// Fireable transitions dropped by the FT_P priority filter
+  /// (tpn::apply_priority_filter) before they became candidates.
+  std::uint64_t pruned_priority = 0;
   std::uint64_t max_depth = 0;        ///< deepest DFS stack
+  /// Estimated high-water heap footprint of the visited structure, in
+  /// bytes. The structures only grow, so the end-of-search size is the
+  /// peak; deterministic for a given exploration (table geometry depends
+  /// only on the set of inserted states).
+  std::uint64_t peak_visited_bytes = 0;
   double elapsed_ms = 0.0;            ///< wall-clock search time
+};
+
+/// Per-worker effort of one parallel search (docs/observability.md).
+/// `stats` holds the worker's share of the aggregate SearchStats.
+struct WorkerTelemetry {
+  std::uint32_t worker = 0;
+  std::uint64_t expansions = 0;        ///< Expander::expand calls
+  std::uint64_t donations = 0;         ///< items pushed to the shared queue
+  std::uint64_t steals = 0;            ///< items popped from the shared queue
+  std::uint64_t idle_transitions = 0;  ///< times the worker parked hungry
+  /// Expansions this worker collapsed to one successor via the reduction.
+  std::uint64_t reduction_singletons = 0;
+  SearchStats stats;
+};
+
+/// Occupancy and probe-length distribution of one visited-set shard.
+/// `probe_hist[i]` counts keys at linear-probe displacement i from their
+/// home slot for i < 8; the last bucket aggregates displacements >= 8.
+struct ShardTelemetry {
+  std::uint64_t slots = 0;
+  std::uint64_t occupied = 0;
+  double load_factor = 0.0;
+  std::uint64_t probe_max = 0;
+  double probe_mean = 0.0;
+  std::vector<std::uint64_t> probe_hist;
+};
+
+/// Detailed search telemetry, collected when
+/// SchedulerOptions::collect_telemetry is set. Worker/shard breakdowns are
+/// scheduling-dependent for parallel runs (docs/semantics.md §8); the
+/// serial engine reports itself as a single worker and no shards.
+struct SearchTelemetry {
+  bool collected = false;
+  std::vector<WorkerTelemetry> workers;
+  std::vector<ShardTelemetry> shards;
+  /// Expansions collapsed to a single successor by the partial-order
+  /// reduction (docs/semantics.md §4).
+  std::uint64_t reduction_singletons = 0;
 };
 
 }  // namespace ezrt::sched

@@ -1,5 +1,6 @@
 #include "sched/visited_set.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace ezrt::sched {
@@ -80,6 +81,51 @@ bool ShardedVisitedSet::insert(tpn::StateDigest digest) {
     return fresh;
   }
   return shard.insert_locked(digest.a, digest.b);
+}
+
+std::uint64_t ShardedVisitedSet::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->keys.size() * sizeof(std::uint64_t);
+  }
+  return total;
+}
+
+std::vector<ShardTelemetry> ShardedVisitedSet::shard_stats() const {
+  std::vector<ShardTelemetry> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardTelemetry t;
+    const std::size_t slots = shard->keys.size() / 2;
+    const std::size_t mask = slots - 1;
+    t.slots = slots;
+    t.occupied = shard->count + (shard->zero_present ? 1 : 0);
+    t.load_factor = slots == 0 ? 0.0
+                               : static_cast<double>(t.occupied) /
+                                     static_cast<double>(slots);
+    t.probe_hist.assign(9, 0);  // displacements 0..7 exact, [8] = 8+
+    std::uint64_t probe_sum = 0;
+    for (std::size_t i = 0; i < slots; ++i) {
+      const std::uint64_t a = shard->keys[2 * i];
+      const std::uint64_t b = shard->keys[2 * i + 1];
+      if (a == 0 && b == 0) {
+        continue;
+      }
+      const std::size_t home = probe_hash(a, b) & mask;
+      const std::uint64_t displacement = (i - home) & mask;
+      probe_sum += displacement;
+      t.probe_max = std::max(t.probe_max, displacement);
+      ++t.probe_hist[displacement < 8 ? displacement : 8];
+    }
+    if (shard->count > 0) {
+      t.probe_mean = static_cast<double>(probe_sum) /
+                     static_cast<double>(shard->count);
+    }
+    stats.push_back(std::move(t));
+  }
+  return stats;
 }
 
 std::uint64_t ShardedVisitedSet::size() const {

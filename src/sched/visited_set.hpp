@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/hash.hpp"
+#include "sched/trace.hpp"
 #include "tpn/state.hpp"
 
 namespace ezrt::sched {
@@ -41,6 +42,16 @@ class ShardedVisitedSet {
   [[nodiscard]] std::uint64_t size() const;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Heap footprint of the slot arrays, in bytes. Slot geometry depends
+  /// only on how many keys each shard holds, so for a fixed inserted set
+  /// the result is deterministic regardless of insertion interleaving.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+  /// Per-shard occupancy and probe-length distribution (ShardTelemetry's
+  /// contract: 8 exact displacement buckets plus an overflow bucket).
+  /// O(slots); intended for end-of-search telemetry collection.
+  [[nodiscard]] std::vector<ShardTelemetry> shard_stats() const;
 
  private:
   /// One open-addressing table: 16-byte slots, linear probing, grown at

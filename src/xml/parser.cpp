@@ -201,7 +201,7 @@ class Parser {
         continue;
       }
       if (cur_.rest().substr(0, 2) == "</") {
-        cur_.consume("</");
+        (void)cur_.consume("</");  // guaranteed by the substr check above
         auto end_name = parse_name();
         if (!end_name.ok()) {
           return end_name.error();

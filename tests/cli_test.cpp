@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "obs/telemetry.hpp"
 #include "pnml/ezspec_io.hpp"
 #include "workload/generator.hpp"
 
@@ -248,6 +249,115 @@ TEST_F(CliTest, SimulateCyclesChecksSteadyState) {
   EXPECT_NE(out_.str().find("cyclic run over 3 schedule periods"),
             std::string::npos);
   EXPECT_NE(out_.str().find("0 misses"), std::string::npos);
+}
+
+// -- observability ------------------------------------------------------------
+
+/// Slurps a file the CLI was asked to write.
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST_F(CliTest, ScheduleWritesRunReport) {
+  const std::string report = (dir_ / "run.json").string();
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--report", report}), 0);
+  EXPECT_NE(out_.str().find("report written to"), std::string::npos);
+  const std::string json = read_file(report);
+  EXPECT_NE(json.find("\"schema\":\"ezrt-run-report\""), std::string::npos);
+  EXPECT_NE(json.find("\"feasible\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"firings\":3130"), std::string::npos);
+  // --report implies telemetry collection and stage spans.
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"spec-parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"search\""), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleWritesReportOnInfeasibleModels) {
+  spec::Specification s("overload");
+  s.add_processor("cpu");
+  s.add_task("A", spec::TimingConstraints{0, 0, 6, 10, 10});
+  s.add_task("B", spec::TimingConstraints{0, 0, 6, 10, 10});
+  const std::string path = (dir_ / "overload.ezspec").string();
+  std::ofstream(path) << pnml::write_ezspec(s).value();
+  const std::string report = (dir_ / "fail.json").string();
+  // The run still fails (exit 1) but the report captures the effort.
+  EXPECT_EQ(run_cli({"schedule", path, "--report", report}), 1);
+  const std::string json = read_file(report);
+  EXPECT_NE(json.find("\"feasible\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"states_visited\""), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleWritesChromeTrace) {
+  const std::string trace = (dir_ / "trace.json").string();
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--trace-out", trace}), 0);
+  EXPECT_NE(out_.str().find("trace written to"), std::string::npos);
+  const std::string json = read_file(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"tpn-build\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleProgressHeartbeatOnStderr) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--progress=1"}), 0);
+  // The final line always appears, even for sub-interval searches, and
+  // carries the exact totals of the finished search (zeros when the
+  // build compiles telemetry out).
+  EXPECT_NE(err_.str().find("[progress]"), std::string::npos);
+  if constexpr (obs::kTelemetryEnabled) {
+    EXPECT_NE(err_.str().find("states=3211"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, ScheduleReportsSearchEffort) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_}), 0);
+  EXPECT_NE(out_.str().find("search effort: pruned deadline="),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("peak visited"), std::string::npos);
+}
+
+TEST_F(CliTest, DeterministicRunPrintsBothPhases) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--threads", "2",
+                     "--deterministic"}),
+            0);
+  EXPECT_NE(out_.str().find("ms parallel verdict"), std::string::npos);
+  EXPECT_NE(out_.str().find("ms serial trace re-derivation"),
+            std::string::npos);
+  // The re-derived trace matches the serial engine's canonical answer.
+  EXPECT_NE(out_.str().find("feasible schedule: 3130 firings"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, TelemetryDoesNotChangeScheduleOutput) {
+  // Differential: the schedule table and firing count are byte-identical
+  // with the whole observability surface enabled vs. disabled.
+  ASSERT_EQ(run_cli({"schedule", spec_path_}), 0);
+  const std::string plain = out_.str();
+  const std::string report = (dir_ / "diff.json").string();
+  const std::string trace = (dir_ / "diff_trace.json").string();
+  ASSERT_EQ(run_cli({"schedule", spec_path_, "--report", report,
+                     "--trace-out", trace, "--progress=1000"}),
+            0);
+  const std::string observed = out_.str();
+  // Everything up to the summary line is the schedule table itself.
+  const std::string marker = "feasible schedule:";
+  const std::size_t plain_cut = plain.find(marker);
+  const std::size_t observed_cut = observed.find(marker);
+  ASSERT_NE(plain_cut, std::string::npos);
+  ASSERT_NE(observed_cut, std::string::npos);
+  EXPECT_EQ(plain.substr(0, plain_cut), observed.substr(0, observed_cut));
+}
+
+TEST_F(CliTest, SimulateWritesDispatchTrace) {
+  const std::string trace = (dir_ / "sim_trace.json").string();
+  EXPECT_EQ(run_cli({"simulate", spec_path_, "--trace-out", trace}), 0);
+  const std::string json = read_file(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Dispatcher activity lands on the named virtual-time track.
+  EXPECT_NE(json.find("ezrt dispatcher (virtual time)"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"dispatch\""), std::string::npos);
 }
 
 TEST_F(CliTest, ScheduleCompleteModeFlag) {

@@ -103,6 +103,78 @@ TEST(Metrics, EnergyUsesMetamodelAttribute) {
   EXPECT_EQ(m.total_energy, 14u);
 }
 
+TEST(Metrics, FormatGolden) {
+  // Byte-exact golden for the fixed-width report: column widths, number
+  // formatting and the summary line are all part of the contract (the CLI
+  // prints this verbatim and docs/observability.md shows it).
+  const Specification s = two_tasks();
+  const std::string report =
+      format_metrics(s, compute_metrics(s, simple_table()));
+  EXPECT_EQ(report,
+            "task        inst  resp[best/mean/worst]  jitter  slack  "
+            "preempt  energy\n"
+            "A              1       2/   2.0/     2       0      6      "
+            "  0       0\n"
+            "B              1       5/   5.0/     5       0      4      "
+            "  0       0\n"
+            "makespan 5, busy 5, idle 5, U = 0.500, 0 preemptions, "
+            "energy 0\n");
+}
+
+TEST(Gantt, Golden) {
+  // Byte-exact golden: '#' executing, '.' idle, '|' period boundary (only
+  // where no execution cell wins), one cell per unit at width >= horizon.
+  const Specification s = two_tasks();
+  const std::string chart = render_gantt(s, simple_table(), 10, 10);
+  EXPECT_EQ(chart,
+            "time 0..10, one cell = 1 unit(s)\n"
+            "A ##........\n"
+            "B |.###.....\n");
+}
+
+TEST(Metrics, PreemptionAndEnergyAggregateAcrossTasks) {
+  // Two preemptive tasks, each split into two segments, with distinct
+  // energy attributes: per-task counts and the system totals must agree.
+  Specification s("agg");
+  s.add_processor("cpu");
+  const TaskId a = s.add_task("A", TimingConstraints{0, 0, 4, 18, 20},
+                              spec::SchedulingType::kPreemptive);
+  const TaskId b = s.add_task("B", TimingConstraints{0, 0, 4, 19, 20},
+                              spec::SchedulingType::kPreemptive);
+  s.task(a).energy = 3;
+  s.task(b).energy = 5;
+  ASSERT_TRUE(s.validate().ok());
+  ScheduleTable t;
+  t.schedule_period = 20;
+  t.items.push_back(ScheduleItem{0, false, a, 0, 2});
+  t.items.push_back(ScheduleItem{2, false, b, 0, 2});
+  t.items.push_back(ScheduleItem{4, true, a, 0, 2});
+  t.items.push_back(ScheduleItem{6, true, b, 0, 2});
+  const ScheduleMetrics m = compute_metrics(s, t);
+  EXPECT_EQ(m.tasks[0].preemptions, 1u);
+  EXPECT_EQ(m.tasks[1].preemptions, 1u);
+  EXPECT_EQ(m.total_preemptions, 2u);
+  EXPECT_EQ(m.tasks[0].energy, 12u);  // 3 * c(4) * 1 instance
+  EXPECT_EQ(m.tasks[1].energy, 20u);  // 5 * c(4) * 1 instance
+  EXPECT_EQ(m.total_energy, 32u);
+}
+
+TEST(Metrics, EnergyMultipliesByInstanceCount) {
+  Specification s("inst");
+  s.add_processor("cpu");
+  const TaskId a = s.add_task("A", TimingConstraints{0, 0, 2, 8, 10});
+  s.task(a).energy = 7;
+  ASSERT_TRUE(s.validate().ok());
+  ScheduleTable t;
+  t.schedule_period = 20;  // two instances of the period-10 task
+  t.items.push_back(ScheduleItem{0, false, a, 0, 2});
+  t.items.push_back(ScheduleItem{10, false, a, 1, 2});
+  const ScheduleMetrics m = compute_metrics(s, t);
+  EXPECT_EQ(m.tasks[0].instances, 2u);
+  EXPECT_EQ(m.tasks[0].energy, 28u);  // 7 * c(2) * 2 instances
+  EXPECT_EQ(m.total_energy, 28u);
+}
+
 TEST(Metrics, FormatContainsEveryTask) {
   const Specification s = two_tasks();
   const std::string report =

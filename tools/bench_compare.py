@@ -9,6 +9,15 @@ reproducible with:
 
     cmake --build build -t bench_all          # or:
     tools/bench_compare.py --label after
+
+A second mode compares two `ezrt schedule --report` JSON documents
+(docs/observability.md) instead of running benchmarks:
+
+    tools/bench_compare.py --report before=base.json --report after=new.json
+
+which prints search effort, prune breakdown and visited-set load side by
+side — the A/B view for search-strategy changes where wall clock alone
+is too noisy to interpret.
 """
 
 import argparse
@@ -29,7 +38,11 @@ def run_bench(binary, extra_args):
     # The bench binaries print a human-readable report before the JSON
     # document; skip to the first line that opens the JSON object.
     text = proc.stdout.decode()
-    return json.loads(text[text.index("{"):])
+    start = text.find("{")
+    if start < 0:
+        # --filter matched nothing in this binary: nothing to record.
+        return {"benchmarks": []}
+    return json.loads(text[start:])
 
 
 def load_results():
@@ -78,6 +91,87 @@ def print_table(results):
         print(row)
 
 
+def report_metrics(report):
+    """Flattens one ezrt-run-report document into comparable rows."""
+    if report.get("schema") != "ezrt-run-report":
+        raise SystemExit("[bench_compare] not an ezrt-run-report document")
+    rows = {}
+    search = report.get("search", {})
+    for key in ("states_visited", "transitions_fired", "backtracks",
+                "max_depth", "peak_visited_bytes", "elapsed_ms"):
+        if key in search:
+            rows[key] = search[key]
+    pruned = {k: search.get(f"pruned_{k}", 0)
+              for k in ("deadline", "visited", "priority")}
+    total_pruned = sum(pruned.values())
+    for k, v in pruned.items():
+        rows[f"pruned_{k}"] = v
+    expanded = search.get("states_visited", 0) + total_pruned
+    if expanded:
+        rows["prune_ratio"] = total_pruned / expanded
+    telemetry = report.get("telemetry", {})
+    shards = telemetry.get("shards", [])
+    if shards:
+        slots = sum(s.get("slots", 0) for s in shards)
+        occupied = sum(s.get("occupied", 0) for s in shards)
+        rows["visited_slots"] = slots
+        rows["visited_occupied"] = occupied
+        if slots:
+            rows["visited_load"] = occupied / slots
+        rows["probe_max"] = max(s.get("probe_max", 0) for s in shards)
+    workers = telemetry.get("workers", [])
+    if len(workers) > 1:
+        rows["workers"] = len(workers)
+        rows["steals"] = sum(w.get("steals", 0) for w in workers)
+        rows["donations"] = sum(w.get("donations", 0) for w in workers)
+    verdict = report.get("verdict", {})
+    if "status" in verdict:
+        rows["status"] = verdict["status"]
+    return rows
+
+
+def compare_reports(labeled_paths):
+    columns = []
+    for spec in labeled_paths:
+        label, sep, path = spec.partition("=")
+        if not sep:
+            label, path = path or spec, spec
+        with open(path) as f:
+            columns.append((label, report_metrics(json.load(f))))
+    keys = []
+    for _, rows in columns:
+        for key in rows:
+            if key not in keys:
+                keys.append(key)
+    header = f"{'metric':<22}" + "".join(
+        f" {label:>16}" for label, _ in columns)
+    print(header)
+    print("-" * len(header))
+    for key in keys:
+        cells = []
+        for _, rows in columns:
+            v = rows.get(key)
+            if v is None:
+                cells.append(f" {'--':>16}")
+            elif isinstance(v, float):
+                cells.append(f" {v:16.4f}")
+            else:
+                cells.append(f" {v!s:>16}")
+        print(f"{key:<22}" + "".join(cells))
+    # Relative change column for two-report comparisons.
+    if len(columns) == 2:
+        a, b = columns[0][1], columns[1][1]
+        print()
+        for key in keys:
+            va, vb = a.get(key), b.get(key)
+            if (isinstance(va, (int, float)) and
+                    isinstance(vb, (int, float)) and
+                    not isinstance(va, bool) and va):
+                delta = (vb - va) / va * 100.0
+                print(f"{key:<22} {delta:+8.1f}%")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="after",
@@ -90,7 +184,14 @@ def main():
                         help="--benchmark_filter regex passed through")
     parser.add_argument("--min-time", default="",
                         help="--benchmark_min_time passed through")
+    parser.add_argument("--report", action="append", default=[],
+                        metavar="LABEL=PATH",
+                        help="compare `ezrt schedule --report` JSON files "
+                             "instead of running benchmarks (repeatable)")
     args = parser.parse_args()
+
+    if args.report:
+        return compare_reports(args.report)
 
     extra = []
     if args.filter:

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Dependency-free JSON Schema subset validator.
+
+CI validates `ezrt schedule --report` and `--trace-out` output against the
+checked-in schemas in docs/schemas/ without installing anything: this
+implements exactly the subset those schemas use — `type`, `enum`,
+`required`, `properties`, `additionalProperties` (boolean form), `items`,
+`minimum`/`maximum`, `minItems` — and fails loudly on any schema keyword it
+does not understand, so a schema edit cannot silently skip validation.
+
+    tools/json_validate.py docs/schemas/report.schema.json run.json [...]
+
+Exit status 0 when every instance validates; 1 with one line per error
+otherwise.
+"""
+
+import json
+import sys
+
+HANDLED = {
+    "$schema", "$id", "title", "description", "type", "enum", "required",
+    "properties", "additionalProperties", "items", "minimum", "maximum",
+    "minItems",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def check(schema, value, path, errors):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise SystemExit(
+            f"[json_validate] schema keyword(s) not implemented: "
+            f"{sorted(unknown)} at {path or '$'}")
+
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(value, py)
+        # bool is a subclass of int in Python; JSON keeps them distinct.
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path or '$'}: expected {expected}, "
+                          f"got {type(value).__name__}")
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path or '$'}: {value!r} not in {schema['enum']}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path or '$'}: {value} < min {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path or '$'}: {value} > max {schema['maximum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path or '$'}: missing required "
+                              f"property '{name}'")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in value:
+                check(sub, value[name], f"{path}.{name}", errors)
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path or '$'}: unexpected "
+                                  f"property '{name}'")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path or '$'}: {len(value)} items < "
+                          f"minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, element in enumerate(value):
+                check(items, element, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    status = 0
+    for instance_path in argv[2:]:
+        with open(instance_path) as f:
+            try:
+                instance = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"{instance_path}: not JSON: {e}")
+                status = 1
+                continue
+        errors = []
+        check(schema, instance, "", errors)
+        if errors:
+            for error in errors:
+                print(f"{instance_path}: {error}")
+            status = 1
+        else:
+            print(f"{instance_path}: OK ({argv[1]})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

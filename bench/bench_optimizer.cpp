@@ -36,6 +36,7 @@ void BM_Optimizer_FirstFeasible(benchmark::State& state) {
   auto model = builder::build_tpn(preemptive_mix(5)).value();
   sched::SchedulerOptions options;
   options.pruning = sched::PruningMode::kNone;
+  options.max_states = 0;  // exhaustive on purpose, not budget-bounded
   std::uint64_t states = 0;
   for (auto _ : state) {
     const auto out = sched::DfsScheduler(model.net, options).search();
@@ -49,6 +50,7 @@ void BM_Optimizer_MinimizeSwitches(benchmark::State& state) {
   auto model = builder::build_tpn(preemptive_mix(5)).value();
   sched::SchedulerOptions options;
   options.pruning = sched::PruningMode::kNone;
+  options.max_states = 0;  // exhaustive on purpose, not budget-bounded
   options.objective = sched::Objective::kMinimizeSwitches;
   std::uint64_t states = 0;
   std::uint64_t cost = 0;
@@ -96,6 +98,7 @@ void print_report() {
     auto model = builder::build_tpn(s).value();
     sched::SchedulerOptions first;
     first.pruning = sched::PruningMode::kNone;
+    first.max_states = 0;  // exhaustive on purpose, not budget-bounded
     const auto base = sched::DfsScheduler(model.net, first).search();
     if (base.status != sched::SearchStatus::kFeasible) {
       std::printf("  %-6llu %16s\n",

@@ -99,6 +99,7 @@ void BM_Parallel_ExhaustiveInfeasible(benchmark::State& state) {
   auto model = builder::build_tpn(s).value();
   sched::SchedulerOptions options;
   options.pruning = sched::PruningMode::kNone;
+  options.max_states = 0;  // ~330k states: must outlast the 250k default
   options.threads = threads;  // 0 = serial engine
   sched::DfsScheduler scheduler(model.net, options);
   std::uint64_t states = 0;

@@ -1,0 +1,42 @@
+// Cooperative cancellation (docs/robustness.md).
+//
+// A CancelToken is the one-way "please stop" switch shared between a
+// requester (a SIGINT handler, a supervising thread, a test) and the
+// long-running engines that poll it. request() is async-signal-safe and
+// thread-safe: it is a single relaxed atomic store, so the CLI installs a
+// signal handler that does nothing but request() a file-scope token.
+// Pollers observe the request at their next guard check and unwind with a
+// kCancelled verdict instead of tearing the process down, so partial
+// statistics and run reports still get written.
+#pragma once
+
+#include <atomic>
+
+namespace ezrt::base {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Async-signal-safe; idempotent.
+  void request() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token (between runs of a long-lived process; not safe to
+  /// race with request()).
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace ezrt::base

@@ -14,6 +14,8 @@ const char* to_string(ErrorCode code) {
       return "infeasible";
     case ErrorCode::kLimitExceeded:
       return "limit-exceeded";
+    case ErrorCode::kCancelled:
+      return "cancelled";
     case ErrorCode::kUnsupported:
       return "unsupported";
     case ErrorCode::kIoError:

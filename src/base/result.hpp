@@ -22,6 +22,7 @@ enum class ErrorCode {
   kValidationError,   ///< specification violates the model's constraints
   kInfeasible,        ///< no feasible schedule exists under the search mode
   kLimitExceeded,     ///< a configured resource bound was hit
+  kCancelled,         ///< the operation was cancelled cooperatively
   kUnsupported,       ///< feature not available for the requested target
   kIoError,           ///< filesystem failure
   kInternal,          ///< invariant-adjacent failure surfaced as a value

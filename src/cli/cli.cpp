@@ -7,7 +7,9 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "base/cancel.hpp"
 #include "base/strings.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +20,7 @@
 #include "core/run_report.hpp"
 #include "runtime/cyclic.hpp"
 #include "runtime/dispatcher_sim.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/latency.hpp"
 #include "runtime/metrics.hpp"
@@ -31,9 +34,47 @@ namespace ezrt::cli {
 
 namespace {
 
+// Documented exit codes (docs/robustness.md, `ezrt help`). Scripts and CI
+// branch on these, so the mapping is part of the tool's contract:
+//   0   success (feasible schedule, valid spec, clean simulation)
+//   1   runtime failure (I/O, unsupported feature, internal error,
+//       simulation detected deadline misses, replay diverged)
+//   2   infeasible — a definitive domain answer, not an error
+//   3   a configured budget tripped (state, wall-clock or memory limit)
+//   4   invalid input (malformed document, inconsistent spec, bad flags)
+//   130 cancelled (128 + SIGINT, the shell convention for ^C)
 constexpr int kOk = 0;
 constexpr int kFailure = 1;
-constexpr int kUsage = 2;
+constexpr int kInfeasibleExit = 2;
+constexpr int kLimitExit = 3;
+constexpr int kInvalidInput = 4;
+constexpr int kCancelledExit = 130;
+
+[[nodiscard]] int exit_code_for(const Error& error) {
+  switch (error.code()) {
+    case ErrorCode::kInfeasible:
+      return kInfeasibleExit;
+    case ErrorCode::kLimitExceeded:
+      return kLimitExit;
+    case ErrorCode::kCancelled:
+      return kCancelledExit;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+    case ErrorCode::kValidationError:
+      return kInvalidInput;
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kIoError:
+    case ErrorCode::kInternal:
+      return kFailure;
+  }
+  return kFailure;
+}
+
+/// Prints the error and maps it to its documented exit code.
+[[nodiscard]] int fail(std::ostream& err, const Error& error) {
+  err << "error: " << error << "\n";
+  return exit_code_for(error);
+}
 
 /// Parsed command line: positionals plus --flag[=value] options.
 class Args {
@@ -82,11 +123,45 @@ class Args {
            name == "utilization" || name == "seed" || name == "preemptive" ||
            name == "precedence" || name == "exclusion" ||
            name == "optimize" || name == "threads" || name == "report" ||
-           name == "trace-out";
+           name == "trace-out" || name == "wall-limit" ||
+           name == "mem-limit" || name == "faults" || name == "trials" ||
+           name == "intensities" || name == "policies";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
 };
+
+/// Parses a byte count with an optional k/m/g (binary) suffix: "64m",
+/// "2G", "1048576".
+[[nodiscard]] Result<std::uint64_t> parse_bytes(std::string_view text) {
+  std::uint64_t multiplier = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k':
+      case 'K':
+        multiplier = 1ull << 10;
+        break;
+      case 'm':
+      case 'M':
+        multiplier = 1ull << 20;
+        break;
+      case 'g':
+      case 'G':
+        multiplier = 1ull << 30;
+        break;
+      default:
+        break;
+    }
+    if (multiplier != 1) {
+      text.remove_suffix(1);
+    }
+  }
+  auto parsed = parse_uint(text);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  return parsed.value() * multiplier;
+}
 
 [[nodiscard]] Result<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -110,9 +185,11 @@ class Args {
 }
 
 /// Loads the project from the spec file named by the first positional.
-/// `tracer` (optional) records the spec-parse stage span.
+/// `tracer` (optional) records the spec-parse stage span; `cancel`
+/// (optional) is plumbed into the scheduler's resource guards.
 [[nodiscard]] Result<core::Project> load_project(
-    const Args& args, obs::Tracer* tracer = nullptr) {
+    const Args& args, obs::Tracer* tracer = nullptr,
+    const base::CancelToken* cancel = nullptr) {
   if (args.positional().empty()) {
     return make_error(ErrorCode::kInvalidArgument,
                       "missing <spec.xml> argument");
@@ -148,6 +225,21 @@ class Args {
     }
     scheduler.max_states = parsed.value();
   }
+  if (auto wall = args.value("wall-limit")) {
+    auto parsed = parse_uint(*wall);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    scheduler.wall_limit_ms = parsed.value();
+  }
+  if (auto mem = args.value("mem-limit")) {
+    auto parsed = parse_bytes(*mem);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    scheduler.memory_limit_bytes = parsed.value();
+  }
+  scheduler.cancel = cancel;
   if (auto threads = args.value("threads")) {
     auto parsed = parse_uint(*threads);
     if (!parsed.ok()) {
@@ -171,8 +263,7 @@ class Args {
 int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   const spec::Specification& s = project.value().specification();
   out << "specification: " << s.name() << "\n"
@@ -201,24 +292,23 @@ int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   out << "specification is valid\n";
   return kOk;
 }
 
-int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err,
+                 const base::CancelToken* cancel) {
   const auto report_path = args.value("report");
   const auto trace_out_path = args.value("trace-out");
   obs::Tracer tracer;
   obs::Tracer* const tracer_ptr =
       report_path.has_value() || trace_out_path.has_value() ? &tracer
                                                             : nullptr;
-  auto project = load_project(args, tracer_ptr);
+  auto project = load_project(args, tracer_ptr, cancel);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   core::Project& p = project.value();
   p.set_tracer(tracer_ptr);
@@ -237,7 +327,7 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
       auto parsed = parse_uint(*value);
       if (!parsed.ok()) {
         err << "error: --progress: " << parsed.error() << "\n";
-        return kUsage;
+        return kInvalidInput;
       }
       interval_ms = parsed.value();
     }
@@ -278,10 +368,12 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
       err << "  states visited: " << p.outcome().stats.states_visited
           << ", backtracks: " << p.outcome().stats.backtracks << "\n";
     }
+    // The report is still written with the partial search statistics —
+    // a cancelled or budget-limited run leaves a full audit trail.
     if (auto s = write_observability(); !s.ok()) {
       err << "error: " << s.error() << "\n";
     }
-    return kFailure;
+    return exit_code_for(status.error());
   }
   const sched::SearchStats& stats = p.outcome().stats;
   out << "feasible schedule: " << p.outcome().trace.size() << " firings, "
@@ -301,22 +393,19 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
   }
   auto table = p.table();
   if (!table.ok()) {
-    err << "error: " << table.error() << "\n";
-    return kFailure;
+    return fail(err, table.error());
   }
   out << sched::to_string(table.value(), p.specification());
   if (auto trace_path = args.value("trace")) {
     const std::string document =
         sched::write_trace(p.model().net, p.outcome().trace);
     if (auto status2 = write_file(*trace_path, document); !status2.ok()) {
-      err << "error: " << status2.error() << "\n";
-      return kFailure;
+      return fail(err, status2.error());
     }
     out << "trace written to " << *trace_path << "\n";
   }
   if (auto s = write_observability(); !s.ok()) {
-    err << "error: " << s.error() << "\n";
-    return kFailure;
+    return fail(err, s.error());
   }
   return kOk;
 }
@@ -324,13 +413,12 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   const auto dir = args.value("output");
   if (!dir.has_value()) {
     err << "error: codegen requires -o <dir>\n";
-    return kUsage;
+    return kInvalidInput;
   }
   codegen::CodegenOptions options;
   if (auto target = args.value("target")) {
@@ -340,14 +428,14 @@ int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
       options.target = codegen::Target::kHostSim;
     } else {
       err << "error: unknown target '" << *target << "'\n";
-      return kUsage;
+      return kInvalidInput;
     }
   }
   if (auto mcu = args.value("mcu")) {
     auto family = codegen::mcu_family_from_string(*mcu);
     if (!family.ok()) {
       err << "error: " << family.error() << "\n";
-      return kUsage;
+      return kInvalidInput;
     }
     options.mcu = family.value();
   }
@@ -355,14 +443,13 @@ int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
     auto parsed = parse_uint(*hz);
     if (!parsed.ok()) {
       err << "error: " << parsed.error() << "\n";
-      return kUsage;
+      return kInvalidInput;
     }
     options.timer_hz = parsed.value();
   }
   auto code = project.value().generate_code(options);
   if (!code.ok()) {
-    err << "error: " << code.error() << "\n";
-    return kFailure;
+    return fail(err, code.error());
   }
   std::filesystem::create_directories(*dir);
   for (const codegen::GeneratedFile& file : code.value().files) {
@@ -370,8 +457,7 @@ int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
             write_file(std::filesystem::path(*dir) / file.name,
                        file.content);
         !status.ok()) {
-      err << "error: " << status.error() << "\n";
-      return kFailure;
+      return fail(err, status.error());
     }
     out << "wrote " << (std::filesystem::path(*dir) / file.name).string()
         << "\n";
@@ -382,12 +468,10 @@ int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_export_dot(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   if (auto status = project.value().build(); !status.ok()) {
-    err << "error: " << status.error() << "\n";
-    return kFailure;
+    return fail(err, status.error());
   }
   tpn::DotOptions options;
   options.show_priorities = args.has("priorities");
@@ -395,8 +479,7 @@ int cmd_export_dot(const Args& args, std::ostream& out, std::ostream& err) {
       tpn::write_dot(project.value().model().net, options);
   if (auto path = args.value("output")) {
     if (auto status = write_file(*path, dot); !status.ok()) {
-      err << "error: " << status.error() << "\n";
-      return kFailure;
+      return fail(err, status.error());
     }
     out << "wrote " << *path << "\n";
   } else {
@@ -408,18 +491,15 @@ int cmd_export_dot(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_export_pnml(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   auto document = project.value().export_pnml();
   if (!document.ok()) {
-    err << "error: " << document.error() << "\n";
-    return kFailure;
+    return fail(err, document.error());
   }
   if (auto path = args.value("output")) {
     if (auto status = write_file(*path, document.value()); !status.ok()) {
-      err << "error: " << status.error() << "\n";
-      return kFailure;
+      return fail(err, status.error());
     }
     out << "wrote " << *path << "\n";
   } else {
@@ -435,15 +515,13 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
       trace_out_path.has_value() ? &tracer : nullptr;
   auto project = load_project(args, tracer_ptr);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   core::Project& p = project.value();
   p.set_tracer(tracer_ptr);
   auto table = p.table();
   if (!table.ok()) {
-    err << "error: " << table.error() << "\n";
-    return kFailure;
+    return fail(err, table.error());
   }
   runtime::DispatchSimOptions sim_options;
   sim_options.tracer = tracer_ptr;
@@ -467,8 +545,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   if (trace_out_path.has_value()) {
     if (auto status = obs::write_trace_file(tracer, *trace_out_path);
         !status.ok()) {
-      err << "error: " << status.error() << "\n";
-      return kFailure;
+      return fail(err, status.error());
     }
     out << "trace written to " << *trace_out_path << "\n";
   }
@@ -477,7 +554,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
     auto parsed = parse_uint(*cycles);
     if (!parsed.ok()) {
       err << "error: " << parsed.error() << "\n";
-      return kUsage;
+      return kInvalidInput;
     }
     const runtime::CyclicCheck check =
         runtime::check_repeatable(p.specification(), table.value());
@@ -517,14 +594,14 @@ int cmd_workload(const Args& args, std::ostream& out, std::ostream& err) {
   if (!read_u64("tasks", config.tasks) || !read_u64("seed", config.seed) ||
       !read_u64("precedence", config.precedence_edges) ||
       !read_u64("exclusion", config.exclusion_pairs)) {
-    return kUsage;
+    return kInvalidInput;
   }
   if (auto value = args.value("utilization")) {
     try {
       config.utilization = std::stod(*value);
     } catch (const std::exception&) {
       err << "error: --utilization expects a number\n";
-      return kUsage;
+      return kInvalidInput;
     }
   }
   if (auto value = args.value("preemptive")) {
@@ -532,23 +609,20 @@ int cmd_workload(const Args& args, std::ostream& out, std::ostream& err) {
       config.preemptive_fraction = std::stod(*value);
     } catch (const std::exception&) {
       err << "error: --preemptive expects a fraction\n";
-      return kUsage;
+      return kInvalidInput;
     }
   }
   auto generated = workload::generate(config);
   if (!generated.ok()) {
-    err << "error: " << generated.error() << "\n";
-    return kFailure;
+    return fail(err, generated.error());
   }
   auto document = pnml::write_ezspec(generated.value());
   if (!document.ok()) {
-    err << "error: " << document.error() << "\n";
-    return kFailure;
+    return fail(err, document.error());
   }
   if (auto path = args.value("output")) {
     if (auto status = write_file(*path, document.value()); !status.ok()) {
-      err << "error: " << status.error() << "\n";
-      return kFailure;
+      return fail(err, status.error());
     }
     out << "wrote " << *path << " (" << generated.value().task_count()
         << " tasks, U = " << generated.value().utilization() << ")\n";
@@ -561,8 +635,7 @@ int cmd_workload(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_baseline(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   const spec::Specification& s = project.value().specification();
   out << "policy    schedulable  misses  preemptions  dispatches\n";
@@ -585,33 +658,29 @@ int cmd_baseline(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_replay(const Args& args, std::ostream& out, std::ostream& err) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   if (args.positional().size() < 2) {
     err << "error: replay requires <spec.xml> <trace-file>\n";
-    return kUsage;
+    return kInvalidInput;
   }
   core::Project& p = project.value();
   if (auto status = p.build(); !status.ok()) {
-    err << "error: " << status.error() << "\n";
-    return kFailure;
+    return fail(err, status.error());
   }
   auto document = read_file(args.positional()[1]);
   if (!document.ok()) {
-    err << "error: " << document.error() << "\n";
-    return kFailure;
+    return fail(err, document.error());
   }
   auto trace = sched::read_trace(p.model().net, document.value());
   if (!trace.ok()) {
-    err << "error: " << trace.error() << "\n";
-    return kFailure;
+    return fail(err, trace.error());
   }
   sched::DfsScheduler scheduler(p.model().net);
   auto final_state = scheduler.replay(trace.value());
   if (!final_state.ok()) {
     err << "replay FAILED: " << final_state.error() << "\n";
-    return kFailure;
+    return exit_code_for(final_state.error());
   }
   const bool reaches_goal =
       tpn::is_final_marking(p.model().net, final_state.value().marking());
@@ -620,25 +689,42 @@ int cmd_replay(const Args& args, std::ostream& out, std::ostream& err) {
   return reaches_goal ? kOk : kFailure;
 }
 
-int cmd_reach(const Args& args, std::ostream& out, std::ostream& err) {
+int cmd_reach(const Args& args, std::ostream& out, std::ostream& err,
+              const base::CancelToken* cancel) {
   auto project = load_project(args);
   if (!project.ok()) {
-    err << "error: " << project.error() << "\n";
-    return kFailure;
+    return fail(err, project.error());
   }
   core::Project& p = project.value();
   if (auto status = p.build(); !status.ok()) {
-    err << "error: " << status.error() << "\n";
-    return kFailure;
+    return fail(err, status.error());
   }
-  std::uint64_t max_states = sched::ReachabilityOptions{}.max_states;
+  sched::ReachabilityOptions reach_options;
+  reach_options.cancel = cancel;
+  std::uint64_t max_states = reach_options.max_states;
   if (auto value = args.value("max-states")) {
     auto parsed = parse_uint(*value);
     if (!parsed.ok()) {
       err << "error: " << parsed.error() << "\n";
-      return kUsage;
+      return kInvalidInput;
     }
     max_states = parsed.value();
+  }
+  if (auto value = args.value("wall-limit")) {
+    auto parsed = parse_uint(*value);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error() << "\n";
+      return kInvalidInput;
+    }
+    reach_options.wall_limit_ms = parsed.value();
+  }
+  if (auto value = args.value("mem-limit")) {
+    auto parsed = parse_bytes(*value);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error() << "\n";
+      return kInvalidInput;
+    }
+    reach_options.memory_limit_bytes = parsed.value();
   }
   if (args.has("classes")) {
     // Dense-time analysis via the state-class graph (Berthomieu-Diaz).
@@ -657,11 +743,12 @@ int cmd_reach(const Args& args, std::ostream& out, std::ostream& err) {
         << (result.miss_reachable ? "yes" : "no") << "\n";
     return kOk;
   }
-  sched::ReachabilityOptions options;
+  sched::ReachabilityOptions options = reach_options;
   options.max_states = max_states;
   const sched::ReachabilityResult result =
       sched::explore(p.model().net, options);
-  out << "reachability (" << (result.complete ? "complete" : "bounded")
+  out << "reachability ("
+      << (result.complete ? "complete" : sched::to_string(result.stop))
       << "):\n"
       << "  states explored:  " << result.states_explored << "\n"
       << "  final reachable:  " << (result.final_reachable ? "yes" : "no")
@@ -671,7 +758,141 @@ int cmd_reach(const Args& args, std::ostream& out, std::ostream& err) {
       << "  deadlock found:   " << (result.deadlock_found ? "yes" : "no")
       << "\n"
       << "  place bound:      " << result.bound << "\n";
+  // A bounded-but-finished analysis is the documented default mode (exit
+  // 0); only a tripped wall/memory guard or a cancellation escalates.
+  switch (result.stop) {
+    case sched::ReachabilityStop::kTimeLimit:
+    case sched::ReachabilityStop::kMemoryLimit:
+      return kLimitExit;
+    case sched::ReachabilityStop::kCancelled:
+      return kCancelledExit;
+    case sched::ReachabilityStop::kComplete:
+    case sched::ReachabilityStop::kStateBudget:
+      break;
+  }
   return kOk;
+}
+
+int cmd_robust(const Args& args, std::ostream& out, std::ostream& err,
+               const base::CancelToken* cancel) {
+  // Campaign parameters. The defaults exercise every fault kind and
+  // every recovery policy over a 16x intensity range.
+  auto fault_specs = runtime::parse_fault_specs(
+      args.value("faults").value_or("wcet:0.3,drift:0.2,burst:0.1,fail:0.1"));
+  if (!fault_specs.ok()) {
+    return fail(err, fault_specs.error());
+  }
+  runtime::CampaignOptions campaign;
+  campaign.cancel = cancel;
+  if (auto list = args.value("intensities")) {
+    campaign.intensities.clear();
+    std::size_t pos = 0;
+    while (pos <= list->size()) {
+      const std::size_t comma = std::min(list->find(',', pos), list->size());
+      const std::string entry = list->substr(pos, comma - pos);
+      pos = comma + 1;
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(entry, &used);
+        if (used != entry.size() || !(v > 0.0)) {
+          throw std::invalid_argument(entry);
+        }
+        campaign.intensities.push_back(v);
+      } catch (const std::exception&) {
+        err << "error: --intensities expects positive numbers, got '"
+            << entry << "'\n";
+        return kInvalidInput;
+      }
+      if (comma == list->size()) {
+        break;
+      }
+    }
+    if (campaign.intensities.empty()) {
+      err << "error: --intensities is empty\n";
+      return kInvalidInput;
+    }
+  }
+  if (auto trials = args.value("trials")) {
+    auto parsed = parse_uint(*trials);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --trials expects a positive count\n";
+      return kInvalidInput;
+    }
+    campaign.trials = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (auto seed = args.value("seed")) {
+    auto parsed = parse_uint(*seed);
+    if (!parsed.ok()) {
+      err << "error: --seed: " << parsed.error() << "\n";
+      return kInvalidInput;
+    }
+    campaign.seed = parsed.value();
+  }
+  if (auto list = args.value("policies")) {
+    campaign.policies.clear();
+    std::size_t pos = 0;
+    while (pos <= list->size()) {
+      const std::size_t comma = std::min(list->find(',', pos), list->size());
+      auto policy = runtime::parse_recovery_policy(
+          std::string_view(*list).substr(pos, comma - pos));
+      if (!policy.ok()) {
+        return fail(err, policy.error());
+      }
+      campaign.policies.push_back(policy.value());
+      pos = comma + 1;
+      if (comma == list->size()) {
+        break;
+      }
+    }
+    if (campaign.policies.empty()) {
+      err << "error: --policies is empty\n";
+      return kInvalidInput;
+    }
+  }
+
+  const auto report_path = args.value("report");
+  const auto trace_out_path = args.value("trace-out");
+  obs::Tracer tracer;
+  obs::Tracer* const tracer_ptr =
+      trace_out_path.has_value() ? &tracer : nullptr;
+  campaign.tracer = tracer_ptr;
+
+  auto project = load_project(args, tracer_ptr, cancel);
+  if (!project.ok()) {
+    return fail(err, project.error());
+  }
+  core::Project& p = project.value();
+  p.set_tracer(tracer_ptr);
+  auto table = p.table();  // synthesizes the schedule on demand
+  if (!table.ok()) {
+    return fail(err, table.error());
+  }
+
+  const runtime::ResilienceReport report = runtime::run_campaign(
+      p.specification(), table.value(), fault_specs.value(), campaign);
+
+  out << "resilience campaign: " << report.spec_name << ", seed "
+      << report.seed << ", " << report.intensities.size()
+      << " intensities x " << report.trials << " trials x "
+      << campaign.policies.size() << " policies"
+      << (report.cancelled ? " (cancelled)" : "") << "\n\n"
+      << runtime::format_resilience(report);
+
+  if (report_path.has_value()) {
+    if (auto s = write_file(*report_path,
+                            runtime::resilience_report_json(report));
+        !s.ok()) {
+      return fail(err, s.error());
+    }
+    out << "\nreport written to " << *report_path << "\n";
+  }
+  if (trace_out_path.has_value()) {
+    if (auto s = obs::write_trace_file(tracer, *trace_out_path); !s.ok()) {
+      return fail(err, s.error());
+    }
+    out << "trace written to " << *trace_out_path << "\n";
+  }
+  return report.cancelled ? kCancelledExit : kOk;
 }
 
 }  // namespace
@@ -688,6 +909,8 @@ std::string usage() {
       "  validate     check the specification against the metamodel rules\n"
       "  schedule     synthesize a schedule and print the table\n"
       "               [--complete] [--paper-blocks] [--max-states N]\n"
+      "               [--wall-limit MS] [--mem-limit BYTES[k|m|g]] hard\n"
+      "               resource guards (docs/robustness.md)\n"
       "               [--trace FILE] [--optimize makespan|switches]\n"
       "               [--threads N] parallel search (0 = serial engine)\n"
       "               [--deterministic] thread-count-independent outcome\n"
@@ -712,14 +935,32 @@ std::string usage() {
       "<trace>\n"
       "  reach        bounded reachability / property check "
       "[--max-states N]\n"
-      "  help         this text\n";
+      "               [--wall-limit MS] [--mem-limit BYTES[k|m|g]]\n"
+      "  robust       fault-injection campaign over the synthesized "
+      "schedule\n"
+      "               [--faults SPEC] e.g. wcet:0.3,drift:0.2,burst:0.1,"
+      "fail:0.1\n"
+      "               [--intensities LIST] scale sweep (default "
+      "0.25,0.5,1,2,4)\n"
+      "               [--trials N] trials per intensity (default 3)\n"
+      "               [--seed S] deterministic fault materialization\n"
+      "               [--policies LIST] abort,skip-instance,"
+      "retry-next-slot,fallback-online\n"
+      "               [--report FILE] resilience report (JSON) "
+      "[--trace-out FILE]\n"
+      "  help         this text\n"
+      "\n"
+      "exit codes: 0 success/feasible, 1 runtime failure, 2 infeasible,\n"
+      "            3 state/wall/memory budget hit, 4 invalid input or "
+      "usage,\n"
+      "            130 cancelled (SIGINT)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
+        std::ostream& err, const base::CancelToken* cancel) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     out << usage();
-    return args.empty() ? kUsage : kOk;
+    return args.empty() ? kInvalidInput : kOk;
   }
   const std::string& command = args[0];
   const Args parsed(args, 1);
@@ -730,7 +971,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return cmd_validate(parsed, out, err);
   }
   if (command == "schedule") {
-    return cmd_schedule(parsed, out, err);
+    return cmd_schedule(parsed, out, err, cancel);
   }
   if (command == "codegen") {
     return cmd_codegen(parsed, out, err);
@@ -754,10 +995,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return cmd_replay(parsed, out, err);
   }
   if (command == "reach") {
-    return cmd_reach(parsed, out, err);
+    return cmd_reach(parsed, out, err, cancel);
+  }
+  if (command == "robust") {
+    return cmd_robust(parsed, out, err, cancel);
   }
   err << "error: unknown command '" << command << "'\n" << usage();
-  return kUsage;
+  return kInvalidInput;
 }
 
 }  // namespace ezrt::cli

@@ -21,12 +21,21 @@
 #include <string>
 #include <vector>
 
+namespace ezrt::base {
+class CancelToken;
+}  // namespace ezrt::base
+
 namespace ezrt::cli {
 
-/// Runs one command; returns the process exit code (0 on success, 1 on
-/// domain failures such as infeasibility, 2 on usage errors).
+/// Runs one command; returns the process exit code. The mapping is part
+/// of the tool's contract (docs/robustness.md): 0 success/feasible,
+/// 1 runtime failure, 2 infeasible, 3 state/wall/memory budget hit,
+/// 4 invalid input or usage, 130 cancelled. `cancel` (optional) is the
+/// cooperative cancellation token the long-running commands poll; the
+/// process main() arms it from a SIGINT handler.
 [[nodiscard]] int run(const std::vector<std::string>& args,
-                      std::ostream& out, std::ostream& err);
+                      std::ostream& out, std::ostream& err,
+                      const base::CancelToken* cancel = nullptr);
 
 /// The usage text (also printed on `ezrt help`).
 [[nodiscard]] std::string usage();

@@ -73,11 +73,17 @@ Status Project::schedule() {
   if (outcome_->status == sched::SearchStatus::kFeasible) {
     return Status();
   }
-  return make_error(outcome_->status == sched::SearchStatus::kInfeasible
-                        ? ErrorCode::kInfeasible
-                        : ErrorCode::kLimitExceeded,
-                    std::string("pre-runtime scheduling: ") +
-                        sched::to_string(outcome_->status));
+  // Verdict-to-error mapping drives the CLI exit codes
+  // (docs/robustness.md): infeasible is a domain answer, the budget and
+  // resource-guard verdicts are limits, cancellation is its own code.
+  ErrorCode code = ErrorCode::kLimitExceeded;
+  if (outcome_->status == sched::SearchStatus::kInfeasible) {
+    code = ErrorCode::kInfeasible;
+  } else if (outcome_->status == sched::SearchStatus::kCancelled) {
+    code = ErrorCode::kCancelled;
+  }
+  return make_error(code, std::string("pre-runtime scheduling: ") +
+                              sched::to_string(outcome_->status));
 }
 
 const sched::SearchOutcome& Project::outcome() const {

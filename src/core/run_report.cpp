@@ -86,6 +86,10 @@ void write_options(JsonWriter& w, const sched::SchedulerOptions& opt) {
   w.member("objective", to_string(opt.objective));
   w.member("engine", to_string(opt.engine));
   w.member("max_states", opt.max_states);
+  // Resource guards (schema v2, docs/robustness.md).
+  w.member("wall_limit_ms", opt.wall_limit_ms);
+  w.member("memory_limit_bytes", opt.memory_limit_bytes);
+  w.member("cancellable", opt.cancel != nullptr);
   w.member("threads", opt.threads);
   w.member("deterministic", opt.deterministic);
   w.member("collect_telemetry", opt.collect_telemetry);
@@ -197,7 +201,9 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
   JsonWriter w;
   w.begin_object();
   w.member("schema", "ezrt-run-report");
-  w.member("version", 1);
+  // v2: guard options (wall_limit_ms/memory_limit_bytes/cancellable) and
+  // the guard verdict statuses (time-limit/memory-limit/cancelled).
+  w.member("version", 2);
   write_model(w, project);
   write_options(w, project.scheduler_options());
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "base/hash.hpp"
 #include "obs/json.hpp"
@@ -45,13 +46,34 @@ namespace {
   return w.take();
 }
 
+[[nodiscard]] std::string fault_args(const std::string& task,
+                                     std::uint32_t instance,
+                                     Time magnitude) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .member("task", std::string_view(task))
+      .member("instance", instance + 1)
+      .member("magnitude", magnitude)
+      .end_object();
+  return w.take();
+}
+
 }  // namespace
 
 DispatcherRun simulate_dispatcher(const spec::Specification& spec,
                                   const sched::ScheduleTable& table,
                                   const DispatchSimOptions& options) {
+  using InstanceKey = std::pair<TaskId, std::uint32_t>;
   DispatcherRun run;
   obs::Tracer* const tracer = options.tracer;
+  const FaultModel* const faults = options.faults;
+  // skip-instance and retry-next-slot convert what would be dispatcher
+  // inconsistencies into accounted degradation; abort (and the campaign-
+  // handled fallback-online) keep the unmitigated behavior.
+  const bool graceful =
+      faults != nullptr &&
+      (options.recovery == RecoveryPolicy::kSkipInstance ||
+       options.recovery == RecoveryPolicy::kRetryNextSlot);
   Time clock = 0;
   auto fault = [&](std::string message) {
     if (tracer != nullptr) {
@@ -66,8 +88,8 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
   };
   // Closes the span of the segment that just executed on the virtual-time
   // track; a zero-length segment leaves no span.
-  auto trace_segment = [&](const std::pair<TaskId, std::uint32_t>& key,
-                           Time start, Time executed) {
+  auto trace_segment = [&](const InstanceKey& key, Time start,
+                           Time executed) {
     if (tracer == nullptr || executed == 0) {
       return;
     }
@@ -76,6 +98,16 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
                      "dispatch", start, executed,
                      instance_args(task.name, key.second),
                      obs::kTrackVirtual);
+  };
+  auto trace_instant = [&](std::string_view name, const InstanceKey& key,
+                           Time at, Time magnitude) {
+    if (tracer == nullptr) {
+      return;
+    }
+    tracer->instant_at(name, "fault", at,
+                       fault_args(spec.task(key.first).name, key.second,
+                                  magnitude),
+                       obs::kTrackVirtual);
   };
 
   std::vector<sched::ScheduleItem> items = table.items;
@@ -87,13 +119,56 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
 
   // Remaining WCET per live instance, as the dispatcher would track it via
   // the schedule table's resume flags.
-  std::map<std::pair<TaskId, std::uint32_t>, Time> remaining;
-  std::map<std::pair<TaskId, std::uint32_t>, Time> completion;
+  std::map<InstanceKey, Time> remaining;
+  std::map<InstanceKey, Time> completion;
+  // Fault-injection bookkeeping. `need` is the effective (fault-inflated)
+  // demand, `last_activity` the end of the instance's last segment — the
+  // earliest point a slack retry can begin. Idle windows accumulate the
+  // table's unused capacity for retry-next-slot.
+  std::map<InstanceKey, Time> need;
+  std::map<InstanceKey, Time> last_activity;
+  std::set<InstanceKey> transient;  ///< latched transient failures
+  std::set<InstanceKey> skipped;
+  std::set<InstanceKey> recovered;
+  std::vector<std::pair<Time, Time>> idle_windows;
+
+  // Applies the instance's start-time faults: overruns and bursts inflate
+  // the demand, transient failures latch for later detection. Returns the
+  // effective demand.
+  auto apply_start_faults = [&](const spec::Task& task,
+                                const InstanceKey& key, Time at) -> Time {
+    Time demand = actual_execution(task, key.second, options);
+    if (faults == nullptr) {
+      return demand;
+    }
+    if (const InjectedFault* f =
+            faults->find(key.first, key.second, FaultKind::kWcetOverrun)) {
+      demand += f->magnitude;
+      ++run.injection.wcet_overruns;
+      ++run.injection.injected;
+      trace_instant("fault:wcet-overrun", key, at, f->magnitude);
+    }
+    if (const InjectedFault* f = faults->find(
+            key.first, key.second, FaultKind::kInterferenceBurst)) {
+      demand += f->magnitude;
+      ++run.injection.interference_bursts;
+      ++run.injection.injected;
+      trace_instant("fault:interference-burst", key, at, f->magnitude);
+    }
+    if (faults->find(key.first, key.second,
+                     FaultKind::kTransientFailure) != nullptr) {
+      transient.insert(key);
+      ++run.injection.transient_failures;
+      ++run.injection.injected;
+      trace_instant("fault:transient-failure", key, at, 0);
+    }
+    return demand;
+  };
 
   // The instance currently "on the CPU" and how long it still runs in the
   // current segment; used to detect preemptions.
   bool cpu_busy = false;
-  std::pair<TaskId, std::uint32_t> on_cpu{};
+  InstanceKey on_cpu{};
   Time segment_ends = 0;
 
   for (const sched::ScheduleItem& item : items) {
@@ -105,13 +180,33 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
     const auto key = std::make_pair(item.task, item.instance);
 
     if (item.start < clock) {
+      if (graceful) {
+        // A drifted segment overran this entry's slot; the dispatcher
+        // drops the entry instead of corrupting its bookkeeping. A
+        // dropped start leaves the whole instance to the recovery pass.
+        if (!item.preempted && !remaining.contains(key)) {
+          remaining[key] = apply_start_faults(task, key, clock);
+          need[key] = remaining[key];
+          last_activity[key] = clock;
+        }
+        continue;
+      }
       fault("timer for '" + task.name + "' at t=" +
             std::to_string(item.start) + " is in the past (clock " +
             std::to_string(clock) + ")");
       continue;
     }
 
-    const Time dispatch_at = item.start;
+    Time dispatch_at = item.start;
+    if (faults != nullptr && !item.preempted) {
+      if (const InjectedFault* f = faults->find(
+              item.task, item.instance, FaultKind::kReleaseDrift)) {
+        dispatch_at += f->magnitude;
+        ++run.injection.release_drifts;
+        ++run.injection.injected;
+        trace_instant("fault:release-drift", key, item.start, f->magnitude);
+      }
+    }
     bool saved_context = false;
     if (cpu_busy) {
       // Run the previous task until this timer interrupt or its segment
@@ -123,6 +218,9 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
       remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
       run.busy_time += executed;
       trace_segment(on_cpu, clock, executed);
+      if (executed > 0) {
+        last_activity[on_cpu] = ran_until;
+      }
       clock = ran_until;
       if (remaining[on_cpu] == 0) {
         if (!completion.contains(on_cpu)) {
@@ -148,6 +246,7 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
     }
     if (dispatch_at > clock) {
       run.idle_time += dispatch_at - clock;
+      idle_windows.emplace_back(clock, dispatch_at);
     }
     run.events.push_back(DispatchEvent{dispatch_at, item.task,
                                        item.instance, item.preempted,
@@ -159,16 +258,32 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
         fault(task.name + "#" + std::to_string(item.instance + 1) +
               ": started twice");
       }
-      remaining[key] = actual_execution(task, item.instance, options);
+      const Time demand = apply_start_faults(task, key, dispatch_at);
+      need[key] = demand;
+      if (transient.contains(key) &&
+          options.recovery == RecoveryPolicy::kSkipInstance) {
+        // The dispatcher's start-of-instance self-test catches the fault
+        // latch and abandons the instance; the slot idles.
+        skipped.insert(key);
+        remaining[key] = 0;
+        clock = dispatch_at;
+        trace_instant("recover:skip", key, dispatch_at, 0);
+        continue;
+      }
+      remaining[key] = demand;
     } else {
+      if (skipped.contains(key)) {
+        continue;  // resumes of an abandoned instance are no-ops
+      }
       if (!remaining.contains(key)) {
         fault(task.name + "#" + std::to_string(item.instance + 1) +
               ": resume without saved context");
         remaining[key] = 0;
       } else if (remaining[key] == 0) {
-        if (options.min_execution_fraction >= 1.0) {
+        if (options.min_execution_fraction >= 1.0 && faults == nullptr) {
           // Under the WCET model a resume for a finished instance means
-          // the table is inconsistent; with early completion it is the
+          // the table is inconsistent; with early completion (or an
+          // instance that finished despite injected faults) it is the
           // expected no-op (the dispatcher finds the done flag set).
           fault(task.name + "#" + std::to_string(item.instance + 1) +
                 ": resume without saved context");
@@ -191,10 +306,88 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
     remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
     run.busy_time += executed;
     trace_segment(on_cpu, clock, executed);
+    if (executed > 0) {
+      last_activity[on_cpu] = segment_ends;
+    }
     if (remaining[on_cpu] == 0 && !completion.contains(on_cpu)) {
       completion[on_cpu] = segment_ends;
     }
     clock = segment_ends;
+  }
+  if (table.schedule_period > clock) {
+    idle_windows.emplace_back(clock, table.schedule_period);
+  }
+
+  // retry-next-slot: failed or unfinished instances re-execute in the
+  // table's idle slack, earliest deadline first. A retry recovers iff its
+  // full deficit fits into windows after the failure and before the
+  // deadline; attempted-but-late retries still consume the slack they
+  // occupied.
+  if (faults != nullptr &&
+      options.recovery == RecoveryPolicy::kRetryNextSlot) {
+    struct Retry {
+      InstanceKey key;
+      Time deficit = 0;
+      Time deadline_abs = 0;
+      Time earliest = 0;
+    };
+    std::vector<Retry> candidates;
+    for (const auto& [key, rem] : remaining) {
+      const spec::Task& task = spec.task(key.first);
+      const Time arrival =
+          task.timing.phase +
+          static_cast<Time>(key.second) * task.timing.period;
+      const Time deadline_abs = arrival + task.timing.deadline;
+      Time earliest = arrival;
+      if (auto it = last_activity.find(key); it != last_activity.end()) {
+        earliest = std::max(earliest, it->second);
+      }
+      if (rem > 0) {
+        candidates.push_back(Retry{key, rem, deadline_abs, earliest});
+      } else if (transient.contains(key) && completion.contains(key)) {
+        // Detected at completion: the whole computation re-runs.
+        candidates.push_back(
+            Retry{key, need[key], deadline_abs, completion[key]});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Retry& a, const Retry& b) {
+                return a.deadline_abs != b.deadline_abs
+                           ? a.deadline_abs < b.deadline_abs
+                           : a.key < b.key;
+              });
+    for (const Retry& retry : candidates) {
+      ++run.injection.retries;
+      Time left = retry.deficit;
+      Time finish = 0;
+      for (std::size_t i = 0; i < idle_windows.size() && left > 0; ++i) {
+        auto& [begin, end] = idle_windows[i];
+        const Time from = std::max(begin, retry.earliest);
+        if (from >= end) {
+          continue;
+        }
+        const Time used = std::min(end - from, left);
+        left -= used;
+        finish = from + used;
+        // Split: the prefix [begin, from) survives; so does any tail
+        // (non-empty only when the deficit ran out inside the window).
+        const Time tail_begin = from + used;
+        const Time tail_end = end;
+        end = from;
+        if (tail_begin < tail_end) {
+          idle_windows.insert(idle_windows.begin() + i + 1,
+                              {tail_begin, tail_end});
+        }
+      }
+      if (left == 0 && finish != 0 && finish <= retry.deadline_abs) {
+        ++run.injection.retries_recovered;
+        remaining[retry.key] = 0;
+        completion[retry.key] = finish;
+        recovered.insert(retry.key);
+        transient.erase(retry.key);
+        trace_instant("recover:retry", retry.key, finish, retry.deficit);
+      }
+    }
   }
 
   // Deadline accounting per instance.
@@ -206,20 +399,50 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
     outcome.instance = key.second;
     outcome.arrival = task.timing.phase +
                       static_cast<Time>(key.second) * task.timing.period;
-    if (rem != 0 || !completion.contains(key)) {
-      fault(task.name + "#" + std::to_string(key.second + 1) +
-            ": never completed (" + std::to_string(rem) +
-            " WCET units left)");
+    const Time deadline_abs = outcome.arrival + task.timing.deadline;
+    const bool incomplete = rem != 0 || !completion.contains(key);
+    outcome.recovered = recovered.contains(key);
+    if (skipped.contains(key) ||
+        (incomplete && faults != nullptr &&
+         options.recovery == RecoveryPolicy::kSkipInstance)) {
+      // Controlled degradation: the dispatcher abandoned the instance
+      // cleanly. Reported as a skip, not as an inconsistency or a miss.
+      if (!skipped.contains(key)) {
+        skipped.insert(key);
+        trace_instant("recover:skip", key, deadline_abs, 0);
+      }
+      outcome.skipped = true;
+      ++run.injection.skipped_instances;
       outcome.deadline_met = false;
       run.all_deadlines_met = false;
+    } else if (incomplete) {
+      outcome.deadline_met = false;
+      run.all_deadlines_met = false;
+      ++run.injection.deadline_misses;
+      if (faults != nullptr &&
+          options.recovery == RecoveryPolicy::kRetryNextSlot) {
+        // The retry pass could not place it before the deadline: a miss,
+        // but the dispatcher's bookkeeping stayed consistent.
+      } else {
+        fault(task.name + "#" + std::to_string(key.second + 1) +
+              ": never completed (" + std::to_string(rem) +
+              " WCET units left)");
+      }
     } else {
       outcome.completion = completion[key];
-      outcome.deadline_met =
-          outcome.completion <= outcome.arrival + task.timing.deadline;
-      if (!outcome.deadline_met) {
+      bool met = outcome.completion <= deadline_abs;
+      if (met && transient.contains(key)) {
+        // Completed on time, but the latched transient failure made the
+        // result invalid — an unmitigated miss under abort semantics.
+        met = false;
+      }
+      outcome.deadline_met = met;
+      if (!met) {
         run.all_deadlines_met = false;
+        ++run.injection.deadline_misses;
         if (tracer != nullptr) {
-          tracer->instant_at("deadline-miss", "dispatch", outcome.completion,
+          tracer->instant_at("deadline-miss", "dispatch",
+                             outcome.completion,
                              instance_args(task.name, key.second),
                              obs::kTrackVirtual);
         }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault_injection.hpp"
 #include "sched/schedule_table.hpp"
 #include "spec/specification.hpp"
 
@@ -37,6 +38,8 @@ struct InstanceOutcome {
   Time arrival = 0;
   Time completion = 0;
   bool deadline_met = false;
+  bool skipped = false;    ///< dropped by the skip-instance policy
+  bool recovered = false;  ///< met its deadline via a slack retry
 };
 
 struct DispatcherRun {
@@ -48,6 +51,7 @@ struct DispatcherRun {
   Time idle_time = 0;
   bool all_deadlines_met = false;
   std::vector<std::string> faults;  ///< dispatcher-level inconsistencies
+  FaultOutcome injection;  ///< injected-fault accounting (robustness.md)
 
   [[nodiscard]] bool ok() const {
     return faults.empty() && all_deadlines_met;
@@ -70,6 +74,14 @@ struct DispatchSimOptions {
   /// instants for preemptions, deadline misses and dispatcher faults.
   /// Timestamps are model time units, not wall clock. Null = off.
   obs::Tracer* tracer = nullptr;
+  /// Deterministic fault injection (docs/robustness.md). Null = no
+  /// faults, byte-identical to the pre-fault-injection simulator.
+  const FaultModel* faults = nullptr;
+  /// How the dispatcher reacts when an injected fault manifests. kAbort
+  /// reproduces unmitigated behavior; kFallbackOnline is handled by the
+  /// campaign runner (run_campaign), not by this table walker, and falls
+  /// back to kAbort semantics here.
+  RecoveryPolicy recovery = RecoveryPolicy::kAbort;
 };
 
 /// Simulates one schedule period of the dispatcher executing `table`.

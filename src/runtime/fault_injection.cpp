@@ -1,0 +1,481 @@
+#include "runtime/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "base/cancel.hpp"
+#include "base/hash.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "runtime/online_sched.hpp"
+
+namespace ezrt::runtime {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWcetOverrun:
+      return "wcet-overrun";
+    case FaultKind::kReleaseDrift:
+      return "release-drift";
+    case FaultKind::kInterferenceBurst:
+      return "interference-burst";
+    case FaultKind::kTransientFailure:
+      return "transient-failure";
+  }
+  return "unknown";
+}
+
+const char* to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kAbort:
+      return "abort";
+    case RecoveryPolicy::kSkipInstance:
+      return "skip-instance";
+    case RecoveryPolicy::kRetryNextSlot:
+      return "retry-next-slot";
+    case RecoveryPolicy::kFallbackOnline:
+      return "fallback-online";
+  }
+  return "unknown";
+}
+
+Result<RecoveryPolicy> parse_recovery_policy(std::string_view text) {
+  if (text == "abort") {
+    return RecoveryPolicy::kAbort;
+  }
+  if (text == "skip-instance") {
+    return RecoveryPolicy::kSkipInstance;
+  }
+  if (text == "retry-next-slot") {
+    return RecoveryPolicy::kRetryNextSlot;
+  }
+  if (text == "fallback-online") {
+    return RecoveryPolicy::kFallbackOnline;
+  }
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown recovery policy '" + std::string(text) +
+                        "' (abort|skip-instance|retry-next-slot|"
+                        "fallback-online)");
+}
+
+namespace {
+
+[[nodiscard]] Result<double> parse_double(std::string_view text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(text), &used);
+    if (used != text.size() || !(v >= 0.0)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "expected a non-negative number, got '" +
+                            std::string(text) + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected a number, got '" + std::string(text) + "'");
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FaultSpec>> parse_fault_specs(std::string_view text) {
+  std::vector<FaultSpec> specs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view entry = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      if (comma == text.size()) {
+        break;
+      }
+      return make_error(ErrorCode::kInvalidArgument,
+                        "empty fault entry in '" + std::string(text) + "'");
+    }
+    std::vector<std::string_view> parts;
+    std::size_t p = 0;
+    while (p <= entry.size()) {
+      const std::size_t colon = std::min(entry.find(':', p), entry.size());
+      parts.push_back(entry.substr(p, colon - p));
+      p = colon + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 4) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fault entry '" + std::string(entry) +
+                            "' is not kind:probability[:scale[:absolute]]");
+    }
+    FaultSpec spec;
+    if (parts[0] == "wcet") {
+      spec.kind = FaultKind::kWcetOverrun;
+    } else if (parts[0] == "drift") {
+      spec.kind = FaultKind::kReleaseDrift;
+    } else if (parts[0] == "burst") {
+      spec.kind = FaultKind::kInterferenceBurst;
+    } else if (parts[0] == "fail") {
+      spec.kind = FaultKind::kTransientFailure;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "unknown fault kind '" + std::string(parts[0]) +
+                            "' (wcet|drift|burst|fail)");
+    }
+    auto probability = parse_double(parts[1]);
+    if (!probability.ok()) {
+      return probability.error();
+    }
+    if (probability.value() > 1.0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fault probability must be in [0, 1]");
+    }
+    spec.probability = probability.value();
+    if (parts.size() >= 3) {
+      auto scale = parse_double(parts[2]);
+      if (!scale.ok()) {
+        return scale.error();
+      }
+      spec.scale = scale.value();
+    }
+    if (parts.size() == 4) {
+      auto absolute = parse_double(parts[3]);
+      if (!absolute.ok()) {
+        return absolute.error();
+      }
+      spec.absolute = static_cast<Time>(std::llround(absolute.value()));
+    }
+    specs.push_back(spec);
+    if (comma == text.size()) {
+      break;
+    }
+  }
+  if (specs.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fault specification is empty");
+  }
+  return specs;
+}
+
+FaultPlan materialize_faults(const spec::Specification& spec,
+                             const std::vector<FaultSpec>& specs,
+                             std::uint64_t seed, double intensity) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.intensity = intensity;
+  for (TaskId id : spec.task_ids()) {
+    const spec::Task& task = spec.task(id);
+    auto count = spec.instance_count(id);
+    if (!count.ok()) {
+      continue;  // hyper-period overflow; the caller couldn't schedule it
+    }
+    // Keyed by name, not TaskId: renumbering tasks in the document must
+    // not reshuffle every draw.
+    std::uint64_t task_hash = seed;
+    for (char c : task.name) {
+      task_hash = hash_mix(task_hash, static_cast<std::uint8_t>(c));
+    }
+    for (Time k = 0; k < count.value(); ++k) {
+      unsigned seen = 0;  // first spec wins per (instance, kind)
+      for (const FaultSpec& fault : specs) {
+        const unsigned bit = 1u << static_cast<unsigned>(fault.kind);
+        if ((seen & bit) != 0) {
+          continue;
+        }
+        const std::uint64_t h = hash_mix(
+            hash_mix(task_hash, k),
+            static_cast<std::uint64_t>(fault.kind) + 1);
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        const double probability =
+            std::min(1.0, fault.probability * intensity);
+        if (u >= probability) {
+          continue;
+        }
+        seen |= bit;
+        Time magnitude = 0;
+        if (fault.kind != FaultKind::kTransientFailure) {
+          const double scaled =
+              fault.scale * intensity *
+              static_cast<double>(task.timing.computation);
+          magnitude = std::max<Time>(1, static_cast<Time>(std::llround(
+                                            std::ceil(scaled)))) +
+                      fault.absolute;
+        }
+        plan.faults.push_back(InjectedFault{
+            fault.kind, id, static_cast<std::uint32_t>(k), magnitude});
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+[[nodiscard]] std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>
+fault_key(const InjectedFault& fault) {
+  return {fault.task.value(), fault.instance,
+          static_cast<std::uint8_t>(fault.kind)};
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultPlan plan) : plan_(std::move(plan)) {
+  order_.resize(plan_.faults.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) {
+    order_[i] = i;
+  }
+  std::sort(order_.begin(), order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return fault_key(plan_.faults[a]) < fault_key(plan_.faults[b]);
+            });
+}
+
+const InjectedFault* FaultModel::find(TaskId task, std::uint32_t instance,
+                                      FaultKind kind) const {
+  const std::tuple<std::uint32_t, std::uint32_t, std::uint8_t> key{
+      task.value(), instance, static_cast<std::uint8_t>(kind)};
+  auto it = std::lower_bound(
+      order_.begin(), order_.end(), key,
+      [&](std::uint32_t index, const auto& k) {
+        return fault_key(plan_.faults[index]) < k;
+      });
+  if (it == order_.end() || fault_key(plan_.faults[*it]) != key) {
+    return nullptr;
+  }
+  return &plan_.faults[*it];
+}
+
+namespace {
+
+/// fallback-online: the dispatcher detects the first injected fault and
+/// abandons the table for the preemptive EDF scheduler. Conservatively,
+/// the whole hyper-period is accounted to the fallback regime (the table
+/// prefix it abandons is feasible by construction), with every fault
+/// folded into the job set: overruns and bursts inflate demand, transient
+/// failures double it (run, detect, re-run), drift delays the release.
+[[nodiscard]] FaultOutcome simulate_fallback_online(
+    const spec::Specification& spec, const FaultModel& model,
+    obs::Tracer* tracer) {
+  FaultOutcome outcome;
+  outcome.fallback_engaged = true;
+  auto ps = spec.schedule_period();
+  const Time horizon = ps.ok() ? ps.value() : 0;
+  std::vector<OnlineJob> jobs;
+  for (TaskId id : spec.task_ids()) {
+    const spec::Task& task = spec.task(id);
+    auto count = spec.instance_count(id);
+    if (!count.ok()) {
+      continue;
+    }
+    for (Time k = 0; k < count.value(); ++k) {
+      const auto instance = static_cast<std::uint32_t>(k);
+      const Time arrival = task.timing.phase + k * task.timing.period;
+      Time release = arrival + task.timing.release;
+      Time need = task.timing.computation;
+      if (const InjectedFault* f =
+              model.find(id, instance, FaultKind::kWcetOverrun)) {
+        need += f->magnitude;
+        ++outcome.wcet_overruns;
+        ++outcome.injected;
+      }
+      if (const InjectedFault* f =
+              model.find(id, instance, FaultKind::kInterferenceBurst)) {
+        need += f->magnitude;
+        ++outcome.interference_bursts;
+        ++outcome.injected;
+      }
+      if (model.find(id, instance, FaultKind::kTransientFailure) !=
+          nullptr) {
+        need *= 2;
+        ++outcome.transient_failures;
+        ++outcome.injected;
+      }
+      if (const InjectedFault* f =
+              model.find(id, instance, FaultKind::kReleaseDrift)) {
+        release += f->magnitude;
+        ++outcome.release_drifts;
+        ++outcome.injected;
+      }
+      jobs.push_back(OnlineJob{id, instance, release, need,
+                               arrival + task.timing.deadline});
+    }
+  }
+  if (tracer != nullptr) {
+    tracer->instant_at("recover:fallback-online", "fault", 0, "",
+                       obs::kTrackVirtual);
+  }
+  const OnlineTailResult tail =
+      simulate_edf_tail(std::move(jobs), 0, horizon);
+  outcome.deadline_misses = tail.deadline_misses;
+  return outcome;
+}
+
+}  // namespace
+
+ResilienceReport run_campaign(const spec::Specification& spec,
+                              const sched::ScheduleTable& table,
+                              const std::vector<FaultSpec>& specs,
+                              const CampaignOptions& options) {
+  ResilienceReport report;
+  report.spec_name = spec.name();
+  report.seed = options.seed;
+  report.trials = options.trials;
+  report.fault_specs = specs;
+  report.intensities = options.intensities;
+
+  std::vector<PolicyResilience> summaries;
+  for (RecoveryPolicy policy : options.policies) {
+    PolicyResilience summary;
+    summary.policy = policy;
+    summaries.push_back(summary);
+  }
+
+  for (std::size_t ii = 0;
+       ii < options.intensities.size() && !report.cancelled; ++ii) {
+    const double intensity = options.intensities[ii];
+    for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+      if (options.cancel != nullptr && options.cancel->requested()) {
+        report.cancelled = true;
+        break;
+      }
+      // One plan per (intensity, trial), replayed under every policy, so
+      // policies are judged against identical fault sequences.
+      const std::uint64_t trial_seed =
+          hash_mix(hash_mix(options.seed, ii + 1), trial + 1);
+      const FaultModel model(
+          materialize_faults(spec, specs, trial_seed, intensity));
+      for (std::size_t pi = 0; pi < options.policies.size(); ++pi) {
+        const RecoveryPolicy policy = options.policies[pi];
+        TrialOutcome row;
+        row.policy = policy;
+        row.intensity = intensity;
+        row.trial = trial;
+        row.faults_planned = model.plan().faults.size();
+        obs::Tracer* const tracer =
+            trial == 0 ? options.tracer : nullptr;
+        if (policy == RecoveryPolicy::kFallbackOnline) {
+          row.outcome = simulate_fallback_online(spec, model, tracer);
+          row.survived = row.outcome.deadline_misses == 0;
+        } else {
+          DispatchSimOptions sim;
+          sim.faults = &model;
+          sim.recovery = policy;
+          sim.tracer = tracer;
+          const DispatcherRun run = simulate_dispatcher(spec, table, sim);
+          row.outcome = run.injection;
+          row.survived =
+              run.injection.deadline_misses == 0 && run.faults.empty();
+        }
+        report.rows.push_back(row);
+        PolicyResilience& summary = summaries[pi];
+        ++summary.trials_total;
+        summary.faults_planned += row.faults_planned;
+        summary.deadline_misses += row.outcome.deadline_misses;
+        summary.skipped_instances += row.outcome.skipped_instances;
+        summary.retries_recovered += row.outcome.retries_recovered;
+        if (row.survived) {
+          ++summary.trials_survived;
+        } else if (!summary.failed ||
+                   intensity < summary.first_failing_intensity) {
+          summary.failed = true;
+          summary.first_failing_intensity = intensity;
+        }
+      }
+    }
+  }
+  report.policies = std::move(summaries);
+  return report;
+}
+
+std::string resilience_report_json(const ResilienceReport& report) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .member("schema", "ezrt-resilience-report")
+      .member("version", 1)
+      .member("spec", std::string_view(report.spec_name))
+      .member("seed", report.seed)
+      .member("trials", report.trials)
+      .member("cancelled", report.cancelled);
+  w.key("faults").begin_array();
+  for (const FaultSpec& spec : report.fault_specs) {
+    w.begin_object()
+        .member("kind", to_string(spec.kind))
+        .member("probability", spec.probability)
+        .member("scale", spec.scale)
+        .member("absolute", spec.absolute)
+        .end_object();
+  }
+  w.end_array();
+  w.key("intensities").begin_array();
+  for (double intensity : report.intensities) {
+    w.value(intensity);
+  }
+  w.end_array();
+  w.key("policies").begin_array();
+  for (const PolicyResilience& p : report.policies) {
+    w.begin_object()
+        .member("policy", to_string(p.policy))
+        .member("trials_total", p.trials_total)
+        .member("trials_survived", p.trials_survived)
+        .member("failed", p.failed);
+    if (p.failed) {
+      w.member("first_failing_intensity", p.first_failing_intensity);
+    }
+    w.member("faults_planned", p.faults_planned)
+        .member("deadline_misses", p.deadline_misses)
+        .member("skipped_instances", p.skipped_instances)
+        .member("retries_recovered", p.retries_recovered)
+        .end_object();
+  }
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const TrialOutcome& row : report.rows) {
+    w.begin_object()
+        .member("policy", to_string(row.policy))
+        .member("intensity", row.intensity)
+        .member("trial", row.trial)
+        .member("survived", row.survived)
+        .member("faults_planned", row.faults_planned)
+        .member("faults_manifested", row.outcome.injected)
+        .member("wcet_overruns", row.outcome.wcet_overruns)
+        .member("release_drifts", row.outcome.release_drifts)
+        .member("interference_bursts", row.outcome.interference_bursts)
+        .member("transient_failures", row.outcome.transient_failures)
+        .member("deadline_misses", row.outcome.deadline_misses)
+        .member("skipped_instances", row.outcome.skipped_instances)
+        .member("retries", row.outcome.retries)
+        .member("retries_recovered", row.outcome.retries_recovered)
+        .member("fallback_engaged", row.outcome.fallback_engaged)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string format_resilience(const ResilienceReport& report) {
+  std::string out =
+      "policy            survived  first-failing  misses  skipped  "
+      "recovered\n";
+  for (const PolicyResilience& p : report.policies) {
+    char survived[16];
+    std::snprintf(survived, sizeof(survived), "%u/%u", p.trials_survived,
+                  p.trials_total);
+    char failing[16];
+    if (p.failed) {
+      std::snprintf(failing, sizeof(failing), "%g",
+                    p.first_failing_intensity);
+    } else {
+      std::snprintf(failing, sizeof(failing), "-");
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-17s %8s %14s %7llu %8llu %10llu\n",
+                  to_string(p.policy), survived, failing,
+                  static_cast<unsigned long long>(p.deadline_misses),
+                  static_cast<unsigned long long>(p.skipped_instances),
+                  static_cast<unsigned long long>(p.retries_recovered));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ezrt::runtime

@@ -1,0 +1,208 @@
+// Deterministic fault injection and recovery (docs/robustness.md).
+//
+// The paper's pre-runtime schedules assume WCETs hold and timers are
+// exact. This module stress-tests a synthesized table against the ways
+// deployed systems break those assumptions — WCET overruns, timer/release
+// drift, interference bursts stealing cycles, transient task failures —
+// and measures how far each recovery strategy stretches before deadlines
+// fall:
+//
+//   * abort            — today's behavior: no mitigation, any manifested
+//                        fault plays out as a miss or dispatcher
+//                        inconsistency (the hard-real-time stance);
+//   * skip-instance    — the dispatcher abandons an unsalvageable
+//                        instance cleanly (controlled degradation: the
+//                        skip is reported, later instances are safe);
+//   * retry-next-slot  — failed or unfinished work re-executes in the
+//                        table's idle slack before its deadline;
+//   * fallback-online  — on the first fault the dispatcher hands the
+//                        hyper-period to the preemptive EDF scheduler.
+//
+// Every draw derives from (seed, task name, instance, fault kind) via
+// hash_mix, so a fault plan is a pure function of its inputs: identical
+// across runs, thread counts and telemetry configurations — which is what
+// makes the campaign reports byte-comparable in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.hpp"
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::base {
+class CancelToken;
+}  // namespace ezrt::base
+
+namespace ezrt::obs {
+class Tracer;
+}  // namespace ezrt::obs
+
+namespace ezrt::runtime {
+
+enum class FaultKind : std::uint8_t {
+  kWcetOverrun,        ///< an instance needs more than its declared WCET
+  kReleaseDrift,       ///< the start timer fires late
+  kInterferenceBurst,  ///< an ISR/DMA burst steals execution time
+  kTransientFailure,   ///< the instance completes but its result is bad
+};
+
+inline constexpr std::size_t kFaultKindCount = 4;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One fault class to inject, before intensity scaling. `probability` is
+/// the per-instance injection chance; magnitudes are `scale` of the
+/// task's WCET plus `absolute` time units (transient failures carry no
+/// magnitude).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kWcetOverrun;
+  double probability = 0.0;
+  double scale = 0.25;
+  Time absolute = 0;
+};
+
+/// Parses a campaign fault specification such as
+/// "wcet:0.3,drift:0.2,burst:0.1,fail:0.1". Each entry is
+/// kind:probability[:scale[:absolute]] with kinds wcet|drift|burst|fail.
+[[nodiscard]] Result<std::vector<FaultSpec>> parse_fault_specs(
+    std::string_view text);
+
+/// A materialized fault hitting one task instance.
+struct InjectedFault {
+  FaultKind kind = FaultKind::kWcetOverrun;
+  TaskId task;
+  std::uint32_t instance = 0;
+  Time magnitude = 0;  ///< extra WCET / drift / burst units; 0 = transient
+};
+
+/// The full fault schedule for one trial: a pure function of
+/// (spec, fault specs, seed, intensity). Intensity multiplies both the
+/// injection probability (clamped to 1) and the magnitude.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double intensity = 1.0;
+  std::vector<InjectedFault> faults;  ///< sorted by (task, instance, kind)
+};
+
+[[nodiscard]] FaultPlan materialize_faults(
+    const spec::Specification& spec, const std::vector<FaultSpec>& specs,
+    std::uint64_t seed, double intensity);
+
+enum class RecoveryPolicy : std::uint8_t {
+  kAbort,
+  kSkipInstance,
+  kRetryNextSlot,
+  kFallbackOnline,
+};
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy);
+[[nodiscard]] Result<RecoveryPolicy> parse_recovery_policy(
+    std::string_view text);
+
+/// Read-only lookup facade the dispatcher simulator consults per
+/// schedule-table entry.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultPlan plan);
+
+  /// The fault of `kind` injected into (task, instance), or null.
+  [[nodiscard]] const InjectedFault* find(TaskId task,
+                                          std::uint32_t instance,
+                                          FaultKind kind) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::uint32_t> order_;  ///< indices sorted for binary search
+};
+
+/// What the faults did to one simulated run, and what the recovery policy
+/// salvaged. `deadline_misses` counts unmitigated instance failures —
+/// skipped instances are controlled degradation and counted separately.
+struct FaultOutcome {
+  std::uint64_t injected = 0;  ///< faults that manifested during the run
+  std::uint64_t wcet_overruns = 0;
+  std::uint64_t release_drifts = 0;
+  std::uint64_t interference_bursts = 0;
+  std::uint64_t transient_failures = 0;
+  std::uint64_t skipped_instances = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retries_recovered = 0;
+  std::uint64_t deadline_misses = 0;
+  bool fallback_engaged = false;
+};
+
+// -- Campaign -------------------------------------------------------------
+
+struct CampaignOptions {
+  std::vector<double> intensities = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::uint32_t trials = 3;
+  std::uint64_t seed = 1;
+  std::vector<RecoveryPolicy> policies = {
+      RecoveryPolicy::kAbort, RecoveryPolicy::kSkipInstance,
+      RecoveryPolicy::kRetryNextSlot, RecoveryPolicy::kFallbackOnline};
+  /// Fault/recovery instants land on the tracer's virtual track for the
+  /// first trial of each (policy, intensity) cell. Null = off. The tracer
+  /// never influences the report (determinism contract).
+  obs::Tracer* tracer = nullptr;
+  /// Polled between trials; a cancelled campaign returns the rows
+  /// finished so far with `cancelled` set.
+  const base::CancelToken* cancel = nullptr;
+};
+
+/// One (policy, intensity, trial) cell of the sweep.
+struct TrialOutcome {
+  RecoveryPolicy policy = RecoveryPolicy::kAbort;
+  double intensity = 1.0;
+  std::uint32_t trial = 0;
+  std::uint64_t faults_planned = 0;  ///< plan size (manifested <= planned)
+  FaultOutcome outcome;
+  bool survived = false;  ///< zero unmitigated misses, no inconsistencies
+};
+
+/// Per-policy aggregate over the whole sweep.
+struct PolicyResilience {
+  RecoveryPolicy policy = RecoveryPolicy::kAbort;
+  std::uint32_t trials_total = 0;
+  std::uint32_t trials_survived = 0;
+  bool failed = false;  ///< at least one trial did not survive
+  double first_failing_intensity = 0.0;  ///< meaningful iff `failed`
+  std::uint64_t faults_planned = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t skipped_instances = 0;
+  std::uint64_t retries_recovered = 0;
+};
+
+struct ResilienceReport {
+  std::string spec_name;
+  std::uint64_t seed = 1;
+  std::uint32_t trials = 0;
+  std::vector<FaultSpec> fault_specs;
+  std::vector<double> intensities;
+  std::vector<TrialOutcome> rows;
+  std::vector<PolicyResilience> policies;
+  bool cancelled = false;
+};
+
+/// Sweeps fault intensities over the synthesized table: for each
+/// (intensity, trial) one fault plan is materialized and replayed under
+/// every policy, so policies are compared against identical fault
+/// sequences. Deterministic for a fixed seed.
+[[nodiscard]] ResilienceReport run_campaign(
+    const spec::Specification& spec, const sched::ScheduleTable& table,
+    const std::vector<FaultSpec>& specs, const CampaignOptions& options);
+
+/// The report as a JSON document (docs/schemas/resilience.schema.json).
+/// Contains no timestamps or wall-clock data: byte-identical for
+/// identical inputs.
+[[nodiscard]] std::string resilience_report_json(
+    const ResilienceReport& report);
+
+/// Renders the per-policy summary table for the CLI.
+[[nodiscard]] std::string format_resilience(const ResilienceReport& report);
+
+}  // namespace ezrt::runtime

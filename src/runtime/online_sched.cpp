@@ -172,4 +172,77 @@ OnlineResult simulate_online(const spec::Specification& spec,
   return result;
 }
 
+OnlineTailResult simulate_edf_tail(std::vector<OnlineJob> jobs, Time from,
+                                   Time horizon) {
+  OnlineTailResult result;
+  // Run until the latest deadline: a drifted release can push a deadline
+  // past the nominal hyper-period, and dropping such a job silently would
+  // understate the miss count.
+  Time end = horizon;
+  for (const OnlineJob& job : jobs) {
+    end = std::max(end, job.absolute_deadline);
+  }
+
+  std::vector<OnlineJob*> ready;
+  std::size_t next_release = 0;
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const OnlineJob& a, const OnlineJob& b) {
+                     return a.release < b.release;
+                   });
+  const OnlineJob* running = nullptr;
+
+  for (Time now = from; now < end; ++now) {
+    while (next_release < jobs.size() &&
+           std::max(jobs[next_release].release, from) <= now) {
+      if (jobs[next_release].remaining > 0) {
+        ready.push_back(&jobs[next_release]);
+      }
+      ++next_release;
+    }
+    std::erase_if(ready, [&](OnlineJob* job) {
+      if (job->absolute_deadline <= now && job->remaining > 0) {
+        ++result.deadline_misses;
+        if (running == job) {
+          running = nullptr;
+        }
+        return true;
+      }
+      return false;
+    });
+    if (ready.empty()) {
+      if (now < horizon) {
+        ++result.idle_time;
+      }
+      running = nullptr;
+      continue;
+    }
+    OnlineJob* pick = ready.front();
+    for (OnlineJob* job : ready) {
+      if (job->absolute_deadline != pick->absolute_deadline
+              ? job->absolute_deadline < pick->absolute_deadline
+              : (job->task != pick->task ? job->task < pick->task
+                                         : job->instance < pick->instance)) {
+        pick = job;
+      }
+    }
+    if (running != nullptr && running != pick) {
+      ++result.preemptions;
+    }
+    --pick->remaining;
+    ++result.busy_time;
+    if (pick->remaining == 0) {
+      std::erase(ready, pick);
+      running = nullptr;
+    } else {
+      running = pick;
+    }
+  }
+  for (const OnlineJob* job : ready) {
+    if (job->remaining > 0) {
+      ++result.deadline_misses;
+    }
+  }
+  return result;
+}
+
 }  // namespace ezrt::runtime

@@ -43,4 +43,32 @@ struct OnlineResult {
 [[nodiscard]] OnlineResult simulate_online(const spec::Specification& spec,
                                            OnlinePolicy policy);
 
+/// One explicit job for the EDF tail: released work with an absolute
+/// deadline, decoupled from the periodic release pattern so callers can
+/// hand over mid-flight work (fault-injection fallback,
+/// docs/robustness.md).
+struct OnlineJob {
+  TaskId task;
+  std::uint32_t instance = 0;
+  Time release = 0;
+  Time remaining = 0;
+  Time absolute_deadline = 0;
+};
+
+struct OnlineTailResult {
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;
+  Time busy_time = 0;
+  Time idle_time = 0;
+};
+
+/// Preemptive EDF over an explicit job set starting at `from`. Jobs with
+/// an earlier release become ready at `from`; a job whose deadline passes
+/// with work left is dropped and counted once. Runs until every job has
+/// completed or missed (bounded by the latest deadline), so `horizon` only
+/// caps the idle-time accounting. Deterministic: ties break on
+/// (deadline, task, instance).
+[[nodiscard]] OnlineTailResult simulate_edf_tail(std::vector<OnlineJob> jobs,
+                                                 Time from, Time horizon);
+
 }  // namespace ezrt::runtime

@@ -11,6 +11,7 @@
 #include "base/hash.hpp"
 #include "obs/progress.hpp"
 #include "sched/expansion.hpp"
+#include "sched/guards.hpp"
 #include "sched/parallel.hpp"
 
 namespace ezrt::sched {
@@ -69,6 +70,12 @@ const char* to_string(SearchStatus status) {
       return "infeasible";
     case SearchStatus::kLimitReached:
       return "limit-reached";
+    case SearchStatus::kTimeLimit:
+      return "time-limit";
+    case SearchStatus::kMemoryLimit:
+      return "memory-limit";
+    case SearchStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -117,6 +124,15 @@ SearchOutcome DfsScheduler::search() const {
   // successor graph.
   Expander expander(*net_, semantics_, options_);
   obs::ProgressSink* const progress = options_.progress;
+
+  // Resource guards (sched/guards.hpp): `guarded` is hoisted so the
+  // common unguarded configuration pays one predictable branch per fired
+  // transition. Fired transitions — not admitted states — drive the
+  // check mask, so the wall clock keeps getting sampled even through
+  // long all-pruned stretches near exhaustion.
+  const ResourceGuard guard(options_, t0);
+  const bool guarded = guard.armed();
+  const std::uint64_t frame_bytes = estimated_frame_bytes(*net_);
 
   // Folds the end-of-search observability fields into `out.stats` and,
   // when requested, the telemetry breakdown. Runs once per return path;
@@ -214,6 +230,7 @@ SearchOutcome DfsScheduler::search() const {
     stack.push_back(std::move(root));
 
     bool limit_hit = false;
+    std::optional<SearchStatus> guard_status;
     while (!stack.empty() && !limit_hit) {
       BbFrame& frame = stack.back();
       stats.max_depth =
@@ -248,6 +265,19 @@ SearchOutcome DfsScheduler::search() const {
 
       State next = expander.fire(frame.state, cand);
       ++stats.transitions_fired;
+      if (guarded) {
+        if (auto tripped = guard.check(stats.transitions_fired, [&] {
+              return node_container_bytes(
+                         best_seen,
+                         sizeof(Fingerprint) + sizeof(std::uint64_t)) +
+                     stack.size() * frame_bytes;
+            })) {
+          // Same contract as the state budget: the incumbent found so
+          // far (if any) is still returned below.
+          guard_status = tripped;
+          break;
+        }
+      }
       if (has_miss(std::as_const(next).marking())) {
         ++stats.pruned_deadline;
         continue;
@@ -299,6 +329,8 @@ SearchOutcome DfsScheduler::search() const {
       out.status = SearchStatus::kFeasible;
       out.trace = std::move(best_trace);
       out.best_cost = best_cost;
+    } else if (guard_status.has_value()) {
+      out.status = *guard_status;
     } else {
       out.status = limit_hit ? SearchStatus::kLimitReached
                              : SearchStatus::kInfeasible;
@@ -343,6 +375,18 @@ SearchOutcome DfsScheduler::search() const {
     const Candidate cand = frame.candidates[frame.next++];
     State next = expander.fire(frame.state, cand);
     ++stats.transitions_fired;
+
+    if (guarded) {
+      if (auto tripped = guard.check(stats.transitions_fired, [&] {
+            return node_container_bytes(visited, sizeof(Fingerprint)) +
+                   stack.size() * frame_bytes;
+          })) {
+        out.status = *tripped;
+        out.trace.clear();
+        finalize(node_container_bytes(visited, sizeof(Fingerprint)));
+        return out;
+      }
+    }
 
     if (has_miss(std::as_const(next).marking())) {
       ++stats.pruned_deadline;

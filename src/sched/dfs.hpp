@@ -27,6 +27,10 @@
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
 
+namespace ezrt::base {
+class CancelToken;
+}  // namespace ezrt::base
+
 namespace ezrt::obs {
 struct ProgressSink;
 class Tracer;
@@ -75,7 +79,23 @@ struct SchedulerOptions {
   SuccessorEngine engine = SuccessorEngine::kIncremental;
   /// Abort with kLimitReached after this many distinct states (0 = off).
   /// For optimizing objectives the incumbent found so far is returned.
-  std::uint64_t max_states = 0;
+  /// The default matches ReachabilityOptions::max_states so every engine
+  /// in the tool is budgeted out of the box (docs/robustness.md); opt
+  /// into unbounded search explicitly with 0.
+  std::uint64_t max_states = 250'000;
+  /// Wall-clock ceiling on the search in milliseconds (0 = off): checked
+  /// every few hundred fired transitions, terminates with kTimeLimit.
+  /// Partial SearchStats are still reported (docs/robustness.md).
+  std::uint64_t wall_limit_ms = 0;
+  /// Ceiling on the search's estimated heap footprint in bytes (0 = off):
+  /// visited-set bytes (exact slot accounting) plus an estimate of the
+  /// live frame stacks. Terminates with kMemoryLimit.
+  std::uint64_t memory_limit_bytes = 0;
+  /// Cooperative cancellation (base/cancel.hpp): polled on every fired
+  /// transition (one relaxed atomic load), terminates with kCancelled.
+  /// The CLI wires a SIGINT handler to this so ^C still produces a run
+  /// report with partial statistics. Null = off.
+  const base::CancelToken* cancel = nullptr;
   /// Widest firing domain AllInDomain will enumerate before giving up.
   Time max_domain_width = 10'000;
   /// Worker threads for the parallel search engine (docs/semantics.md §8):
@@ -85,15 +105,18 @@ struct SchedulerOptions {
   /// the kFirstFeasible objective only; the optimizing (branch-and-bound)
   /// objectives always run serially regardless of this setting.
   std::uint32_t threads = 0;
-  /// Fix the outcome across thread counts. The *verdict* of the parallel
-  /// engine is order-independent by construction (both engines explore
-  /// the same pruned successor graph exhaustively); this toggle
-  /// additionally re-derives the reported trace of feasible models with
-  /// the serial engine, so two runs at any thread counts return identical
-  /// traces. Costs one serial search on feasible instances; free on
-  /// infeasible ones. The guarantee requires max_states == 0 (a bounded
-  /// state budget is consumed in an order-dependent way). No effect when
-  /// threads == 0.
+  /// Fix the outcome across thread counts. A parallel kInfeasible verdict
+  /// is order-independent by construction (the pruned successor graph was
+  /// exhausted below the state budget, which every engine and thread
+  /// count reproduces); any other parallel verdict (kFeasible, or
+  /// kLimitReached — with a bounded budget, which of the two wins is a
+  /// race) is re-derived with the serial engine, whose outcome is
+  /// canonical and returned. Net guarantee: verdict and trace are
+  /// identical across all thread counts, for any max_states. Costs one
+  /// serial search on feasible/limit outcomes; free on infeasible ones.
+  /// The resource-guard verdicts (kTimeLimit, kMemoryLimit, kCancelled)
+  /// are inherently machine- and timing-dependent and pass through
+  /// unchanged. No effect when threads == 0.
   bool deterministic = false;
   /// Fill SearchOutcome::telemetry (per-worker and per-shard breakdowns).
   /// Collection happens after the verdict, so it never perturbs the
@@ -113,6 +136,9 @@ enum class SearchStatus : std::uint8_t {
   kFeasible,      ///< trace holds a feasible firing schedule
   kInfeasible,    ///< search space exhausted without reaching M_F
   kLimitReached,  ///< max_states hit before a verdict
+  kTimeLimit,     ///< wall_limit_ms elapsed before a verdict
+  kMemoryLimit,   ///< memory_limit_bytes exceeded before a verdict
+  kCancelled,     ///< CancelToken tripped (e.g. SIGINT) before a verdict
 };
 
 [[nodiscard]] const char* to_string(SearchStatus status);

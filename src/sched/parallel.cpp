@@ -17,6 +17,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "sched/expansion.hpp"
+#include "sched/guards.hpp"
 #include "sched/visited_set.hpp"
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
@@ -58,7 +59,10 @@ class ParallelSearch {
         semantics_(net),
         thread_count_(std::max<std::uint32_t>(1, options.threads)),
         visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)),
-        progress_(options.progress) {}
+        progress_(options.progress),
+        guard_(options, std::chrono::steady_clock::now()),
+        guarded_(guard_.armed()),
+        frame_bytes_(estimated_frame_bytes(net)) {}
 
   SearchOutcome run();
 
@@ -103,7 +107,28 @@ class ParallelSearch {
         queue_cv_.notify_all();
         return std::nullopt;
       }
-      queue_cv_.wait(lock);
+      if (guarded_) {
+        // Bounded wait so a parked worker still notices a SIGINT or an
+        // expired wall limit even when no peer ever wakes it. The trip
+        // path inlines finish(): we already hold queue_mu_, and finish()
+        // would deadlock re-locking it.
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(20));
+        if (!done_) {
+          if (auto tripped = guard_.check_now(
+                  [&] { return visited_.memory_bytes(); })) {
+            std::uint8_t expected = 0;
+            guard_status_.compare_exchange_strong(
+                expected, static_cast<std::uint8_t>(*tripped),
+                std::memory_order_relaxed);
+            stop_.store(true, std::memory_order_release);
+            done_ = true;
+            queue_cv_.notify_all();
+            return std::nullopt;
+          }
+        }
+      } else {
+        queue_cv_.wait(lock);
+      }
       --idle_;
       publish_idle(idle_);
     }
@@ -122,6 +147,17 @@ class ParallelSearch {
 
   [[nodiscard]] bool stopped() const {
     return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Records the first guard verdict to fire and stops the search. The
+  /// zero sentinel never collides with a real verdict: only the nonzero
+  /// kTimeLimit/kMemoryLimit/kCancelled values are ever stored here.
+  void trip_guard(SearchStatus status) {
+    std::uint8_t expected = 0;
+    guard_status_.compare_exchange_strong(expected,
+                                          static_cast<std::uint8_t>(status),
+                                          std::memory_order_relaxed);
+    finish();
   }
 
   // -- Per-worker search ---------------------------------------------------
@@ -226,6 +262,19 @@ class ParallelSearch {
                              FiringEvent& event_out) {
     State next = w.expander.fire(parent, cand);
     ++w.stats.transitions_fired;
+    if (guarded_) {
+      // Per-worker fired count drives the mask, so the wall clock keeps
+      // getting sampled through all-pruned stretches. The frame-stack
+      // term extrapolates this worker's stack across the pool — an
+      // estimate; the visited set (the dominant term) is exact.
+      if (auto tripped = guard_.check(w.stats.transitions_fired, [&] {
+            return visited_.memory_bytes() +
+                   w.stack.size() * frame_bytes_ * thread_count_;
+          })) {
+        trip_guard(*tripped);
+        return std::nullopt;
+      }
+    }
     if (has_miss(std::as_const(next).marking())) {
       ++w.stats.pruned_deadline;
       return std::nullopt;
@@ -405,6 +454,11 @@ class ParallelSearch {
   std::atomic<bool> stop_{false};
   std::atomic<bool> limit_hit_{false};
   std::atomic<std::uint64_t> states_{0};
+  /// First resource-guard verdict (as SearchStatus), 0 = none tripped.
+  std::atomic<std::uint8_t> guard_status_{0};
+  ResourceGuard guard_;
+  bool guarded_;
+  std::uint64_t frame_bytes_;
 
   std::mutex result_mu_;
   bool found_ = false;
@@ -477,12 +531,18 @@ SearchOutcome ParallelSearch::run() {
     out.telemetry.shards = visited_.shard_stats();
   }
 
-  // A goal found concurrently with the state budget running out counts as
-  // feasible — same preference order as the serial engine, which tests the
-  // goal before the limit.
+  // A goal found concurrently with the state budget or a resource guard
+  // running out counts as feasible — same preference order as the serial
+  // engine, which tests the goal before the limits. Among the losers, a
+  // guard verdict (time/memory/cancel) outranks the state budget: it
+  // names the ceiling the operator actually configured tightest.
+  const std::uint8_t tripped =
+      guard_status_.load(std::memory_order_relaxed);
   if (found_) {
     out.status = SearchStatus::kFeasible;
     out.trace = std::move(winning_);
+  } else if (tripped != 0) {
+    out.status = static_cast<SearchStatus>(tripped);
   } else if (limit_hit_.load(std::memory_order_relaxed)) {
     out.status = SearchStatus::kLimitReached;
   } else {
@@ -515,21 +575,20 @@ SearchOutcome parallel_search(const tpn::TimePetriNet& net,
   EZRT_CHECK(options.objective == Objective::kFirstFeasible,
              "parallel_search supports the kFirstFeasible objective only");
 
-  if (options.deterministic && options.max_states != 0) {
-    // A bounded state budget is consumed in a scheduling-dependent order,
-    // so the only way to honor the determinism contract is the serial
-    // engine itself.
-    return serial_search(net, options, goal);
-  }
-
   SearchOutcome out = ParallelSearch(net, options, goal, miss_places).run();
 
-  if (options.deterministic && out.status == SearchStatus::kFeasible) {
-    // The parallel verdict is order-independent; the winning trace is
-    // first-past-the-post. Re-derive the canonical (serial) trace so two
-    // runs at any thread counts return identical outcomes. Infeasible
-    // instances — where exhaustive exploration makes parallelism pay —
-    // skip this: their outcome is already deterministic.
+  if (options.deterministic && (out.status == SearchStatus::kFeasible ||
+                                out.status == SearchStatus::kLimitReached)) {
+    // A parallel kInfeasible verdict means the pruned graph was exhausted
+    // below the state budget — every interleaving reproduces it, so it
+    // passes through (where exhaustive exploration makes parallelism
+    // pay). Anything the parallel engine won a race for is re-derived:
+    // the winning trace is first-past-the-post, and with a bounded
+    // budget, *which* of feasible/limit-reached wins depends on whether
+    // some worker reached M_F before the global counter hit the budget.
+    // The serial outcome is canonical and returned as-is, whichever
+    // verdict it lands on. Guard verdicts (time/memory/cancel) already
+    // passed through above — they are timing-dependent by nature.
     //
     // The two phases are reported separately (parallel_verdict_ms vs the
     // serial phase's own stats.elapsed_ms) so the cost of the determinism

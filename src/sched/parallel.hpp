@@ -13,11 +13,14 @@
 // Verdict determinism: the candidate expansion is a pure function of the
 // state, so the pruned successor relation is a fixed graph and an
 // exhaustive visited-set search explores exactly its reachable set in any
-// interleaving — the feasible/infeasible verdict cannot depend on thread
-// count (the differential sweep in tests/parallel_test.cpp checks this
-// against the serial engine). The *trace* of a feasible model is
-// first-past-the-post; SchedulerOptions::deterministic re-derives it
-// serially when reproducibility matters more than latency.
+// interleaving — an infeasible verdict cannot depend on thread count (the
+// differential sweep in tests/parallel_test.cpp checks this against the
+// serial engine). The *trace* of a feasible model is first-past-the-post,
+// and under a bounded state budget feasible-vs-limit is a race;
+// SchedulerOptions::deterministic re-derives those outcomes serially when
+// reproducibility matters more than latency. Resource-guard verdicts
+// (time/memory/cancel, sched/guards.hpp) are inherently timing-dependent
+// and exempt (docs/robustness.md).
 #pragma once
 
 #include <vector>

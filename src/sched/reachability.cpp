@@ -1,11 +1,29 @@
 #include "sched/reachability.hpp"
 
+#include <chrono>
 #include <deque>
 #include <unordered_set>
 
 #include "base/assert.hpp"
+#include "base/cancel.hpp"
 
 namespace ezrt::sched {
+
+const char* to_string(ReachabilityStop stop) {
+  switch (stop) {
+    case ReachabilityStop::kComplete:
+      return "complete";
+    case ReachabilityStop::kStateBudget:
+      return "state-budget";
+    case ReachabilityStop::kTimeLimit:
+      return "time-limit";
+    case ReachabilityStop::kMemoryLimit:
+      return "memory-limit";
+    case ReachabilityStop::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -39,6 +57,16 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
   EZRT_CHECK(net.validated(), "explore requires a validated net");
   const tpn::Semantics semantics(net);
   ReachabilityResult result;
+
+  // Same guard surface as the search engines (docs/robustness.md), with
+  // the same masking: cancellation each fired transition, wall clock
+  // every 256, the memory estimate every 1024.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::milliseconds(options.wall_limit_ms);
+  const std::uint64_t state_bytes =
+      64 + net.place_count() * sizeof(std::uint32_t) +
+      net.transition_count() * sizeof(Time);
 
   std::unordered_set<Fingerprint, FingerprintHash> visited;
   std::deque<tpn::State> frontier;
@@ -76,6 +104,27 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
     for (const tpn::FireableTransition& f : fireable) {
       tpn::State next = semantics.fire(s, f.transition, f.earliest);
       ++result.transitions_fired;
+      if (options.cancel != nullptr && options.cancel->requested()) {
+        result.stop = ReachabilityStop::kCancelled;
+        return result;
+      }
+      if (options.wall_limit_ms != 0 &&
+          (result.transitions_fired & 255) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        result.stop = ReachabilityStop::kTimeLimit;
+        return result;
+      }
+      if (options.memory_limit_bytes != 0 &&
+          (result.transitions_fired & 1023) == 0) {
+        const std::uint64_t bytes =
+            visited.bucket_count() * sizeof(void*) +
+            visited.size() * (sizeof(Fingerprint) + sizeof(void*)) +
+            frontier.size() * state_bytes;
+        if (bytes > options.memory_limit_bytes) {
+          result.stop = ReachabilityStop::kMemoryLimit;
+          return result;
+        }
+      }
       if (!visited.insert(fingerprint(next)).second) {
         continue;
       }
@@ -89,6 +138,7 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
       if (options.max_states != 0 &&
           result.states_explored >= options.max_states) {
         result.complete = false;
+        result.stop = ReachabilityStop::kStateBudget;
         return result;
       }
       frontier.push_back(std::move(next));
@@ -96,6 +146,7 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
   }
 
   result.complete = true;
+  result.stop = ReachabilityStop::kComplete;
   return result;
 }
 

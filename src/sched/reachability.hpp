@@ -28,17 +28,44 @@
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
 
+namespace ezrt::base {
+class CancelToken;
+}  // namespace ezrt::base
+
 namespace ezrt::sched {
 
 struct ReachabilityOptions {
   /// Stop after this many distinct states (0 = unlimited — beware).
+  /// Matches SchedulerOptions::max_states: every engine in the tool is
+  /// budgeted out of the box with the same default (docs/robustness.md).
   std::uint64_t max_states = 250'000;
+  /// Wall-clock ceiling in milliseconds (0 = off) — same guard surface as
+  /// SchedulerOptions (docs/robustness.md).
+  std::uint64_t wall_limit_ms = 0;
+  /// Ceiling on the estimated visited + frontier heap bytes (0 = off).
+  std::uint64_t memory_limit_bytes = 0;
+  /// Cooperative cancellation (base/cancel.hpp). Null = off.
+  const base::CancelToken* cancel = nullptr;
 };
+
+/// Why the exploration stopped. kComplete is the only outcome whose
+/// property verdicts (final_reachable etc.) are exhaustive; the others
+/// report what was observed up to the ceiling that tripped.
+enum class ReachabilityStop : std::uint8_t {
+  kComplete,
+  kStateBudget,
+  kTimeLimit,
+  kMemoryLimit,
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(ReachabilityStop stop);
 
 struct ReachabilityResult {
   std::uint64_t states_explored = 0;
   std::uint64_t transitions_fired = 0;
   bool complete = false;  ///< the whole (pruned) space fit under the bound
+  ReachabilityStop stop = ReachabilityStop::kComplete;
   bool final_reachable = false;
   bool miss_reachable = false;
   bool deadlock_found = false;

@@ -132,6 +132,17 @@ class Parser {
   }
 
   Result<ElementPtr> parse_element() {
+    if (depth_ >= kMaxNestingDepth) {
+      return cur_.error("element nesting deeper than " +
+                        std::to_string(kMaxNestingDepth) + " levels");
+    }
+    ++depth_;
+    auto element = parse_element_body();
+    --depth_;
+    return element;
+  }
+
+  Result<ElementPtr> parse_element_body() {
     if (!cur_.consume("<")) {
       return cur_.error("expected '<'");
     }
@@ -238,6 +249,7 @@ class Parser {
   }
 
   Cursor cur_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -307,6 +319,12 @@ Result<std::string> decode_entities(std::string_view raw) {
 }
 
 Result<Document> parse(std::string_view input) {
+  if (input.size() > kMaxInputBytes) {
+    return make_error(ErrorCode::kParseError,
+                      "XML input of " + std::to_string(input.size()) +
+                          " bytes exceeds the " +
+                          std::to_string(kMaxInputBytes) + "-byte limit");
+  }
   return Parser(input).parse_document();
 }
 

@@ -4,14 +4,29 @@
 // with attributes (single or double quoted), character data with the five
 // predefined entities plus decimal/hex character references. Errors carry
 // line/column positions.
+//
+// The parser enforces hard input limits (docs/robustness.md): documents
+// larger than kMaxInputBytes and element nesting deeper than
+// kMaxNestingDepth are rejected with a clean diagnostic instead of
+// exhausting memory or the call stack on hostile input.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "base/result.hpp"
 #include "xml/dom.hpp"
 
 namespace ezrt::xml {
+
+/// Largest document `parse` accepts. Real ez-spec models are a few
+/// kilobytes; 64 MiB leaves three orders of magnitude of headroom while
+/// bounding a hostile input's memory footprint.
+inline constexpr std::size_t kMaxInputBytes = 64u * 1024u * 1024u;
+
+/// Deepest element nesting `parse` accepts. The parser recurses per
+/// level, so this bounds stack growth; ez-spec documents nest 3 deep.
+inline constexpr std::size_t kMaxNestingDepth = 200;
 
 /// Parses a complete document; input must contain exactly one root element.
 [[nodiscard]] Result<Document> parse(std::string_view input);

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/cancel.hpp"
 #include "cli/cli.hpp"
 #include "obs/telemetry.hpp"
 #include "pnml/ezspec_io.hpp"
@@ -53,11 +54,11 @@ TEST_F(CliTest, HelpPrintsUsage) {
 }
 
 TEST_F(CliTest, NoArgsIsUsageError) {
-  EXPECT_EQ(run_cli({}), 2);
+  EXPECT_EQ(run_cli({}), 4);
 }
 
 TEST_F(CliTest, UnknownCommandIsUsageError) {
-  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  EXPECT_EQ(run_cli({"frobnicate"}), 4);
   EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
 }
 
@@ -75,7 +76,7 @@ TEST_F(CliTest, ValidateAcceptsGoodSpec) {
 TEST_F(CliTest, ValidateRejectsBrokenSpec) {
   const std::string bad = (dir_ / "bad.ezspec").string();
   std::ofstream(bad) << "<rt:ez-spec xmlns:rt=\"x\" name=\"b\"></rt:ez-spec>";
-  EXPECT_EQ(run_cli({"validate", bad}), 1);
+  EXPECT_EQ(run_cli({"validate", bad}), 4);
   EXPECT_FALSE(err_.str().empty());
 }
 
@@ -113,7 +114,7 @@ TEST_F(CliTest, ReplayRejectsTamperedTrace) {
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 12, "delay 3 at 3");
   std::ofstream(trace) << text;
-  EXPECT_EQ(run_cli({"replay", spec_path_, trace}), 1);
+  EXPECT_EQ(run_cli({"replay", spec_path_, trace}), 4);
 }
 
 TEST_F(CliTest, ScheduleInfeasibleExitCode) {
@@ -123,7 +124,8 @@ TEST_F(CliTest, ScheduleInfeasibleExitCode) {
   s.add_task("B", spec::TimingConstraints{0, 0, 6, 10, 10});
   const std::string path = (dir_ / "overload.ezspec").string();
   std::ofstream(path) << pnml::write_ezspec(s).value();
-  EXPECT_EQ(run_cli({"schedule", path}), 1);
+  // Infeasible is a definitive domain answer, not a runtime failure.
+  EXPECT_EQ(run_cli({"schedule", path}), 2);
   EXPECT_NE(err_.str().find("infeasible"), std::string::npos);
 }
 
@@ -148,14 +150,14 @@ TEST_F(CliTest, CodegenBareMetalWithMcu) {
 }
 
 TEST_F(CliTest, CodegenRequiresOutputDir) {
-  EXPECT_EQ(run_cli({"codegen", spec_path_}), 2);
+  EXPECT_EQ(run_cli({"codegen", spec_path_}), 4);
 }
 
 TEST_F(CliTest, CodegenRejectsBadMcu) {
   EXPECT_EQ(run_cli({"codegen", spec_path_, "-o",
                      (dir_ / "x").string(), "--target", "bare-metal",
                      "--mcu", "z80"}),
-            2);
+            4);
 }
 
 TEST_F(CliTest, ExportPnmlToStdout) {
@@ -212,7 +214,7 @@ TEST_F(CliTest, ScheduleOptimizeSwitches) {
 }
 
 TEST_F(CliTest, ScheduleOptimizeRejectsUnknownObjective) {
-  EXPECT_EQ(run_cli({"schedule", spec_path_, "--optimize", "vibes"}), 1);
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--optimize", "vibes"}), 4);
 }
 
 TEST_F(CliTest, ExportDotProducesGraph) {
@@ -241,7 +243,7 @@ TEST_F(CliTest, WorkloadToStdout) {
 }
 
 TEST_F(CliTest, WorkloadRejectsBadUtilization) {
-  EXPECT_EQ(run_cli({"workload", "--utilization", "abc"}), 2);
+  EXPECT_EQ(run_cli({"workload", "--utilization", "abc"}), 4);
 }
 
 TEST_F(CliTest, SimulateCyclesChecksSteadyState) {
@@ -283,8 +285,9 @@ TEST_F(CliTest, ScheduleWritesReportOnInfeasibleModels) {
   const std::string path = (dir_ / "overload.ezspec").string();
   std::ofstream(path) << pnml::write_ezspec(s).value();
   const std::string report = (dir_ / "fail.json").string();
-  // The run still fails (exit 1) but the report captures the effort.
-  EXPECT_EQ(run_cli({"schedule", path, "--report", report}), 1);
+  // The run still fails (exit 2, infeasible) but the report captures the
+  // effort.
+  EXPECT_EQ(run_cli({"schedule", path, "--report", report}), 2);
   const std::string json = read_file(report);
   EXPECT_NE(json.find("\"feasible\":false"), std::string::npos);
   EXPECT_NE(json.find("\"states_visited\""), std::string::npos);
@@ -360,6 +363,78 @@ TEST_F(CliTest, SimulateWritesDispatchTrace) {
   EXPECT_NE(json.find("\"cat\":\"dispatch\""), std::string::npos);
 }
 
+// -- Robustness: exit codes, guards, resilience campaign ---------------------
+
+TEST_F(CliTest, ScheduleStateBudgetExitCode) {
+  const std::string report = (dir_ / "budget.json").string();
+  // 50 states is far below the mine pump's ~3.3k-state feasible path.
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--max-states", "50",
+                     "--report", report}),
+            3);
+  // The run report is still written with the partial search statistics.
+  EXPECT_NE(read_file(report).find("\"ezrt-run-report\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleCancelledExitCode) {
+  base::CancelToken cancel;
+  cancel.request();
+  const std::string report = (dir_ / "cancelled.json").string();
+  out_.str("");
+  err_.str("");
+  EXPECT_EQ(run({"schedule", spec_path_, "--report", report}, out_, err_,
+                &cancel),
+            130);
+  EXPECT_NE(read_file(report).find("\"ezrt-run-report\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleRejectsBadLimitFlags) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--wall-limit", "abc"}), 4);
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--mem-limit", "12q"}), 4);
+}
+
+TEST_F(CliTest, RobustRunsCampaignAndWritesReport) {
+  const std::string report = (dir_ / "resilience.json").string();
+  EXPECT_EQ(run_cli({"robust", spec_path_, "--trials", "1", "--intensities",
+                     "0.5", "--policies", "abort,skip-instance", "--report",
+                     report}),
+            0);
+  EXPECT_NE(out_.str().find("resilience campaign"), std::string::npos);
+  EXPECT_NE(out_.str().find("skip-instance"), std::string::npos);
+  EXPECT_NE(read_file(report).find("\"ezrt-resilience-report\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, RobustReportIsDeterministic) {
+  const std::string a = (dir_ / "res_a.json").string();
+  const std::string b = (dir_ / "res_b.json").string();
+  ASSERT_EQ(run_cli({"robust", spec_path_, "--trials", "2", "--seed", "5",
+                     "--intensities", "0.5,1", "--report", a}),
+            0);
+  ASSERT_EQ(run_cli({"robust", spec_path_, "--trials", "2", "--seed", "5",
+                     "--intensities", "0.5,1", "--report", b}),
+            0);
+  const std::string first = read_file(a);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, read_file(b));
+}
+
+TEST_F(CliTest, RobustRejectsBadArguments) {
+  EXPECT_EQ(run_cli({"robust", spec_path_, "--policies", "vibes"}), 4);
+  EXPECT_EQ(run_cli({"robust", spec_path_, "--faults", "bogus:1"}), 4);
+  EXPECT_EQ(run_cli({"robust", spec_path_, "--intensities", "-1"}), 4);
+  EXPECT_EQ(run_cli({"robust", spec_path_, "--trials", "0"}), 4);
+}
+
+TEST_F(CliTest, RobustCancelledExitCode) {
+  base::CancelToken cancel;
+  cancel.request();
+  out_.str("");
+  err_.str("");
+  EXPECT_EQ(run({"robust", spec_path_}, out_, err_, &cancel), 130);
+}
+
 TEST_F(CliTest, ScheduleCompleteModeFlag) {
   // The crafted idle-insertion set: pruned search fails, --complete wins.
   spec::Specification s("crafted");
@@ -368,7 +443,7 @@ TEST_F(CliTest, ScheduleCompleteModeFlag) {
   s.add_task("short", spec::TimingConstraints{1, 0, 2, 2, 10});
   const std::string path = (dir_ / "crafted.ezspec").string();
   std::ofstream(path) << pnml::write_ezspec(s).value();
-  EXPECT_EQ(run_cli({"schedule", path}), 1);
+  EXPECT_EQ(run_cli({"schedule", path}), 2);
   EXPECT_EQ(run_cli({"schedule", path, "--complete"}), 0);
 }
 

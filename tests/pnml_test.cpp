@@ -309,6 +309,50 @@ TEST(EzSpec, RejectsMissingRequiredField) {
   EXPECT_FALSE(read_ezspec(doc).ok());  // no <period>
 }
 
+TEST(EzSpec, RejectsTruncatedDocument) {
+  auto doc = write_ezspec(workload::mine_pump_specification());
+  ASSERT_TRUE(doc.ok());
+  // Cut the document mid-element: a clean parse error, never a crash.
+  const std::string truncated = doc.value().substr(0, doc.value().size() / 2);
+  auto s = read_ezspec(truncated);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kParseError);
+}
+
+TEST(EzSpec, RejectsDuplicateTaskNames) {
+  const std::string doc =
+      "<rt:ez-spec xmlns:rt=\"http://pnmp.sf.net/EZRealtime\" name=\"x\">"
+      "<Processor identifier=\"p1\"><name>cpu</name></Processor>"
+      "<Task identifier=\"t1\"><name>T</name><period>5</period>"
+      "<computing>1</computing><deadline>5</deadline></Task>"
+      "<Task identifier=\"t2\"><name>T</name><period>5</period>"
+      "<computing>1</computing><deadline>5</deadline></Task></rt:ez-spec>";
+  auto s = read_ezspec(doc);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message().find("duplicate task name"),
+            std::string::npos);
+}
+
+TEST(EzSpec, RejectsNegativeWcet) {
+  const std::string doc =
+      "<rt:ez-spec xmlns:rt=\"http://pnmp.sf.net/EZRealtime\" name=\"x\">"
+      "<Processor identifier=\"p1\"><name>cpu</name></Processor>"
+      "<Task identifier=\"t\"><name>T</name><period>5</period>"
+      "<computing>-1</computing><deadline>5</deadline></Task></rt:ez-spec>";
+  EXPECT_FALSE(read_ezspec(doc).ok());
+}
+
+TEST(EzSpec, RejectsDeadlineBeyondPeriod) {
+  const std::string doc =
+      "<rt:ez-spec xmlns:rt=\"http://pnmp.sf.net/EZRealtime\" name=\"x\">"
+      "<Processor identifier=\"p1\"><name>cpu</name></Processor>"
+      "<Task identifier=\"t\"><name>T</name><period>5</period>"
+      "<computing>1</computing><deadline>9</deadline></Task></rt:ez-spec>";
+  auto s = read_ezspec(doc);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message().find("c <= d <= p"), std::string::npos);
+}
+
 TEST(EzSpec, MinePumpRoundTrip) {
   auto doc = write_ezspec(workload::mine_pump_specification());
   ASSERT_TRUE(doc.ok());

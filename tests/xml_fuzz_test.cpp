@@ -137,5 +137,43 @@ TEST_P(XmlFuzz, MutatedDocumentsNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz,
                          testing::Range<std::uint64_t>(1, 26));
 
+// -- Hard input limits (docs/robustness.md) ---------------------------------
+
+TEST(XmlLimits, AcceptsNestingAtTheLimit) {
+  std::string doc;
+  for (std::size_t i = 0; i < kMaxNestingDepth; ++i) {
+    doc += "<a>";
+  }
+  for (std::size_t i = 0; i < kMaxNestingDepth; ++i) {
+    doc += "</a>";
+  }
+  EXPECT_TRUE(parse(doc).ok());
+}
+
+TEST(XmlLimits, RejectsNestingBeyondTheLimit) {
+  // One level past the limit; without the guard this recursion is what a
+  // hostile "<a><a><a>..." bomb uses to blow the call stack.
+  std::string doc;
+  for (std::size_t i = 0; i < kMaxNestingDepth + 1; ++i) {
+    doc += "<a>";
+  }
+  for (std::size_t i = 0; i < kMaxNestingDepth + 1; ++i) {
+    doc += "</a>";
+  }
+  auto result = parse(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("nesting"), std::string::npos);
+}
+
+TEST(XmlLimits, RejectsOversizedInput) {
+  std::string doc = "<a>";
+  doc.append(kMaxInputBytes, ' ');
+  doc += "</a>";
+  auto result = parse(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("-byte limit"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace ezrt::xml

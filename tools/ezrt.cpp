@@ -1,11 +1,30 @@
 // Thin process entry point for the ezrt command-line tool (src/cli).
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "cli/cli.hpp"
 
+namespace {
+
+// Cooperative cancellation (docs/robustness.md): the handler only flips
+// an atomic flag (async-signal-safe); the engines poll it and unwind with
+// a `cancelled` verdict, so ^C still produces the run report. A second
+// SIGINT restores the default disposition, so ^C ^C force-kills a tool
+// that is stuck outside the polled loops.
+ezrt::base::CancelToken g_cancel;
+
+void handle_sigint(int) {
+  g_cancel.request();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_sigint);
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ezrt::cli::run(args, std::cout, std::cerr);
+  return ezrt::cli::run(args, std::cout, std::cerr, &g_cancel);
 }

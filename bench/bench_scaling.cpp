@@ -150,6 +150,83 @@ BENCHMARK(BM_Parallel_TaskCount32)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// -- Guided engines (docs/search.md) -----------------------------------------
+
+/// Best-first with state classes on the paper's §5 mine-pump case study:
+/// the headline guidance bench. DFS visits ~3.2k states on this model;
+/// the heuristic plus class merging should land well under 1k.
+void BM_Guided_BestFirst(benchmark::State& state) {
+  const spec::Specification s = workload::mine_pump_specification();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.search_engine = sched::SearchEngine::kBestFirst;
+  options.state_classes = sched::StateClassMode::kOn;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  std::uint64_t evals = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    evals = out.stats.heuristic_evals;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+  state.counters["heuristic_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_Guided_BestFirst)->Unit(benchmark::kMillisecond);
+
+/// Width-K beam (no widening) on the mine-pump model: the bounded-memory
+/// configuration. Counts what the truncation threw away.
+void BM_Guided_Beam(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s = workload::mine_pump_specification();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.search_engine = sched::SearchEngine::kBeam;
+  options.beam_width = width;
+  options.state_classes = sched::StateClassMode::kOn;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  std::uint64_t dropped = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    dropped = out.stats.beam_dropped;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+  state.counters["beam_dropped"] = static_cast<double>(dropped);
+}
+BENCHMARK(BM_Guided_Beam)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Best-first exhausting the BM_Parallel_ExhaustiveInfeasible class graph:
+/// the priority queue must reach the same kInfeasible verdict over the
+/// same distinct-state count as DFS, so this row isolates the queue's
+/// overhead against BM_Parallel_ExhaustiveInfeasible/0.
+void BM_Guided_BestFirst_Exhaustive(benchmark::State& state) {
+  const spec::Specification s = exhaustive_infeasible_set();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.pruning = sched::PruningMode::kNone;
+  options.max_states = 0;
+  options.search_engine = sched::SearchEngine::kBestFirst;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Guided_BestFirst_Exhaustive)->Unit(benchmark::kMillisecond);
+
 // -- Telemetry overhead (docs/observability.md) ------------------------------
 
 /// The BM_Scaling_TaskCount/32 workload with the full observability

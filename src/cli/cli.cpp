@@ -125,7 +125,9 @@ class Args {
            name == "optimize" || name == "threads" || name == "report" ||
            name == "trace-out" || name == "wall-limit" ||
            name == "mem-limit" || name == "faults" || name == "trials" ||
-           name == "intensities" || name == "policies";
+           name == "intensities" || name == "policies" ||
+           name == "engine" || name == "beam-width" ||
+           name == "state-classes";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -249,6 +251,44 @@ class Args {
   }
   if (args.has("deterministic")) {
     scheduler.deterministic = true;
+  }
+  if (auto engine = args.value("engine")) {
+    if (*engine == "dfs") {
+      scheduler.search_engine = sched::SearchEngine::kDfs;
+    } else if (*engine == "bestfirst") {
+      scheduler.search_engine = sched::SearchEngine::kBestFirst;
+    } else if (*engine == "beam") {
+      scheduler.search_engine = sched::SearchEngine::kBeam;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "--engine expects dfs|bestfirst|beam");
+    }
+  }
+  if (auto width = args.value("beam-width")) {
+    auto parsed = parse_uint(*width);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    if (parsed.value() == 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "--beam-width expects a positive width");
+    }
+    scheduler.beam_width = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (args.has("widen")) {
+    scheduler.widen = true;
+  }
+  if (auto classes = args.value("state-classes")) {
+    if (*classes == "auto") {
+      scheduler.state_classes = sched::StateClassMode::kAuto;
+    } else if (*classes == "on") {
+      scheduler.state_classes = sched::StateClassMode::kOn;
+    } else if (*classes == "off") {
+      scheduler.state_classes = sched::StateClassMode::kOff;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "--state-classes expects auto|on|off");
+    }
   }
   auto parsed = [&] {
     obs::Span span(tracer, "spec-parse", "pipeline");
@@ -914,6 +954,10 @@ std::string usage() {
       "               [--trace FILE] [--optimize makespan|switches]\n"
       "               [--threads N] parallel search (0 = serial engine)\n"
       "               [--deterministic] thread-count-independent outcome\n"
+      "               [--engine dfs|bestfirst|beam] exploration order\n"
+      "               (docs/search.md); [--beam-width K] [--widen]\n"
+      "               [--state-classes auto|on|off] class-keyed visited\n"
+      "               set + doom pruning (auto: on for exhaustive runs)\n"
       "               [--report FILE] machine-readable run report (JSON)\n"
       "               [--trace-out FILE] Chrome trace of the pipeline\n"
       "               [--progress[=MS]] heartbeat on stderr (default 1000)\n"

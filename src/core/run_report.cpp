@@ -85,6 +85,16 @@ void write_options(JsonWriter& w, const sched::SchedulerOptions& opt) {
   w.member("partial_order_reduction", opt.partial_order_reduction);
   w.member("objective", to_string(opt.objective));
   w.member("engine", to_string(opt.engine));
+  // Guided search + state classes (schema v3, docs/search.md). "engine"
+  // above predates v3 and names the *successor* engine; the exploration
+  // strategy is "search_engine".
+  w.member("search_engine",
+           std::string_view(sched::to_string(opt.search_engine)));
+  w.member("beam_width", opt.beam_width);
+  w.member("widen", opt.widen);
+  w.member("state_classes",
+           std::string_view(sched::to_string(opt.state_classes)));
+  w.member("state_classes_enabled", sched::state_classes_enabled(opt));
   w.member("max_states", opt.max_states);
   // Resource guards (schema v2, docs/robustness.md).
   w.member("wall_limit_ms", opt.wall_limit_ms);
@@ -103,6 +113,11 @@ void write_search_stats(JsonWriter& w, const sched::SearchStats& s) {
   w.member("pruned_deadline", s.pruned_deadline);
   w.member("pruned_visited", s.pruned_visited);
   w.member("pruned_priority", s.pruned_priority);
+  // Schema v3: state-class and guided-engine effort counters.
+  w.member("pruned_doomed", s.pruned_doomed);
+  w.member("classes_merged", s.classes_merged);
+  w.member("heuristic_evals", s.heuristic_evals);
+  w.member("beam_dropped", s.beam_dropped);
   w.member("max_depth", s.max_depth);
   w.member("peak_visited_bytes", s.peak_visited_bytes);
   w.member("elapsed_ms", s.elapsed_ms);
@@ -203,7 +218,10 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
   w.member("schema", "ezrt-run-report");
   // v2: guard options (wall_limit_ms/memory_limit_bytes/cancellable) and
   // the guard verdict statuses (time-limit/memory-limit/cancelled).
-  w.member("version", 2);
+  // v3: guided-search options (search_engine/beam_width/widen/
+  // state_classes/state_classes_enabled) and the class/heuristic effort
+  // counters (pruned_doomed/classes_merged/heuristic_evals/beam_dropped).
+  w.member("version", 3);
   write_model(w, project);
   write_options(w, project.scheduler_options());
 

@@ -12,7 +12,9 @@
 #include "obs/progress.hpp"
 #include "sched/expansion.hpp"
 #include "sched/guards.hpp"
+#include "sched/guided.hpp"
 #include "sched/parallel.hpp"
+#include "tpn/state_class.hpp"
 
 namespace ezrt::sched {
 
@@ -60,6 +62,12 @@ template <typename Container>
          static_cast<std::uint64_t>(c.size()) * (payload + sizeof(void*));
 }
 
+/// Forced-corridor step ceiling per admitted state. A corridor that spins
+/// past it (a zero-delay forced cycle in a hand-built net) admits the
+/// current interior as a decision state, so the visited set regains
+/// termination; builder-produced nets never get near it.
+constexpr std::uint32_t kCorridorCap = 1u << 16;
+
 }  // namespace
 
 const char* to_string(SearchStatus status) {
@@ -80,6 +88,51 @@ const char* to_string(SearchStatus status) {
   return "unknown";
 }
 
+const char* to_string(SearchEngine engine) {
+  switch (engine) {
+    case SearchEngine::kDfs:
+      return "dfs";
+    case SearchEngine::kBestFirst:
+      return "bestfirst";
+    case SearchEngine::kBeam:
+      return "beam";
+  }
+  return "unknown";
+}
+
+const char* to_string(StateClassMode mode) {
+  switch (mode) {
+    case StateClassMode::kAuto:
+      return "auto";
+    case StateClassMode::kOn:
+      return "on";
+    case StateClassMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool state_classes_enabled(const SchedulerOptions& options) {
+  // The abstraction preserves goal reachability, not cost structure or
+  // bounded-exploration effort counts, so it applies to kFirstFeasible
+  // searches only; kAuto further restricts it to truly exhaustive runs
+  // (complete pruning, unbounded state budget), where the verdict is the
+  // deliverable and the order-of-magnitude state collapse pays.
+  if (options.objective != Objective::kFirstFeasible) {
+    return false;
+  }
+  switch (options.state_classes) {
+    case StateClassMode::kOn:
+      return true;
+    case StateClassMode::kOff:
+      return false;
+    case StateClassMode::kAuto:
+      return options.pruning == PruningMode::kNone &&
+             options.max_states == 0;
+  }
+  return false;
+}
+
 DfsScheduler::DfsScheduler(const tpn::TimePetriNet& net,
                            SchedulerOptions options)
     : net_(&net), semantics_(net), options_(options) {
@@ -97,6 +150,14 @@ DfsScheduler::DfsScheduler(const tpn::TimePetriNet& net,
 }
 
 SearchOutcome DfsScheduler::search() const {
+  // The guided engines (docs/search.md) replace the exploration order but
+  // consume the same expansion; they cover the first-feasible objective
+  // and run serially (a priority queue or beam level is a global order —
+  // sharding it would re-serialize the workers on the queue lock).
+  if (options_.search_engine != SearchEngine::kDfs &&
+      options_.objective == Objective::kFirstFeasible) {
+    return guided_search(*net_, options_, goal_, miss_places_);
+  }
   // The parallel engine covers the first-feasible objective; the
   // branch-and-bound objectives keep their serial incumbent bookkeeping
   // (a shared incumbent would serialize the workers anyway).
@@ -337,6 +398,155 @@ SearchOutcome DfsScheduler::search() const {
     }
     finalize(node_container_bytes(best_seen, sizeof(Fingerprint) +
                                                  sizeof(std::uint64_t)));
+    return out;
+  }
+
+  if (state_classes_enabled(options_)) {
+    // State-class exploration (docs/search.md §3): the visited set keys on
+    // canonical class digests, the slack certificate cuts doomed branches,
+    // and forced corridors (single-candidate chains) are contracted so only
+    // decision states are admitted and counted. Goal reachability — and
+    // with it the verdict — is exactly that of the plain loop below.
+    const tpn::StateClassifier classifier(*net_);
+    tpn::StateClassifier::Scratch scratch;
+
+    struct ClassFrame {
+      State state;
+      std::vector<Candidate> candidates;
+      std::size_t next = 0;
+      std::uint32_t events = 0;  ///< trace events this frame contributed
+    };
+
+    std::unordered_set<Fingerprint, FingerprintHash> visited;
+    std::vector<ClassFrame> stack;
+
+    auto canonical = [&](const State& s) {
+      const auto cd = classifier.canonical_digest(s, semantics_);
+      return std::pair<Fingerprint, bool>(
+          Fingerprint{cd.digest.a, cd.digest.b}, cd.capped);
+    };
+
+    State s0 = State::initial(*net_);
+    visited.insert(canonical(s0).first);
+    stats.states_visited = 1;
+    if (goal_(std::as_const(s0).marking())) {
+      out.status = SearchStatus::kFeasible;
+      finalize(node_container_bytes(visited, sizeof(Fingerprint)));
+      return out;
+    }
+    stack.push_back(ClassFrame{std::move(s0), {}, 0, 0});
+    expander.expand(stack.back().state, stack.back().candidates);
+
+    while (!stack.empty()) {
+      ClassFrame& frame = stack.back();
+      stats.max_depth =
+          std::max<std::uint64_t>(stats.max_depth, stack.size());
+      if (frame.next >= frame.candidates.size()) {
+        const std::uint32_t events = frame.events;
+        retire(std::move(frame.candidates));
+        stack.pop_back();
+        for (std::uint32_t i = 0; i < events; ++i) {
+          out.trace.pop_back();
+        }
+        ++stats.backtracks;
+        continue;
+      }
+
+      Candidate cand = frame.candidates[frame.next++];
+      State next = expander.fire(frame.state, cand);
+      ++stats.transitions_fired;
+
+      std::vector<Candidate> cands = pooled_vector();
+      std::uint32_t events = 0;
+      bool pruned = false;
+      bool capped = false;
+      Fingerprint fp;
+      // Corridor chase: walk single-candidate successors inline until a
+      // decision state (>= 2 candidates), a dead end, or a prune. Interior
+      // states are checked against the visited set but never inserted.
+      for (;;) {
+        out.trace.push_back(FiringEvent{cand.fireable.transition, cand.delay,
+                                        next.elapsed()});
+        ++events;
+        if (guarded) {
+          if (auto tripped = guard.check(stats.transitions_fired, [&] {
+                return node_container_bytes(visited, sizeof(Fingerprint)) +
+                       stack.size() * frame_bytes;
+              })) {
+            out.status = *tripped;
+            out.trace.clear();
+            finalize(node_container_bytes(visited, sizeof(Fingerprint)));
+            return out;
+          }
+        }
+        if (has_miss(std::as_const(next).marking())) {
+          ++stats.pruned_deadline;
+          pruned = true;
+          break;
+        }
+        if (goal_(std::as_const(next).marking())) {
+          out.status = SearchStatus::kFeasible;
+          finalize(node_container_bytes(visited, sizeof(Fingerprint)));
+          return out;
+        }
+        if (classifier.evaluate(next, semantics_, scratch).doomed) {
+          ++stats.pruned_doomed;
+          pruned = true;
+          break;
+        }
+        const auto [canon_fp, canon_capped] = canonical(next);
+        fp = canon_fp;
+        capped = canon_capped;
+        expander.expand(next, cands);
+        if (cands.size() != 1 || events > kCorridorCap) {
+          break;  // decision state (or the corridor safety valve)
+        }
+        if (visited.contains(fp)) {
+          // The corridor rejoined an explored class.
+          ++stats.pruned_visited;
+          pruned = true;
+          break;
+        }
+        cand = cands[0];
+        next = expander.fire(next, cand);
+        ++stats.transitions_fired;
+      }
+
+      if (!pruned && !visited.insert(fp).second) {
+        ++stats.pruned_visited;
+        pruned = true;
+      }
+      if (pruned) {
+        for (std::uint32_t i = 0; i < events; ++i) {
+          out.trace.pop_back();
+        }
+        retire(std::move(cands));
+        continue;
+      }
+      ++stats.states_visited;
+      if (capped) {
+        ++stats.classes_merged;
+      }
+      if (progress != nullptr &&
+          (stats.states_visited & obs::ProgressSink::kPublishMask) == 0) {
+        progress->publish(stats.states_visited, stats.transitions_fired,
+                          stats.pruned_deadline + stats.pruned_visited,
+                          stack.size());
+      }
+      if (options_.max_states != 0 &&
+          stats.states_visited >= options_.max_states) {
+        out.status = SearchStatus::kLimitReached;
+        out.trace.clear();
+        finalize(node_container_bytes(visited, sizeof(Fingerprint)));
+        return out;
+      }
+      stack.push_back(ClassFrame{std::move(next), std::move(cands), 0,
+                                 events});
+    }
+
+    out.status = SearchStatus::kInfeasible;
+    out.trace.clear();
+    finalize(node_container_bytes(visited, sizeof(Fingerprint)));
     return out;
   }
 

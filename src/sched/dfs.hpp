@@ -59,6 +59,35 @@ enum class SuccessorEngine : std::uint8_t {
   kReference,    ///< dense O(|T|) rescan per firing (literal Definition 3.1)
 };
 
+/// Which search strategy orders the exploration (docs/search.md). All
+/// strategies walk the same pruned successor graph (sched/expansion.hpp);
+/// they differ only in *which* frontier state is expanded next — so
+/// kFeasible traces may differ between engines, but verdicts may not
+/// (kBeam without widening excepted: a fixed-width beam that drops states
+/// and finds no goal reports kLimitReached, never kInfeasible).
+enum class SearchEngine : std::uint8_t {
+  kDfs,        ///< depth-first (the paper's algorithm; default)
+  kBestFirst,  ///< lowest f = elapsed + remaining-work bound first; complete
+  kBeam,       ///< levelized, keeps the best beam_width states per level
+};
+
+/// Whether the search keys its visited set on discrete state classes
+/// (tpn::StateClassifier) instead of concrete states, prunes provably
+/// doomed branches via the slack certificate, and contracts forced
+/// corridors (docs/search.md §3). Goal-reachability is preserved, so
+/// verdicts are unchanged while exhaustive state counts drop by an order
+/// of magnitude on builder-produced nets.
+enum class StateClassMode : std::uint8_t {
+  /// On exactly for truly exhaustive verdict runs (pruning == kNone,
+  /// max_states == 0, objective == kFirstFeasible) — the configuration
+  /// whose cost the abstraction exists to collapse; off otherwise, which
+  /// keeps bounded/pruned explorations (and their pinned test counts)
+  /// bit-identical to previous releases.
+  kAuto,
+  kOn,   ///< always on (kFirstFeasible searches only)
+  kOff,  ///< always off
+};
+
 /// What the search optimizes. The paper's algorithm stops at the first
 /// feasible schedule; the optimizing modes keep exploring with
 /// branch-and-bound (partial cost is monotone, so a branch whose cost
@@ -77,6 +106,20 @@ struct SchedulerOptions {
   bool partial_order_reduction = true;
   Objective objective = Objective::kFirstFeasible;
   SuccessorEngine engine = SuccessorEngine::kIncremental;
+  /// Exploration-order strategy. The guided engines (kBestFirst, kBeam)
+  /// apply to the kFirstFeasible objective and run serially; optimizing
+  /// objectives fall back to the branch-and-bound DFS, and `threads` is
+  /// ignored while a guided engine is selected.
+  SearchEngine search_engine = SearchEngine::kDfs;
+  /// Frontier width for SearchEngine::kBeam: the states kept per level
+  /// (everything else is dropped and counted in SearchStats::beam_dropped).
+  std::uint32_t beam_width = 8;
+  /// Iterative widening for kBeam: rerun with the width doubled until a
+  /// schedule is found or a pass completes without dropping any state —
+  /// that pass was exhaustive, so its kInfeasible verdict is sound.
+  bool widen = false;
+  /// State-class abstraction for the visited set (docs/search.md §3).
+  StateClassMode state_classes = StateClassMode::kAuto;
   /// Abort with kLimitReached after this many distinct states (0 = off).
   /// For optimizing objectives the incumbent found so far is returned.
   /// The default matches ReachabilityOptions::max_states so every engine
@@ -142,6 +185,13 @@ enum class SearchStatus : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(SearchStatus status);
+[[nodiscard]] const char* to_string(SearchEngine engine);
+[[nodiscard]] const char* to_string(StateClassMode mode);
+
+/// Resolves StateClassMode against the rest of the options: what kAuto
+/// defaults to, and the objective gate for kOn. Exposed so the run report
+/// can record the effective value and tests can assert the rule.
+[[nodiscard]] bool state_classes_enabled(const SchedulerOptions& options);
 
 struct SearchOutcome {
   SearchStatus status = SearchStatus::kInfeasible;

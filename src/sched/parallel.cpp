@@ -21,6 +21,7 @@
 #include "sched/visited_set.hpp"
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
+#include "tpn/state_class.hpp"
 
 namespace ezrt::sched {
 
@@ -41,7 +42,17 @@ struct Frame {
   State state;
   std::vector<Candidate> candidates;
   std::size_t next = 0;  ///< index of the next candidate to expand
+  /// local_path length at the time this frame was pushed — the number of
+  /// local events leading *into* this frame's state. With state classes
+  /// off every edge is one event and path_base equals the frame index;
+  /// with the corridor contraction an edge holds the whole forced chain.
+  std::size_t path_base = 0;
+  std::uint32_t events = 0;  ///< local_path events this frame contributed
 };
+
+/// Forced-corridor step ceiling per admitted state (same safety valve as
+/// the serial class-keyed loop in dfs.cpp).
+constexpr std::uint32_t kCorridorCap = 1u << 16;
 
 /// Everything the workers share. The queue/termination protocol is the
 /// classic idle-counting one: a worker that finds the queue empty parks on
@@ -57,6 +68,8 @@ class ParallelSearch {
         goal_(&goal),
         miss_places_(&miss_places),
         semantics_(net),
+        classifier_(net),
+        classes_on_(state_classes_enabled(options)),
         thread_count_(std::max<std::uint32_t>(1, options.threads)),
         visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)),
         progress_(options.progress),
@@ -166,6 +179,10 @@ class ParallelSearch {
     ParallelSearch* search;
     Expander expander;
     SearchStats stats;
+    tpn::StateClassifier::Scratch scratch;  ///< evaluate() buffers
+    /// Edge events of the admission in flight (one event, or a whole
+    /// contracted corridor). Reused across admit() calls.
+    std::vector<FiringEvent> admit_events;
     std::vector<Frame> stack;
     /// Events entering frames 1..n of `stack` (the seed frame has none):
     /// local_path.size() == stack.size() - 1 whenever the stack is live.
@@ -249,17 +266,115 @@ class ParallelSearch {
     return false;
   }
 
+  /// Declares the goal found: the winning trace is the item prefix, the
+  /// worker's local path up to the parent frame, and the in-flight edge.
+  void declare_goal(Worker& w, const WorkItem& item,
+                    std::size_t parent_path_len,
+                    const std::vector<FiringEvent>& edge) {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    if (!found_) {
+      found_ = true;
+      winning_ = item.prefix;
+      winning_.insert(winning_.end(), w.local_path.begin(),
+                      w.local_path.begin() +
+                          static_cast<std::ptrdiff_t>(parent_path_len));
+      winning_.insert(winning_.end(), edge.begin(), edge.end());
+    }
+    finish();
+  }
+
   /// Fires one candidate and runs it through the admission pipeline
   /// (deadline-miss pruning, concurrent visited set, global state budget,
   /// goal test). Returns the admitted child state, or std::nullopt when
   /// the child was pruned *or* the search just ended (goal/limit — the
-  /// caller distinguishes via stopped()). `path_to_parent` must be the
-  /// full firing path from s0 to `parent`.
-  std::optional<State> admit(Worker& w, const State& parent,
-                             const Candidate& cand,
+  /// caller distinguishes via stopped()). `parent_path_len` is the
+  /// worker-local path length to `parent` (Frame::path_base); the edge's
+  /// events are appended to `w.admit_events` (cleared first). With state
+  /// classes on, the edge is the whole contracted corridor, `cands_out`
+  /// receives the admitted decision state's expansion, and the visited
+  /// key is the canonical class digest.
+  std::optional<State> admit(Worker& w, const State& parent, Candidate cand,
                              const WorkItem& item,
-                             std::size_t parent_depth,
-                             FiringEvent& event_out) {
+                             std::size_t parent_path_len,
+                             std::vector<Candidate>& cands_out) {
+    w.admit_events.clear();
+    auto guard_memory = [&] {
+      return visited_.memory_bytes() +
+             w.stack.size() * frame_bytes_ * thread_count_;
+    };
+    if (classes_on_) {
+      // Corridor chase (docs/search.md §3), mirroring the serial
+      // class-keyed loop: walk single-candidate successors inline until a
+      // decision state, a dead end, or a prune. Interior states are
+      // contains-checked but never inserted, so only decision states are
+      // admitted and counted. The contains() check is a racy snapshot —
+      // at worst two workers chase the same corridor and the insert()
+      // below still admits it exactly once.
+      State next = w.expander.fire(parent, cand);
+      ++w.stats.transitions_fired;
+      tpn::StateDigest key{};
+      bool capped = false;
+      for (;;) {
+        w.admit_events.push_back(FiringEvent{cand.fireable.transition,
+                                             cand.delay,
+                                             std::as_const(next).elapsed()});
+        if (guarded_) {
+          if (auto tripped =
+                  guard_.check(w.stats.transitions_fired, guard_memory)) {
+            trip_guard(*tripped);
+            return std::nullopt;
+          }
+        }
+        if (has_miss(std::as_const(next).marking())) {
+          ++w.stats.pruned_deadline;
+          return std::nullopt;
+        }
+        if ((*goal_)(std::as_const(next).marking())) {
+          declare_goal(w, item, parent_path_len, w.admit_events);
+          return std::nullopt;
+        }
+        if (classifier_.evaluate(next, semantics_, w.scratch).doomed) {
+          ++w.stats.pruned_doomed;
+          return std::nullopt;
+        }
+        const auto cd = classifier_.canonical_digest(next, semantics_);
+        key = cd.digest;
+        capped = cd.capped;
+        w.expander.expand(next, cands_out);
+        if (cands_out.size() != 1 ||
+            w.admit_events.size() > kCorridorCap) {
+          break;  // decision state (or the corridor safety valve)
+        }
+        if (visited_.contains(key)) {
+          ++w.stats.pruned_visited;
+          return std::nullopt;
+        }
+        cand = cands_out[0];
+        next = w.expander.fire(next, cand);
+        ++w.stats.transitions_fired;
+      }
+      if (!visited_.insert(key)) {
+        ++w.stats.pruned_visited;
+        return std::nullopt;
+      }
+      if (capped) {
+        ++w.stats.classes_merged;
+      }
+      const std::uint64_t n =
+          states_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress_ != nullptr &&
+          (n & obs::ProgressSink::kPublishMask) == 0) {
+        publish_progress(w, n, item.prefix.size() + parent_path_len +
+                                   w.admit_events.size());
+      }
+      if (options_->max_states != 0 && n >= options_->max_states) {
+        limit_hit_.store(true, std::memory_order_relaxed);
+        finish();
+        return std::nullopt;
+      }
+      return next;
+    }
+
     State next = w.expander.fire(parent, cand);
     ++w.stats.transitions_fired;
     if (guarded_) {
@@ -267,10 +382,8 @@ class ParallelSearch {
       // getting sampled through all-pruned stretches. The frame-stack
       // term extrapolates this worker's stack across the pool — an
       // estimate; the visited set (the dominant term) is exact.
-      if (auto tripped = guard_.check(w.stats.transitions_fired, [&] {
-            return visited_.memory_bytes() +
-                   w.stack.size() * frame_bytes_ * thread_count_;
-          })) {
+      if (auto tripped =
+              guard_.check(w.stats.transitions_fired, guard_memory)) {
         trip_guard(*tripped);
         return std::nullopt;
       }
@@ -287,21 +400,12 @@ class ParallelSearch {
         states_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (progress_ != nullptr &&
         (n & obs::ProgressSink::kPublishMask) == 0) {
-      publish_progress(w, n, item.prefix.size() + parent_depth + 1);
+      publish_progress(w, n, item.prefix.size() + parent_path_len + 1);
     }
-    event_out = FiringEvent{cand.fireable.transition, cand.delay,
-                            next.elapsed()};
+    w.admit_events.push_back(FiringEvent{cand.fireable.transition,
+                                         cand.delay, next.elapsed()});
     if ((*goal_)(std::as_const(next).marking())) {
-      std::lock_guard<std::mutex> lock(result_mu_);
-      if (!found_) {
-        found_ = true;
-        winning_ = item.prefix;
-        winning_.insert(winning_.end(), w.local_path.begin(),
-                        w.local_path.begin() +
-                            static_cast<std::ptrdiff_t>(parent_depth));
-        winning_.push_back(event_out);
-      }
-      finish();
+      declare_goal(w, item, parent_path_len, w.admit_events);
       return std::nullopt;
     }
     if (options_->max_states != 0 && n >= options_->max_states) {
@@ -333,8 +437,10 @@ class ParallelSearch {
       while (frame.next + (top ? 1 : 0) < frame.candidates.size() &&
              queue_len_.load(std::memory_order_relaxed) < hunger) {
         const Candidate cand = frame.candidates[frame.next++];
-        FiringEvent event;
-        auto child = admit(w, frame.state, cand, item, i, event);
+        std::vector<Candidate> donated_cands = w.pooled_vector();
+        auto child = admit(w, frame.state, cand, item, frame.path_base,
+                           donated_cands);
+        w.retire(std::move(donated_cands));  // the stealer re-expands
         if (!child.has_value()) {
           if (stopped()) {
             return;
@@ -346,8 +452,9 @@ class ParallelSearch {
         shared.prefix = item.prefix;
         shared.prefix.insert(shared.prefix.end(), w.local_path.begin(),
                              w.local_path.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-        shared.prefix.push_back(event);
+                                 static_cast<std::ptrdiff_t>(frame.path_base));
+        shared.prefix.insert(shared.prefix.end(), w.admit_events.begin(),
+                             w.admit_events.end());
         push_work(std::move(shared));
         ++w.donations;
       }
@@ -378,28 +485,39 @@ class ParallelSearch {
       }
       Frame& frame = w.stack.back();
       w.stats.max_depth = std::max<std::uint64_t>(
-          w.stats.max_depth, item.prefix.size() + w.stack.size());
+          w.stats.max_depth,
+          item.prefix.size() + w.local_path.size() + 1);
       if (frame.next >= frame.candidates.size()) {
+        const std::uint32_t events = frame.events;
         w.retire(std::move(frame.candidates));
         w.stack.pop_back();
-        if (!w.local_path.empty()) {
+        for (std::uint32_t i = 0; i < events; ++i) {
           w.local_path.pop_back();
         }
         ++w.stats.backtracks;
         continue;
       }
       const Candidate cand = frame.candidates[frame.next++];
-      FiringEvent event;
-      auto child = admit(w, frame.state, cand, item, w.stack.size() - 1,
-                         event);
+      std::vector<Candidate> child_cands = w.pooled_vector();
+      auto child = admit(w, frame.state, cand, item, frame.path_base,
+                         child_cands);
       if (!child.has_value()) {
+        w.retire(std::move(child_cands));
         continue;  // pruned, or the search ended (checked at loop head)
       }
-      w.local_path.push_back(event);
+      w.local_path.insert(w.local_path.end(), w.admit_events.begin(),
+                          w.admit_events.end());
       Frame next_frame;
       next_frame.state = std::move(*child);
-      next_frame.candidates = w.pooled_vector();
-      w.expander.expand(next_frame.state, next_frame.candidates);
+      next_frame.candidates = std::move(child_cands);
+      if (!classes_on_) {
+        // The classes path already expanded the decision state during the
+        // corridor chase; the plain path expands here, as before.
+        w.expander.expand(next_frame.state, next_frame.candidates);
+      }
+      next_frame.path_base = w.local_path.size();
+      next_frame.events =
+          static_cast<std::uint32_t>(w.admit_events.size());
       w.stack.push_back(std::move(next_frame));
     }
   }
@@ -440,6 +558,9 @@ class ParallelSearch {
   const GoalPredicate* goal_;
   const std::vector<PlaceId>* miss_places_;
   tpn::Semantics semantics_;
+  /// Shared read-only after construction; evaluate() scratch is per-worker.
+  tpn::StateClassifier classifier_;
+  bool classes_on_;
   std::uint32_t thread_count_;
   ShardedVisitedSet visited_;
   obs::ProgressSink* progress_;
@@ -471,7 +592,9 @@ SearchOutcome ParallelSearch::run() {
   SearchOutcome out;
 
   State s0 = State::initial(*net_);
-  visited_.insert(s0.digest());
+  visited_.insert(classes_on_
+                      ? classifier_.canonical_digest(s0, semantics_).digest
+                      : s0.digest());
   states_.store(1, std::memory_order_relaxed);
 
   if ((*goal_)(std::as_const(s0).marking())) {
@@ -510,6 +633,8 @@ SearchOutcome ParallelSearch::run() {
     stats.pruned_deadline += ws.pruned_deadline;
     stats.pruned_visited += ws.pruned_visited;
     stats.pruned_priority += ws.pruned_priority;
+    stats.pruned_doomed += ws.pruned_doomed;
+    stats.classes_merged += ws.classes_merged;
     stats.max_depth = std::max(stats.max_depth, ws.max_depth);
   }
   stats.peak_visited_bytes = visited_.memory_bytes();

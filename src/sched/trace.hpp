@@ -35,6 +35,20 @@ struct SearchStats {
   /// (tpn::apply_priority_filter) before they became candidates.
   std::uint64_t pruned_priority = 0;
   std::uint64_t max_depth = 0;        ///< deepest DFS stack
+  /// Successors pruned by the state-class doom certificate: every
+  /// continuation provably marks a miss place (docs/search.md §3).
+  std::uint64_t pruned_doomed = 0;
+  /// Admitted states whose canonical class representative differs from
+  /// the concrete state (a release clock was capped) — the states the
+  /// class abstraction can merge with siblings.
+  std::uint64_t classes_merged = 0;
+  /// StateClassifier::evaluate calls by the guided engines (one per
+  /// admitted frontier state; docs/search.md §2).
+  std::uint64_t heuristic_evals = 0;
+  /// Frontier states discarded by the beam width limit. Nonzero means the
+  /// exploration was incomplete: a goalless beam pass reports
+  /// kLimitReached unless this stayed zero.
+  std::uint64_t beam_dropped = 0;
   /// Estimated high-water heap footprint of the visited structure, in
   /// bytes. The structures only grow, so the end-of-search size is the
   /// peak; deterministic for a given exploration (table geometry depends

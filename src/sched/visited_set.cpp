@@ -83,6 +83,28 @@ bool ShardedVisitedSet::insert(tpn::StateDigest digest) {
   return shard.insert_locked(digest.a, digest.b);
 }
 
+bool ShardedVisitedSet::contains(tpn::StateDigest digest) const {
+  const Shard& shard =
+      *shards_[static_cast<std::size_t>(digest.a) & shard_mask_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (digest.a == 0 && digest.b == 0) {
+    return shard.zero_present;
+  }
+  const std::size_t mask = shard.keys.size() / 2 - 1;
+  std::size_t i = probe_hash(digest.a, digest.b) & mask;
+  for (;;) {
+    const std::uint64_t ka = shard.keys[2 * i];
+    const std::uint64_t kb = shard.keys[2 * i + 1];
+    if (ka == 0 && kb == 0) {
+      return false;
+    }
+    if (ka == digest.a && kb == digest.b) {
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
 std::uint64_t ShardedVisitedSet::memory_bytes() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {

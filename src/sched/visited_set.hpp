@@ -37,6 +37,13 @@ class ShardedVisitedSet {
   /// false — exactly once per distinct state.
   bool insert(tpn::StateDigest digest);
 
+  /// Membership test without insertion. Used by the corridor chase of the
+  /// state-class admission (docs/search.md §3) to cut a forced chain that
+  /// rejoined explored territory before it reaches a decision state. A
+  /// false result is only a snapshot under concurrency — the later
+  /// insert() remains the authoritative exactly-once admission.
+  [[nodiscard]] bool contains(tpn::StateDigest digest) const;
+
   /// Total distinct fingerprints inserted. Exact once all writers have
   /// quiesced; a racy lower bound while inserts are in flight.
   [[nodiscard]] std::uint64_t size() const;

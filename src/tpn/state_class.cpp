@@ -7,6 +7,7 @@
 #include "base/assert.hpp"
 #include "base/hash.hpp"
 #include "tpn/analysis.hpp"
+#include "tpn/semantics.hpp"
 
 namespace ezrt::tpn {
 
@@ -314,6 +315,268 @@ ClassGraphResult build_class_graph(const TimePetriNet& net,
   result.complete = true;
   result.distinct_markings = markings_seen.size();
   return result;
+}
+
+// -- StateClassifier ---------------------------------------------------------
+
+StateClassifier::StateClassifier(const TimePetriNet& net) : net_(&net) {
+  // Task table size: roles tag nodes with TaskId, so the densest tag + 1
+  // bounds the table.
+  std::size_t ntasks = 0;
+  for (TransitionId t : net.transition_ids()) {
+    const Transition& tr = net.transition(t);
+    if (tr.task.valid()) {
+      ntasks = std::max<std::size_t>(ntasks, tr.task.value() + 1);
+    }
+  }
+  for (PlaceId p : net.place_ids()) {
+    const Place& pl = net.place(p);
+    if (pl.task.valid()) {
+      ntasks = std::max<std::size_t>(ntasks, pl.task.value() + 1);
+    }
+  }
+  tasks_.resize(ntasks);
+
+  for (TransitionId t : net.transition_ids()) {
+    const Transition& tr = net.transition(t);
+    if (!tr.task.valid()) {
+      continue;
+    }
+    TaskInfo& ti = tasks_[tr.task.value()];
+    switch (tr.role) {
+      case TransitionRole::kDeadlineHit:
+        ti.td = static_cast<std::int32_t>(t.value());
+        ti.deadline = tr.interval.lft();
+        break;
+      case TransitionRole::kCompute:
+        ti.tc = static_cast<std::int32_t>(t.value());
+        ti.chunk = tr.interval.eft();
+        break;
+      default:
+        break;
+    }
+  }
+  for (PlaceId p : net.place_ids()) {
+    const Place& pl = net.place(p);
+    if (!pl.task.valid()) {
+      continue;
+    }
+    TaskInfo& ti = tasks_[pl.task.value()];
+    const auto pv = static_cast<std::int32_t>(p.value());
+    switch (pl.role) {
+      case PlaceRole::kWaitRelease:
+        ti.wait_release = pv;
+        break;
+      case PlaceRole::kWaitGrant:
+        ti.wait_grant = pv;
+        break;
+      case PlaceRole::kWaitCompute:
+        ti.wait_compute = pv;
+        break;
+      case PlaceRole::kLocked:
+        ti.locked = pv;
+        break;
+      case PlaceRole::kWaitArrival:
+        ti.wait_arrival = pv;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Full per-instance demand from arc weights: the release transition
+  // emits the instance's chunk budget (wcet chunks for preemptive tasks,
+  // one fused chunk otherwise), so comp = (release -> wait_grant weight)
+  // * chunk. Processor grouping: the kProcessor place consumed by any of
+  // the task's release/grant/compute transitions, densely renumbered.
+  std::vector<std::int32_t> proc_index(net.place_count(), -1);
+  for (TransitionId t : net.transition_ids()) {
+    const Transition& tr = net.transition(t);
+    if (!tr.task.valid()) {
+      continue;
+    }
+    TaskInfo& ti = tasks_[tr.task.value()];
+    if (tr.role == TransitionRole::kRelease) {
+      for (const Arc& arc : net.outputs(t)) {
+        if (static_cast<std::int32_t>(arc.place.value()) == ti.wait_grant) {
+          ti.comp = static_cast<Time>(arc.weight) * ti.chunk;
+        }
+      }
+    }
+    if (tr.role == TransitionRole::kRelease ||
+        tr.role == TransitionRole::kGrant ||
+        tr.role == TransitionRole::kCompute) {
+      for (const Arc& arc : net.inputs(t)) {
+        if (net.place(arc.place).role == PlaceRole::kProcessor) {
+          std::int32_t& idx = proc_index[arc.place.value()];
+          if (idx < 0) {
+            idx = static_cast<std::int32_t>(proc_count_++);
+          }
+          ti.proc = idx;
+        }
+      }
+    }
+  }
+
+  for (TaskInfo& ti : tasks_) {
+    // A compact-style task fuses release+grant: no wait_grant place, the
+    // whole computation is the single chunk.
+    if (ti.comp == 0) {
+      ti.comp = ti.chunk;
+    }
+    if (ti.td >= 0 && ti.comp > 0) {
+      structured_ = true;
+    }
+  }
+
+  // Capping rules: non-punctual release windows guarded by a same-task
+  // watchdog. The builder invariant "tr enabled implies td enabled with
+  // c(td) >= c(tr)" is what makes the cap sound; both transitions being
+  // present with their roles is the structural witness.
+  for (TransitionId t : net.transition_ids()) {
+    const Transition& tr = net.transition(t);
+    if (tr.role != TransitionRole::kRelease || !tr.task.valid() ||
+        tr.interval.punctual()) {
+      continue;
+    }
+    const TaskInfo& ti = tasks_[tr.task.value()];
+    if (ti.td < 0) {
+      continue;
+    }
+    cap_rules_.push_back(
+        CapRule{t, TransitionId(static_cast<std::uint32_t>(ti.td)),
+                tr.interval.eft()});
+  }
+}
+
+StateClassifier::CanonicalDigest StateClassifier::canonical_digest(
+    const State& s, const Semantics& sem) const {
+  CanonicalDigest out{s.digest(), false};
+  if (!structured_) {
+    return out;
+  }
+  const bool cached = s.enabled_cache_valid();
+  for (const CapRule& rule : cap_rules_) {
+    const bool release_on = cached ? s.cached_enabled(rule.release)
+                                   : sem.is_enabled(s.marking(), rule.release);
+    if (!release_on) {
+      continue;
+    }
+    const bool watchdog_on =
+        cached ? s.cached_enabled(rule.watchdog)
+               : sem.is_enabled(s.marking(), rule.watchdog);
+    if (!watchdog_on) {
+      continue;
+    }
+    const Time c = s.clock(rule.release);
+    if (c <= rule.eft) {
+      continue;
+    }
+    // Fold the cap into the XOR-combinable Zobrist digest: remove the
+    // concrete clock cell, add the capped one (state.hpp's
+    // digest_clock_update, reproduced here because the state is const).
+    const std::size_t idx = rule.release.value();
+    out.digest.a ^=
+        hash_cell(idx, c, kDigestSeedA ^ kDigestClockDomain) ^
+        hash_cell(idx, rule.eft, kDigestSeedA ^ kDigestClockDomain);
+    out.digest.b ^=
+        hash_cell(idx, c, kDigestSeedB ^ kDigestClockDomain) ^
+        hash_cell(idx, rule.eft, kDigestSeedB ^ kDigestClockDomain);
+    out.capped = true;
+  }
+  return out;
+}
+
+StateClassifier::Eval StateClassifier::evaluate(const State& s,
+                                                const Semantics& sem,
+                                                Scratch& scratch) const {
+  Eval eval;
+  if (!structured_) {
+    return eval;
+  }
+  scratch.proc_demand.assign(proc_count_, 0);
+  scratch.per_proc.resize(proc_count_);
+  for (auto& group : scratch.per_proc) {
+    group.clear();
+  }
+  const Marking& m = s.marking();
+  const bool cached = s.enabled_cache_valid();
+  for (const TaskInfo& ti : tasks_) {
+    if (ti.td < 0 || ti.comp == 0) {
+      continue;
+    }
+    // Unarrived instance budget contributes full demand to the heuristic
+    // (every remaining instance must still occupy its processor for comp
+    // time units before the final marking), but not to the doom check —
+    // its deadline starts only at arrival.
+    Time future = 0;
+    if (ti.wait_arrival >= 0) {
+      future = static_cast<Time>(
+                   m[PlaceId(static_cast<std::uint32_t>(ti.wait_arrival))]) *
+               ti.comp;
+    }
+    const TransitionId td(static_cast<std::uint32_t>(ti.td));
+    const bool active =
+        cached ? s.cached_enabled(td) : sem.is_enabled(m, td);
+    Time work = 0;
+    if (active) {
+      const Time wd_clock = s.clock(td);
+      const Time slack = ti.deadline > wd_clock ? ti.deadline - wd_clock : 0;
+      if (ti.wait_release >= 0 &&
+          m[PlaceId(static_cast<std::uint32_t>(ti.wait_release))] > 0) {
+        work = ti.comp;  // not yet released: the full computation remains
+      } else {
+        std::uint64_t pending = 0;
+        if (ti.wait_grant >= 0) {
+          pending += m[PlaceId(static_cast<std::uint32_t>(ti.wait_grant))];
+        }
+        if (ti.locked >= 0) {
+          pending += m[PlaceId(static_cast<std::uint32_t>(ti.locked))];
+        }
+        work = static_cast<Time>(pending) * ti.chunk;
+        if (ti.wait_compute >= 0 && ti.tc >= 0 &&
+            m[PlaceId(static_cast<std::uint32_t>(ti.wait_compute))] > 0) {
+          const TransitionId tc(static_cast<std::uint32_t>(ti.tc));
+          const bool running =
+              cached ? s.cached_enabled(tc) : sem.is_enabled(m, tc);
+          work += ti.chunk - (running ? s.clock(tc) : 0);
+        }
+      }
+      if (work > slack) {
+        eval.doomed = true;  // this instance alone cannot make its deadline
+        return eval;
+      }
+      eval.min_slack = std::min(eval.min_slack, slack);
+      if (work > 0 && ti.proc >= 0) {
+        scratch.per_proc[static_cast<std::size_t>(ti.proc)].push_back(
+            {slack, work});
+      }
+    }
+    if (ti.proc >= 0) {
+      scratch.proc_demand[static_cast<std::size_t>(ti.proc)] += work + future;
+    }
+  }
+  // Per-processor EDF prefix check: instances sharing a processor must
+  // serialize, so sorted by slack horizon, each prefix's summed work must
+  // fit within its horizon.
+  for (auto& group : scratch.per_proc) {
+    if (group.size() < 2) {
+      continue;
+    }
+    std::sort(group.begin(), group.end());
+    Time demand = 0;
+    for (const auto& [slack, work] : group) {
+      demand += work;
+      if (demand > slack) {
+        eval.doomed = true;
+        return eval;
+      }
+    }
+  }
+  for (Time demand : scratch.proc_demand) {
+    eval.remaining_work = std::max(eval.remaining_work, demand);
+  }
+  return eval;
 }
 
 }  // namespace ezrt::tpn

@@ -28,6 +28,7 @@
 #include "base/result.hpp"
 #include "tpn/marking.hpp"
 #include "tpn/net.hpp"
+#include "tpn/state.hpp"
 
 namespace ezrt::tpn {
 
@@ -101,5 +102,111 @@ struct ClassGraphResult {
 /// Breadth-first construction of the reachable class graph.
 [[nodiscard]] ClassGraphResult build_class_graph(
     const TimePetriNet& net, const ClassGraphOptions& options = {});
+
+// -- Discrete state-class abstraction (docs/search.md) -----------------------
+//
+// Where the dense-time classes above are an independent cross-validation
+// engine, StateClassifier serves the discrete search directly: it collapses
+// concrete (marking, clock-vector) states into classes that agree on goal
+// reachability, using the structural invariants of builder-produced nets
+// (node roles, docs/search.md §3 gives the full soundness arguments):
+//
+//   * release-clock capping — a release transition tr with static window
+//     [r, d - c] has an unobservable clock beyond its EFT while the task's
+//     deadline watchdog td is co-enabled: branches that release later than
+//     DUB(td) - c are doomed either way (the watchdog forces a miss before
+//     the instance can accumulate c computation), and on surviving branches
+//     the window upper bound never binds because c(td) >= c(tr) always
+//     holds. The visited set can therefore key on a canonical digest with
+//     c(tr) capped to EFT(tr);
+//
+//   * doom certificate — for each active instance (td enabled), slack
+//     D = deadline - c(td) against the remaining-work lower bound W
+//     (unreleased: the full computation time; otherwise pending chunks plus
+//     the running chunk's residue). W > D proves every continuation marks a
+//     miss place, as does the per-processor EDF check: active instances on
+//     one processor serialize, so sorted by slack, any prefix whose summed
+//     W exceeds its slack horizon is unschedulable.
+//
+// On nets without role metadata (hand-built tests, imported PNML) the
+// classifier degrades to the identity: canonical_digest() returns the
+// concrete digest and evaluate() never dooms.
+class Semantics;
+
+class StateClassifier {
+ public:
+  /// The net must be validated and outlive the classifier. Construction
+  /// precomputes the per-task tables (watchdog, compute chunk, remaining
+  /// demand, processor grouping) from roles and arc weights alone.
+  explicit StateClassifier(const TimePetriNet& net);
+
+  /// False when the net carries no task/deadline role metadata at all; the
+  /// abstraction is then the identity and callers may skip it entirely.
+  [[nodiscard]] bool structured() const { return structured_; }
+
+  struct CanonicalDigest {
+    StateDigest digest;
+    /// True when capping changed the digest (the state is a non-canonical
+    /// member of its class); feeds SearchStats::classes_merged.
+    bool capped = false;
+  };
+
+  /// Class-representative digest of `s`: the concrete Zobrist digest with
+  /// every cappable release clock folded down to its EFT.
+  [[nodiscard]] CanonicalDigest canonical_digest(const State& s,
+                                                 const Semantics& sem) const;
+
+  struct Eval {
+    /// No continuation of the state can avoid marking a miss place.
+    bool doomed = false;
+    /// Admissible lower bound on further elapsed time before the final
+    /// marking is reachable: the largest per-processor remaining
+    /// computation demand (active instances plus unarrived budget).
+    Time remaining_work = 0;
+    /// Tightest slack among active instances (kTimeInfinity when idle);
+    /// the guided engines break f-ties toward urgency with this.
+    Time min_slack = kTimeInfinity;
+  };
+
+  /// Per-call scratch buffers, owned by the caller (one per worker); keeps
+  /// evaluate() allocation-free on the admission hot path.
+  struct Scratch {
+    std::vector<Time> proc_demand;
+    /// (slack, work) per active instance, grouped by processor index.
+    std::vector<std::vector<std::pair<Time, Time>>> per_proc;
+  };
+
+  /// Doom certificate + heuristic in one pass over the per-task tables.
+  [[nodiscard]] Eval evaluate(const State& s, const Semantics& sem,
+                              Scratch& scratch) const;
+
+ private:
+  struct TaskInfo {
+    std::int32_t td = -1;        ///< deadline watchdog transition
+    Time deadline = 0;           ///< static LFT of td
+    Time comp = 0;               ///< full per-instance computation demand
+    Time chunk = 0;              ///< one compute firing's duration
+    std::int32_t tc = -1;        ///< compute transition
+    std::int32_t proc = -1;      ///< dense processor-group index
+    std::int32_t wait_release = -1;
+    std::int32_t wait_grant = -1;
+    std::int32_t wait_compute = -1;
+    std::int32_t locked = -1;
+    std::int32_t wait_arrival = -1;
+  };
+
+  /// (release transition, watchdog transition, EFT) capping rules.
+  struct CapRule {
+    TransitionId release;
+    TransitionId watchdog;
+    Time eft;
+  };
+
+  const TimePetriNet* net_;
+  bool structured_ = false;
+  std::vector<TaskInfo> tasks_;
+  std::vector<CapRule> cap_rules_;
+  std::size_t proc_count_ = 0;
+};
 
 }  // namespace ezrt::tpn

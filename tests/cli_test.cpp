@@ -277,6 +277,52 @@ TEST_F(CliTest, ScheduleWritesRunReport) {
   EXPECT_NE(json.find("\"search\""), std::string::npos);
 }
 
+TEST_F(CliTest, RunReportIsVersion3WithSearchEngineFields) {
+  const std::string report = (dir_ / "v3.json").string();
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--report", report}), 0);
+  const std::string json = read_file(report);
+  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
+  // The default run records the exploration strategy and the resolved
+  // state-class decision alongside the legacy successor-engine field.
+  EXPECT_NE(json.find("\"search_engine\":\"dfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"state_classes\":\"auto\""), std::string::npos);
+  EXPECT_NE(json.find("\"state_classes_enabled\":false"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"heuristic_evals\""), std::string::npos);
+  EXPECT_NE(json.find("\"beam_dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"classes_merged\""), std::string::npos);
+  EXPECT_NE(json.find("\"pruned_doomed\""), std::string::npos);
+}
+
+TEST_F(CliTest, GuidedEngineFlagsSchedule) {
+  const std::string report = (dir_ / "guided.json").string();
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--engine=bestfirst",
+                     "--state-classes=on", "--report", report}),
+            0);
+  const std::string json = read_file(report);
+  EXPECT_NE(json.find("\"search_engine\":\"bestfirst\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"state_classes_enabled\":true"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"feasible\":true"), std::string::npos);
+}
+
+TEST_F(CliTest, BeamEngineFlagsSchedule) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--engine=beam",
+                     "--beam-width", "8", "--widen",
+                     "--state-classes=on"}),
+            0);
+  EXPECT_NE(out_.str().find("feasible schedule"), std::string::npos);
+}
+
+TEST_F(CliTest, EngineFlagRejectsUnknownValue) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--engine", "astar"}), 4);
+}
+
+TEST_F(CliTest, BeamWidthRejectsZero) {
+  EXPECT_EQ(run_cli({"schedule", spec_path_, "--beam-width", "0"}), 4);
+}
+
 TEST_F(CliTest, ScheduleWritesReportOnInfeasibleModels) {
   spec::Specification s("overload");
   s.add_processor("cpu");

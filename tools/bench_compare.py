@@ -98,11 +98,12 @@ def report_metrics(report):
     rows = {}
     search = report.get("search", {})
     for key in ("states_visited", "transitions_fired", "backtracks",
-                "max_depth", "peak_visited_bytes", "elapsed_ms"):
+                "max_depth", "peak_visited_bytes", "elapsed_ms",
+                "heuristic_evals", "classes_merged", "beam_dropped"):
         if key in search:
             rows[key] = search[key]
     pruned = {k: search.get(f"pruned_{k}", 0)
-              for k in ("deadline", "visited", "priority")}
+              for k in ("deadline", "visited", "priority", "doomed")}
     total_pruned = sum(pruned.values())
     for k, v in pruned.items():
         rows[f"pruned_{k}"] = v

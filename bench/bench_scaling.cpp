@@ -7,11 +7,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
 
+#include "base/hash.hpp"
 #include "builder/tpn_builder.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "sched/dfs.hpp"
+#include "sched/visited_set.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -226,6 +231,80 @@ void BM_Guided_BestFirst_Exhaustive(benchmark::State& state) {
   state.counters["states_visited"] = static_cast<double>(states);
 }
 BENCHMARK(BM_Guided_BestFirst_Exhaustive)->Unit(benchmark::kMillisecond);
+
+// -- Visited-set insert throughput (docs/concurrency.md) ---------------------
+
+/// Distinct-digest insert throughput of the mutexed ShardedVisitedSet vs
+/// the lock-free CasVisitedSet, at 1/2/4 inserting threads over a shared
+/// 16-shard set. Each iteration builds a fresh set and streams 100k
+/// precomputed digests through it (disjoint strides per thread), so the
+/// timed region is the admission path: shard selection, probe, claim,
+/// growth. items_per_second is the comparable figure; BENCH_search.json
+/// tracks both rows and the single-thread CAS row must stay within the
+/// mutex row's envelope (the engine defaults to the CAS set at every
+/// thread count, including 1).
+constexpr std::uint64_t kVisitedBenchDigests = 100'000;
+
+[[nodiscard]] const std::vector<tpn::StateDigest>& visited_bench_keys() {
+  static const std::vector<tpn::StateDigest> keys = [] {
+    std::vector<tpn::StateDigest> k;
+    k.reserve(kVisitedBenchDigests);
+    for (std::uint64_t i = 0; i < kVisitedBenchDigests; ++i) {
+      k.push_back({hash_cell(i, 11, kHashSeed), hash_cell(i, 13, kHashSeed)});
+    }
+    return k;
+  }();
+  return keys;
+}
+
+template <typename MakeSet, typename Insert>
+void visited_insert_throughput(benchmark::State& state, MakeSet make_set,
+                               Insert insert) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<tpn::StateDigest>& keys = visited_bench_keys();
+  for (auto _ : state) {
+    auto set = make_set(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::uint64_t i = w; i < kVisitedBenchDigests; i += threads) {
+          benchmark::DoNotOptimize(insert(*set, keys[i], w));
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    if (set->size() != kVisitedBenchDigests) {
+      state.SkipWithError("lost inserts");
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kVisitedBenchDigests));
+}
+
+void BM_VisitedSet_Mutex(benchmark::State& state) {
+  visited_insert_throughput(
+      state,
+      [](std::uint32_t) { return std::make_unique<sched::ShardedVisitedSet>(16); },
+      [](sched::ShardedVisitedSet& set, const tpn::StateDigest& d,
+         std::uint32_t) { return set.insert(d); });
+}
+BENCHMARK(BM_VisitedSet_Mutex)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VisitedSet_CAS(benchmark::State& state) {
+  visited_insert_throughput(
+      state,
+      [](std::uint32_t threads) {
+        return std::make_unique<sched::CasVisitedSet>(16, threads);
+      },
+      [](sched::CasVisitedSet& set, const tpn::StateDigest& d,
+         std::uint32_t tid) { return set.insert(d, tid); });
+}
+BENCHMARK(BM_VisitedSet_CAS)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 // -- Telemetry overhead (docs/observability.md) ------------------------------
 

@@ -1,0 +1,200 @@
+// Chase-Lev work-stealing deque.
+//
+// The parallel search's donation channel (sched/work_stealing.hpp): each
+// worker owns one deque, pushes and pops work at the *bottom* without
+// contention, and hungry peers steal from the *top*. This is the
+// Chase-Lev algorithm in the C11 formulation of Lê, Pop, Cohen &
+// Zappa Nardelli ("Correct and Efficient Work-Stealing for Weak Memory
+// Models", PPoPP'13):
+//
+//  * `push`/`pop` are owner-only and synchronization-free except for the
+//    single seq_cst fence that arbitrates the last-item race; every
+//    owner store of `bottom` is a release store (not the paper's relaxed
+//    store behind a fence) so tools that don't model fences — TSan —
+//    still see the publication edge a thief acquires through `bottom`;
+//  * `steal` claims the top element with one compare-exchange, so any
+//    number of thieves race safely with the owner and each other;
+//  * the ring buffer grows at the owner's push; retired rings are kept
+//    alive until destruction because a stale thief may still be reading
+//    one (indices it can claim exist in every generation ≥ its top read).
+//
+// `steal_half` drains up to half of the observed items with a loop of
+// single steals. Each individual steal linearizes independently (this is
+// *not* a multi-word CAS batch claim — that variant is unsound against a
+// concurrently popping owner, which is exactly the class of bug the
+// interleaving harness in tests/interleave/ exists to catch); the batch
+// is a policy, not a new atomic primitive, so the proven algorithm is
+// untouched while stolen work still moves in coarse chunks.
+//
+// T must be trivially copyable (the engine stores WorkItem pointers).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "sched/interleave_hooks.hpp"
+
+namespace ezrt::sched {
+inline namespace EZRT_LOCKFREE_NS {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque cells are raw atomic copies");
+
+ public:
+  /// `initial_capacity` is rounded up to a power of two (minimum 2).
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    std::size_t n = 2;
+    while (n < initial_capacity) {
+      n *= 2;
+    }
+    ring_.store(new Ring(n), std::memory_order_release);
+  }
+
+  ~ChaseLevDeque() {
+    Ring* r = ring_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Ring* prev = r->prev;
+      delete r;
+      r = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner-only: appends at the bottom, growing the ring if full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    EZRT_STEP("deque.push-top-load");
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(r->mask)) {
+      r = grow(r, t, b);
+    }
+    r->cell(b).store(value, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    EZRT_STEP("deque.push-bottom-store");
+    // The release fence above already orders the cell store; the store
+    // below is release as well so the thief's acquire load of `bottom_`
+    // carries the edge per-location too — ThreadSanitizer does not model
+    // fences, and the payload behind a stolen pointer would otherwise
+    // look unsynchronized. Free on x86; strengthening is always sound.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner-only: takes the most recently pushed item (LIFO end).
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    EZRT_STEP("deque.pop-bottom-store");
+    // Release for the same TSan-visibility reason as in push(): a thief
+    // may acquire-read any owner store of `bottom_` as its evidence that
+    // index t < b is published.
+    bottom_.store(b, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    EZRT_STEP("deque.pop-top-load");
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = r->cell(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last item: race the thieves for it via top.
+        EZRT_STEP("deque.pop-last-cas");
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_release);
+          return false;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_release);
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_release);
+    return false;  // already empty
+  }
+
+  /// Thief: claims the oldest item (FIFO end). Returns false when empty
+  /// or when the claim was lost to a racing pop/steal.
+  bool steal(T& out) {
+    EZRT_STEP("deque.steal-top-load");
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    EZRT_STEP("deque.steal-bottom-load");
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) {
+      return false;
+    }
+    Ring* r = ring_.load(std::memory_order_acquire);
+    out = r->cell(t).load(std::memory_order_relaxed);
+    EZRT_STEP("deque.steal-cas");
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Thief: steals up to half of the items observed at entry, one proven
+  /// single-steal at a time (see file comment). Appends the claimed items
+  /// oldest-first and returns how many were taken.
+  std::size_t steal_half(std::vector<T>& out) {
+    const std::size_t observed = size_estimate();
+    if (observed == 0) {
+      return 0;
+    }
+    const std::size_t want = (observed + 1) / 2;
+    std::size_t taken = 0;
+    T item;
+    while (taken < want && steal(item)) {
+      out.push_back(item);
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Racy size snapshot (exact when only the owner is active).
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t n)
+        : mask(n - 1),
+          cells(std::make_unique<std::atomic<T>[]>(n)) {}
+    [[nodiscard]] std::atomic<T>& cell(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+    Ring* prev = nullptr;  ///< retired predecessor, freed at destruction
+  };
+
+  /// Owner-only: doubles the ring, copying the live window [t, b).
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring((old->mask + 1) * 2);
+    bigger->prev = old;
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    EZRT_STEP("deque.grow-install");
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+};
+
+}  // namespace EZRT_LOCKFREE_NS
+}  // namespace ezrt::sched

@@ -11,6 +11,7 @@
 #include "base/hash.hpp"
 #include "obs/progress.hpp"
 #include "sched/expansion.hpp"
+#include "sched/fingerprint.hpp"
 #include "sched/guards.hpp"
 #include "sched/guided.hpp"
 #include "sched/parallel.hpp"
@@ -23,44 +24,11 @@ namespace {
 using tpn::FireableTransition;
 using tpn::State;
 
-/// 128-bit state fingerprint for the visited set. Storing fingerprints
-/// instead of full states keeps memory at 16 bytes per state; the collision
-/// probability over two independent 64-bit hashes is negligible against the
-/// state counts reachable in practice.
-struct Fingerprint {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  friend bool operator==(Fingerprint, Fingerprint) = default;
-};
-
-struct FingerprintHash {
-  std::size_t operator()(Fingerprint f) const noexcept {
-    return hash_mix(f.a, f.b);
-  }
-};
-
-[[nodiscard]] Fingerprint fingerprint(const State& s) {
-  // The state's Zobrist digest: maintained incrementally by the firing
-  // engine, recomputed densely for cacheless (reference-engine) states —
-  // same function either way, so identical timed states always collide.
-  const tpn::StateDigest d = s.digest();
-  return Fingerprint{d.a, d.b};
-}
-
 struct Frame {
   State state;
   std::vector<Candidate> candidates;
   std::size_t next = 0;  ///< index of the next candidate to expand
 };
-
-/// Estimated heap footprint of a node-based hash container (libstdc++
-/// layout: one pointer per bucket, nodes of payload + next pointer).
-template <typename Container>
-[[nodiscard]] std::uint64_t node_container_bytes(const Container& c,
-                                                 std::size_t payload) {
-  return static_cast<std::uint64_t>(c.bucket_count()) * sizeof(void*) +
-         static_cast<std::uint64_t>(c.size()) * (payload + sizeof(void*));
-}
 
 /// Forced-corridor step ceiling per admitted state. A corridor that spins
 /// past it (a zero-delay forced cycle in a hand-built net) admits the

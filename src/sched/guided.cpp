@@ -13,6 +13,7 @@
 #include "base/hash.hpp"
 #include "obs/progress.hpp"
 #include "sched/expansion.hpp"
+#include "sched/fingerprint.hpp"
 #include "sched/guards.hpp"
 #include "tpn/state_class.hpp"
 
@@ -21,25 +22,6 @@ namespace ezrt::sched {
 namespace {
 
 using tpn::State;
-
-/// 128-bit state fingerprint, same scheme as the serial engine: visited
-/// membership costs 16 bytes per state regardless of net size.
-struct Fingerprint {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  friend bool operator==(Fingerprint, Fingerprint) = default;
-};
-
-struct FingerprintHash {
-  std::size_t operator()(Fingerprint f) const noexcept {
-    return hash_mix(f.a, f.b);
-  }
-};
-
-[[nodiscard]] Fingerprint fingerprint(const State& s) {
-  const tpn::StateDigest d = s.digest();
-  return Fingerprint{d.a, d.b};
-}
 
 constexpr std::uint32_t kNoParent = 0xffffffffu;
 
@@ -86,15 +68,6 @@ struct EntryWorse {
     return a.node < b.node;  // LIFO: the newest admission expands first
   }
 };
-
-/// Estimated heap footprint of a node-based hash container (libstdc++
-/// layout: one pointer per bucket, nodes of payload + next pointer).
-template <typename Container>
-[[nodiscard]] std::uint64_t node_container_bytes(const Container& c,
-                                                 std::size_t payload) {
-  return static_cast<std::uint64_t>(c.bucket_count()) * sizeof(void*) +
-         static_cast<std::uint64_t>(c.size()) * (payload + sizeof(void*));
-}
 
 class GuidedSearcher {
  public:

@@ -1,0 +1,378 @@
+// Lock-free open-addressing table over 128-bit digests.
+//
+// This is the hot-path core of the parallel search's visited set
+// (sched/visited_set.hpp): every admitted state funnels through one
+// `insert`, so the structure must scale with workers instead of
+// serializing them behind a shard mutex. Design:
+//
+//  * **Slots** are two adjacent 64-bit atomic words `[a, b]`, both zero
+//    when empty. A key is claimed with a two-word publish protocol:
+//    reserve the low word with a compare-exchange (`0 -> a`), then
+//    publish the high word with a release store (`b`). A probe that hits
+//    a reserved-but-unpublished slot for its own `a` spins for the
+//    publish (one plain load per iteration; the publisher's very next
+//    step is the store, so the wait is bounded). Probes that hit other
+//    keys or empty slots never wait — the read path is lock-free, and
+//    wait-free on hits against fully published slots.
+//  * **Keys with a zero word** (`a == 0` or `b == 0`) cannot use the
+//    protocol (0 doubles as the empty/unpublished marker). The caller
+//    (CasVisitedSet) routes those — probability 2^-63 per digest — to a
+//    tiny mutexed side set; this table rejects them by contract.
+//  * **Growth is epoch-based** and per-table: when the claim count
+//    reaches the 70% threshold (minus a worst-case concurrent-claim
+//    margin), one grower wins `frozen.exchange(true)`, allocates the
+//    next table at twice the slots, waits for the *epoch to drain* —
+//    every insert announces itself in a per-thread slot before reading
+//    `frozen`, so once all announce slots are clear, every claim that
+//    raced past the freeze is visible — then migrates the frozen table
+//    and installs the successor. Readers never block: a probe works on
+//    whatever table it loaded, and retired tables are kept alive (and
+//    counted in memory_bytes) until destruction, so a stale probe is a
+//    snapshot, never a use-after-free. Inserts that observe `frozen`
+//    leave the epoch and wait for the installation; only that one
+//    table's writers wait, never the world.
+//
+// Exactly-once: `insert` returns true exactly once per distinct key for
+// any interleaving — claims are arbitrated by the low-word CAS within one
+// table, and the epoch drain guarantees a migrating table contains every
+// claim before its keys move, so the successor table's probes see them.
+// The interleaving harness (tests/interleave/) checks this against a
+// sequential oracle under controlled schedules; ClaimProtocol lets the
+// harness also instantiate a deliberately broken variant (blind store
+// instead of CAS) as a mutation check that the harness itself works.
+//
+// See docs/concurrency.md for the full protocol walkthrough.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "base/assert.hpp"
+#include "base/hash.hpp"
+#include "sched/interleave_hooks.hpp"
+
+namespace ezrt::sched {
+inline namespace EZRT_LOCKFREE_NS {
+
+/// How insert claims an empty slot. kCas is the real protocol;
+/// kBrokenBlindStore replaces the compare-exchange with a check-then-act
+/// load/store pair — a seeded bug the interleaving harness must detect
+/// (two threads can both "claim" the same slot and both report a fresh
+/// insert). Exists only so tests can prove the harness finds real
+/// protocol violations; production code always uses the default.
+enum class ClaimProtocol { kCas, kBrokenBlindStore };
+
+template <ClaimProtocol kProtocol = ClaimProtocol::kCas>
+class BasicLockFreeDigestTable {
+ public:
+  /// `initial_slots` is rounded up to a power of two. `max_threads` sizes
+  /// the epoch announce array: every `tid` passed to insert must be
+  /// < max_threads, and distinct concurrent threads must use distinct
+  /// tids. The growth margin requires max_threads < 0.3 * slots + 1 so
+  /// concurrent claims cannot fill a table past its threshold.
+  explicit BasicLockFreeDigestTable(std::size_t initial_slots,
+                                    std::uint32_t max_threads)
+      : max_threads_(max_threads),
+        announce_(std::make_unique<AnnounceSlot[]>(max_threads)) {
+    std::size_t slots = 8;
+    while (slots < initial_slots) {
+      slots *= 2;
+    }
+    EZRT_CHECK(max_threads >= 1, "table needs at least one thread slot");
+    EZRT_CHECK(10 * std::size_t{max_threads} < 3 * slots + 10,
+               "max_threads too large for the growth margin");
+    root_ = new Table(slots);
+    current_.store(root_, std::memory_order_release);
+  }
+
+  ~BasicLockFreeDigestTable() {
+    Table* t = root_;
+    while (t != nullptr) {
+      Table* next = t->next.load(std::memory_order_acquire);
+      delete t;
+      t = next;
+    }
+  }
+
+  BasicLockFreeDigestTable(const BasicLockFreeDigestTable&) = delete;
+  BasicLockFreeDigestTable& operator=(const BasicLockFreeDigestTable&) =
+      delete;
+
+  /// Inserts (a, b); returns true iff the key was not already present.
+  /// Exactly one caller gets true per distinct key. Both words must be
+  /// nonzero (see file comment). `tid` identifies the calling thread.
+  bool insert(std::uint64_t a, std::uint64_t b, std::uint32_t tid) {
+    EZRT_ASSERT(a != 0 && b != 0, "zero-word keys use the side set");
+    EZRT_ASSERT(tid < max_threads_, "tid out of range");
+    AnnounceSlot& slot = announce_[tid];
+    for (;;) {
+      // Enter the epoch *before* reading frozen: the seq_cst store-load
+      // pair against the grower's frozen-store / announce-load is what
+      // makes the drain sound (either we see frozen and stand down, or
+      // the grower sees us announced and waits for our claim).
+      EZRT_STEP("table.announce");
+      slot.active.store(1, std::memory_order_seq_cst);
+      Table* t = current_.load(std::memory_order_acquire);
+      EZRT_STEP("table.frozen-check");
+      if (t->frozen.load(std::memory_order_seq_cst)) {
+        slot.active.store(0, std::memory_order_release);
+        wait_for_successor(t);
+        continue;
+      }
+      // Trigger growth while the table still has the concurrent-claim
+      // margin below 70% load: up to max_threads inserters can pass this
+      // check together, and each claims at most one slot.
+      if ((t->count.load(std::memory_order_relaxed) + 1 + max_threads_) *
+              10 >=
+          t->slots * 7) {
+        slot.active.store(0, std::memory_order_release);
+        grow(t);
+        continue;
+      }
+      InsertResult r = try_insert(*t, a, b);
+      slot.active.store(0, std::memory_order_release);
+      if (r == InsertResult::kInserted) {
+        return true;
+      }
+      if (r == InsertResult::kDuplicate) {
+        return false;
+      }
+      // kNeedsGrow: a probe ran into the claim margin after all (racing
+      // claims landed in our probe window). Grow and retry.
+      grow(t);
+    }
+  }
+
+  /// Membership probe. Never blocks behind growth (reads the table it
+  /// loaded); concurrent inserts make the result a snapshot.
+  [[nodiscard]] bool contains(std::uint64_t a, std::uint64_t b) const {
+    EZRT_ASSERT(a != 0 && b != 0, "zero-word keys use the side set");
+    EZRT_STEP("table.contains-load");
+    const Table* t = current_.load(std::memory_order_acquire);
+    std::size_t i = probe_hash(a, b) & t->mask();
+    for (;;) {
+      EZRT_STEP("table.probe-a");
+      const std::uint64_t ka = t->word(2 * i).load(std::memory_order_acquire);
+      if (ka == 0) {
+        return false;
+      }
+      if (ka == a) {
+        const std::uint64_t kb = wait_published(*t, i);
+        if (kb == b) {
+          return true;
+        }
+      }
+      i = (i + 1) & t->mask();
+    }
+  }
+
+  /// Distinct keys inserted: exact once writers quiesce, a racy lower
+  /// bound while inserts are in flight (relaxed counter per table; the
+  /// migration moves the count with the keys).
+  [[nodiscard]] std::uint64_t size() const {
+    return current_.load(std::memory_order_acquire)
+        ->count.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes held by every table generation still alive (retired epochs
+  /// are retained until destruction — see file comment).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    std::uint64_t total = 0;
+    const Table* t = root_;
+    while (t != nullptr) {
+      total += t->slots * 2 * sizeof(std::uint64_t);
+      t = t->next.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  /// Times the table grew (epoch count minus one).
+  [[nodiscard]] std::uint64_t growths() const {
+    return growths_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t slot_count() const {
+    return current_.load(std::memory_order_acquire)->slots;
+  }
+
+  /// Visits every published key of the current table as (a, b, home,
+  /// index, mask) for telemetry. Exact after writers quiesce.
+  template <typename Fn>
+  void for_each_key(Fn&& fn) const {
+    const Table* t = current_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < t->slots; ++i) {
+      const std::uint64_t a = t->word(2 * i).load(std::memory_order_acquire);
+      if (a == 0) {
+        continue;
+      }
+      const std::uint64_t b = t->word(2 * i + 1).load(
+          std::memory_order_acquire);
+      fn(a, b, probe_hash(a, b) & t->mask(), i, t->mask());
+    }
+  }
+
+  /// In-table probe start: reuses the shared digest mixer so shards stay
+  /// uniform even though the caller routed on the digest's low bits.
+  [[nodiscard]] static std::size_t probe_hash(std::uint64_t a,
+                                              std::uint64_t b) {
+    return static_cast<std::size_t>(hash_mix(a, b));
+  }
+
+ private:
+  struct alignas(64) AnnounceSlot {
+    std::atomic<std::uint32_t> active{0};
+  };
+
+  struct Table {
+    explicit Table(std::size_t n)
+        : slots(n),
+          words(std::make_unique<std::atomic<std::uint64_t>[]>(2 * n)) {
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        words[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    [[nodiscard]] std::size_t mask() const { return slots - 1; }
+    [[nodiscard]] std::atomic<std::uint64_t>& word(std::size_t i) const {
+      return words[i];
+    }
+
+    const std::size_t slots;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+    std::atomic<std::uint64_t> count{0};  ///< published claims
+    /// Growth latch: the winner of exchange(true) owns the migration.
+    std::atomic<bool> frozen{false};
+    std::atomic<Table*> next{nullptr};
+  };
+
+  enum class InsertResult { kInserted, kDuplicate, kNeedsGrow };
+
+  /// Claim-or-find within one unfrozen table generation. The caller is
+  /// announced in the epoch for the whole call.
+  InsertResult try_insert(Table& t, std::uint64_t a, std::uint64_t b) {
+    std::size_t i = probe_hash(a, b) & t.mask();
+    // A probe is bounded by the claim margin; if racing claims consumed
+    // it, give up and grow rather than risk scanning a full table.
+    for (std::size_t steps = 0; steps <= t.slots; ++steps) {
+      EZRT_STEP("table.insert-probe-a");
+      std::uint64_t ka = t.word(2 * i).load(std::memory_order_acquire);
+      if (ka == 0) {
+        if constexpr (kProtocol == ClaimProtocol::kCas) {
+          // The publish protocol: reserve the low word...
+          EZRT_STEP("table.claim-cas");
+          if (t.word(2 * i).compare_exchange_strong(
+                  ka, a, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            // ...then publish the high word. Probers treat a zero high
+            // word as "claim in flight" and wait for this store.
+            EZRT_STEP("table.publish-b");
+            t.word(2 * i + 1).store(b, std::memory_order_release);
+            t.count.fetch_add(1, std::memory_order_relaxed);
+            return InsertResult::kInserted;
+          }
+          // Lost the race for this slot; ka holds the winner's key.
+        } else {
+          // Mutation-check variant: check-then-act without the CAS. Two
+          // threads can observe the empty word together and both claim.
+          EZRT_STEP("table.claim-blind-store");
+          t.word(2 * i).store(a, std::memory_order_release);
+          EZRT_STEP("table.publish-b");
+          t.word(2 * i + 1).store(b, std::memory_order_release);
+          t.count.fetch_add(1, std::memory_order_relaxed);
+          return InsertResult::kInserted;
+        }
+      }
+      if (ka == a) {
+        const std::uint64_t kb = wait_published(t, i);
+        if (kb == b) {
+          return InsertResult::kDuplicate;
+        }
+      }
+      i = (i + 1) & t.mask();
+    }
+    return InsertResult::kNeedsGrow;
+  }
+
+  /// Spins for a claimed slot's high word. The claimer publishes as its
+  /// immediately-next step, so the wait is bounded by one scheduling
+  /// quantum; under the interleaving harness each iteration is a yield
+  /// point so the scheduler can run the publisher.
+  [[nodiscard]] static std::uint64_t wait_published(const Table& t,
+                                                    std::size_t i) {
+    for (;;) {
+      const std::uint64_t kb =
+          t.word(2 * i + 1).load(std::memory_order_acquire);
+      if (kb != 0) {
+        return kb;
+      }
+      EZRT_STEP("table.wait-publish");
+      std::this_thread::yield();
+    }
+  }
+
+  /// Migrates `t` into a successor twice its size. Exactly one caller
+  /// wins the frozen latch and performs the move; everyone else waits for
+  /// the installation. Must be called with the caller's announce slot
+  /// clear — the drain below would otherwise deadlock on itself.
+  void grow(Table* t) {
+    EZRT_STEP("table.grow-latch");
+    if (t->frozen.exchange(true, std::memory_order_seq_cst)) {
+      wait_for_successor(t);
+      return;
+    }
+    // Epoch drain: wait until every insert that might have missed the
+    // freeze has left. Their claims happen-before the announce-clear we
+    // read, so the migration scan below sees every one of them.
+    for (std::uint32_t i = 0; i < max_threads_; ++i) {
+      while (announce_[i].active.load(std::memory_order_seq_cst) != 0) {
+        EZRT_STEP("table.drain-wait");
+        std::this_thread::yield();
+      }
+    }
+    Table* next = new Table(t->slots * 2);
+    std::uint64_t moved = 0;
+    for (std::size_t i = 0; i < t->slots; ++i) {
+      const std::uint64_t a = t->word(2 * i).load(std::memory_order_acquire);
+      if (a == 0) {
+        continue;
+      }
+      const std::uint64_t b = wait_published(*t, i);
+      // The source table holds each key once, so plain claims suffice;
+      // racing inserters are parked on the frozen latch until the
+      // install, which also keeps `next` private to this thread.
+      std::size_t j = probe_hash(a, b) & next->mask();
+      while (next->word(2 * j).load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & next->mask();
+      }
+      next->word(2 * j).store(a, std::memory_order_relaxed);
+      next->word(2 * j + 1).store(b, std::memory_order_relaxed);
+      ++moved;
+    }
+    next->count.store(moved, std::memory_order_relaxed);
+    t->next.store(next, std::memory_order_release);
+    growths_.fetch_add(1, std::memory_order_relaxed);
+    EZRT_STEP("table.install");
+    current_.store(next, std::memory_order_release);
+  }
+
+  /// Parks until the frozen table's successor is installed.
+  void wait_for_successor(const Table* t) const {
+    while (current_.load(std::memory_order_acquire) == t) {
+      EZRT_STEP("table.freeze-wait");
+      std::this_thread::yield();
+    }
+  }
+
+  const std::uint32_t max_threads_;
+  std::unique_ptr<AnnounceSlot[]> announce_;
+  Table* root_ = nullptr;  ///< oldest generation; chain via Table::next
+  std::atomic<Table*> current_{nullptr};
+  std::atomic<std::uint64_t> growths_{0};
+};
+
+using LockFreeDigestTable = BasicLockFreeDigestTable<ClaimProtocol::kCas>;
+
+}  // namespace EZRT_LOCKFREE_NS
+}  // namespace ezrt::sched

@@ -4,9 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -19,6 +18,7 @@
 #include "sched/expansion.hpp"
 #include "sched/guards.hpp"
 #include "sched/visited_set.hpp"
+#include "sched/work_stealing.hpp"
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
 #include "tpn/state_class.hpp"
@@ -54,10 +54,12 @@ struct Frame {
 /// the serial class-keyed loop in dfs.cpp).
 constexpr std::uint32_t kCorridorCap = 1u << 16;
 
-/// Everything the workers share. The queue/termination protocol is the
-/// classic idle-counting one: a worker that finds the queue empty parks on
-/// the condition variable; when every worker is parked at once the search
-/// space is exhausted and the last one to park declares completion.
+/// Everything the workers share. Work moves through per-worker Chase-Lev
+/// deques with steal-half (sched/work_stealing.hpp) and the visited set is
+/// the lock-free CAS table (sched/visited_set.hpp) — the termination
+/// protocol is still the idle-counting one: when every worker is parked at
+/// once over an empty pool, the search space is exhausted and the last one
+/// to park declares completion (docs/concurrency.md).
 class ParallelSearch {
  public:
   ParallelSearch(const tpn::TimePetriNet& net,
@@ -71,8 +73,11 @@ class ParallelSearch {
         classifier_(net),
         classes_on_(state_classes_enabled(options)),
         thread_count_(std::max<std::uint32_t>(1, options.threads)),
-        visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4)),
+        visited_(std::max<std::size_t>(16, std::size_t{thread_count_} * 4),
+                 thread_count_),
         progress_(options.progress),
+        pool_(thread_count_,
+              [this](std::uint32_t idle_now) { publish_idle(idle_now); }),
         guard_(options, std::chrono::steady_clock::now()),
         guarded_(guard_.armed()),
         frame_bytes_(estimated_frame_bytes(net)) {}
@@ -80,82 +85,22 @@ class ParallelSearch {
   SearchOutcome run();
 
  private:
-  struct Worker;  // defined below; pop_work counts into it
+  struct Worker;  // defined below
 
-  // -- Work queue ----------------------------------------------------------
+  // -- Work distribution ---------------------------------------------------
 
-  void push_work(WorkItem&& item) {
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      queue_.push_back(std::move(item));
-    }
-    queue_len_.fetch_add(1, std::memory_order_relaxed);
-    queue_cv_.notify_one();
-  }
-
-  /// Blocks until work is available or the search is over; std::nullopt
-  /// means "no more work will ever appear — return from the worker".
-  /// Counts the caller's steals (items taken from the shared queue) and
-  /// idle transitions into `w`.
-  std::optional<WorkItem> pop_work(Worker& w) {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    for (;;) {
-      if (done_) {
-        return std::nullopt;
-      }
-      if (!queue_.empty()) {
-        WorkItem item = std::move(queue_.front());
-        queue_.pop_front();
-        queue_len_.fetch_sub(1, std::memory_order_relaxed);
-        ++w.steals;
-        return item;
-      }
-      ++idle_;
-      ++w.idle_transitions;
-      publish_idle(idle_);
-      if (idle_ == thread_count_) {
-        // Every worker is out of local work and the queue is empty: the
-        // reachable pruned graph is exhausted.
-        done_ = true;
-        queue_cv_.notify_all();
-        return std::nullopt;
-      }
-      if (guarded_) {
-        // Bounded wait so a parked worker still notices a SIGINT or an
-        // expired wall limit even when no peer ever wakes it. The trip
-        // path inlines finish(): we already hold queue_mu_, and finish()
-        // would deadlock re-locking it.
-        queue_cv_.wait_for(lock, std::chrono::milliseconds(20));
-        if (!done_) {
-          if (auto tripped = guard_.check_now(
-                  [&] { return visited_.memory_bytes(); })) {
-            std::uint8_t expected = 0;
-            guard_status_.compare_exchange_strong(
-                expected, static_cast<std::uint8_t>(*tripped),
-                std::memory_order_relaxed);
-            stop_.store(true, std::memory_order_release);
-            done_ = true;
-            queue_cv_.notify_all();
-            return std::nullopt;
-          }
-        }
-      } else {
-        queue_cv_.wait(lock);
-      }
-      --idle_;
-      publish_idle(idle_);
-    }
+  /// Heap-allocates the item into the caller's own deque; ownership moves
+  /// to whichever worker acquires it (or to the post-join drain).
+  void push_work(std::uint32_t tid, WorkItem&& item) {
+    pool_.push(tid, new WorkItem(std::move(item)));
   }
 
   /// Cooperative stop: wakes every parked worker and makes in-flight ones
-  /// unwind at their next stop_ check.
+  /// unwind at their next stop_ check. Items left in the deques are freed
+  /// by the drain in run().
   void finish() {
     stop_.store(true, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      done_ = true;
-    }
-    queue_cv_.notify_all();
+    pool_.shutdown();
   }
 
   [[nodiscard]] bool stopped() const {
@@ -177,6 +122,7 @@ class ParallelSearch {
 
   struct Worker {
     ParallelSearch* search;
+    std::uint32_t index;  ///< pool tid and visited-set epoch slot
     Expander expander;
     SearchStats stats;
     tpn::StateClassifier::Scratch scratch;  ///< evaluate() buffers
@@ -190,17 +136,17 @@ class ParallelSearch {
     std::vector<std::vector<Candidate>> pool;
     // Observability counters (docs/observability.md). Plain integers on
     // purpose: folded into WorkerTelemetry when the worker retires, never
-    // read concurrently.
+    // read concurrently. Steal/idle counts live in the pool's per-worker
+    // stats and are folded from there.
     std::uint64_t donations = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t idle_transitions = 0;
     /// High-water marks of what this worker already fetch_add-ed into the
     /// shared progress sink, so each publish pushes only the delta.
     std::uint64_t published_transitions = 0;
     std::uint64_t published_pruned = 0;
 
-    explicit Worker(ParallelSearch* s)
+    Worker(ParallelSearch* s, std::uint32_t tid)
         : search(s),
+          index(tid),
           expander(*s->net_, s->semantics_, *s->options_) {}
 
     std::vector<Candidate> pooled_vector() {
@@ -248,8 +194,7 @@ class ParallelSearch {
       w.published_transitions = fired;
       w.published_pruned = pruned;
       sink.depth.store(depth_now, std::memory_order_relaxed);
-      sink.queue.store(queue_len_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
+      sink.queue.store(pool_.pending(), std::memory_order_relaxed);
     } else {
       (void)w;
       (void)states_now;
@@ -353,7 +298,7 @@ class ParallelSearch {
         next = w.expander.fire(next, cand);
         ++w.stats.transitions_fired;
       }
-      if (!visited_.insert(key)) {
+      if (!visited_.insert(key, w.index)) {
         ++w.stats.pruned_visited;
         return std::nullopt;
       }
@@ -392,7 +337,7 @@ class ParallelSearch {
       ++w.stats.pruned_deadline;
       return std::nullopt;
     }
-    if (!visited_.insert(next.digest())) {
+    if (!visited_.insert(next.digest(), w.index)) {
       ++w.stats.pruned_visited;
       return std::nullopt;
     }
@@ -416,16 +361,17 @@ class ParallelSearch {
     return next;
   }
 
-  /// Donates pending candidates from the *shallowest* unexhausted frame to
-  /// the shared queue while other workers are hungry — shallow siblings
-  /// root the largest unexplored subtrees, so sharing them keeps the
-  /// stolen work coarse.
+  /// Donates pending candidates from the *shallowest* unexhausted frame
+  /// into the worker's own deque while other workers are hungry — shallow
+  /// siblings root the largest unexplored subtrees, so sharing them keeps
+  /// the stolen work coarse. The push is an uncontended bottom append;
+  /// hungry peers take the donations from the top via steal-half.
   void maybe_offload(Worker& w, const WorkItem& item) {
     if (thread_count_ == 1) {
       return;
     }
     const std::size_t hunger = thread_count_;
-    if (queue_len_.load(std::memory_order_relaxed) >= hunger) {
+    if (pool_.pending() >= hunger) {
       return;
     }
     for (std::size_t i = 0; i < w.stack.size() && !stopped(); ++i) {
@@ -435,7 +381,7 @@ class ParallelSearch {
       // cycle on its own donations.
       const bool top = i + 1 == w.stack.size();
       while (frame.next + (top ? 1 : 0) < frame.candidates.size() &&
-             queue_len_.load(std::memory_order_relaxed) < hunger) {
+             pool_.pending() < hunger) {
         const Candidate cand = frame.candidates[frame.next++];
         std::vector<Candidate> donated_cands = w.pooled_vector();
         auto child = admit(w, frame.state, cand, item, frame.path_base,
@@ -455,7 +401,7 @@ class ParallelSearch {
                                  static_cast<std::ptrdiff_t>(frame.path_base));
         shared.prefix.insert(shared.prefix.end(), w.admit_events.begin(),
                              w.admit_events.end());
-        push_work(std::move(shared));
+        push_work(w.index, std::move(shared));
         ++w.donations;
       }
       if (frame.next < frame.candidates.size()) {
@@ -523,15 +469,29 @@ class ParallelSearch {
   }
 
   void worker_main(std::uint32_t index, WorkerTelemetry& out) {
-    Worker w(this);
+    Worker w(this, index);
     obs::Span span(options_->tracer, "search-worker", "sched");
     span.set_args("{\"worker\":" + std::to_string(index) + "}");
+    // Bounded park only when a guard is armed, so a parked worker still
+    // notices a SIGINT or an expired wall limit even when no peer ever
+    // wakes it; unguarded searches park indefinitely.
+    const auto poll = std::chrono::milliseconds(guarded_ ? 20 : 0);
+    using Pool = WorkStealingPool<WorkItem*>;
     try {
       for (;;) {
-        std::optional<WorkItem> item = pop_work(w);
-        if (!item.has_value()) {
+        WorkItem* raw = nullptr;
+        const Pool::Acquire r = pool_.acquire(index, raw, poll);
+        if (r == Pool::Acquire::kDone) {
           break;
         }
+        if (r == Pool::Acquire::kTimeout) {
+          if (auto tripped = guard_.check_now(
+                  [&] { return visited_.memory_bytes(); })) {
+            trip_guard(*tripped);
+          }
+          continue;
+        }
+        std::unique_ptr<WorkItem> item(raw);
         run_subtree(w, std::move(*item));
       }
     } catch (...) {
@@ -546,8 +506,8 @@ class ParallelSearch {
     out.worker = index;
     out.expansions = w.expander.counters().expansions;
     out.donations = w.donations;
-    out.steals = w.steals;
-    out.idle_transitions = w.idle_transitions;
+    out.steals = pool_.stats(index).steals;
+    out.idle_transitions = pool_.stats(index).idle_transitions;
     out.reduction_singletons = w.expander.counters().reduction_singletons;
     w.stats.pruned_priority = w.expander.counters().pruned_priority;
     out.stats = w.stats;
@@ -562,15 +522,9 @@ class ParallelSearch {
   tpn::StateClassifier classifier_;
   bool classes_on_;
   std::uint32_t thread_count_;
-  ShardedVisitedSet visited_;
+  CasVisitedSet visited_;
   obs::ProgressSink* progress_;
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<WorkItem> queue_;
-  std::uint32_t idle_ = 0;
-  bool done_ = false;
-  std::atomic<std::size_t> queue_len_{0};
+  WorkStealingPool<WorkItem*> pool_;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> limit_hit_{false};
@@ -594,7 +548,8 @@ SearchOutcome ParallelSearch::run() {
   State s0 = State::initial(*net_);
   visited_.insert(classes_on_
                       ? classifier_.canonical_digest(s0, semantics_).digest
-                      : s0.digest());
+                      : s0.digest(),
+                  0);
   states_.store(1, std::memory_order_relaxed);
 
   if ((*goal_)(std::as_const(s0).marking())) {
@@ -607,7 +562,9 @@ SearchOutcome ParallelSearch::run() {
     return out;
   }
 
-  push_work(WorkItem{std::move(s0), Trace{}});
+  // Seed worker 0's deque before the spawns; the thread-creation edge
+  // makes the owner-side push visible to everyone.
+  push_work(0, WorkItem{std::move(s0), Trace{}});
 
   std::vector<WorkerTelemetry> per_worker(thread_count_);
   std::vector<std::thread> threads;
@@ -620,6 +577,8 @@ SearchOutcome ParallelSearch::run() {
   for (std::thread& t : threads) {
     t.join();
   }
+  // Early stops (goal, budget, guard) leave unexplored items behind.
+  pool_.drain([](WorkItem* item) { delete item; });
   if (failure_) {
     std::rethrow_exception(failure_);
   }

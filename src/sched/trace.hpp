@@ -62,8 +62,8 @@ struct SearchStats {
 struct WorkerTelemetry {
   std::uint32_t worker = 0;
   std::uint64_t expansions = 0;        ///< Expander::expand calls
-  std::uint64_t donations = 0;         ///< items pushed to the shared queue
-  std::uint64_t steals = 0;            ///< items popped from the shared queue
+  std::uint64_t donations = 0;         ///< items shared via the own deque
+  std::uint64_t steals = 0;            ///< items stolen from other deques
   std::uint64_t idle_transitions = 0;  ///< times the worker parked hungry
   /// Expansions this worker collapsed to one successor via the reduction.
   std::uint64_t reduction_singletons = 0;

@@ -74,13 +74,20 @@ void ShardedVisitedSet::Shard::grow_locked() {
 
 bool ShardedVisitedSet::insert(tpn::StateDigest digest) {
   Shard& shard = *shards_[static_cast<std::size_t>(digest.a) & shard_mask_];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (digest.a == 0 && digest.b == 0) {
-    const bool fresh = !shard.zero_present;
-    shard.zero_present = true;
-    return fresh;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (digest.a == 0 && digest.b == 0) {
+      fresh = !shard.zero_present;
+      shard.zero_present = true;
+    } else {
+      fresh = shard.insert_locked(digest.a, digest.b);
+    }
   }
-  return shard.insert_locked(digest.a, digest.b);
+  if (fresh) {
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fresh;
 }
 
 bool ShardedVisitedSet::contains(tpn::StateDigest digest) const {
@@ -148,15 +155,6 @@ std::vector<ShardTelemetry> ShardedVisitedSet::shard_stats() const {
     stats.push_back(std::move(t));
   }
   return stats;
-}
-
-std::uint64_t ShardedVisitedSet::size() const {
-  std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->count + (shard->zero_present ? 1 : 0);
-  }
-  return total;
 }
 
 }  // namespace ezrt::sched

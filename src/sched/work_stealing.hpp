@@ -1,0 +1,256 @@
+// Work distribution for the parallel search: per-worker Chase-Lev deques
+// plus the idle-count termination protocol.
+//
+// Replaces the PR-2 single mutex-protected donation queue: a worker
+// donates into its *own* deque (an uncontended bottom push), and a worker
+// that runs dry first pops its own deque, then sweeps the other workers'
+// deques stealing up to half of what it observes (sched/deque.hpp). Only
+// the cold path — a worker with nothing to pop and nothing to steal —
+// takes the pool mutex, to park on the condition variable.
+//
+// Termination is the same idle-counting argument as before
+// (docs/semantics.md §8), restated for deques: a deque only gains items
+// from its owner, and an owner that is pushing is not idle. So once the
+// idle count reaches the worker count, no deque can go non-empty again;
+// the last worker to go idle re-verifies that the global pending count is
+// zero and declares completion. The pending count is maintained with
+// seq_cst increments that pair with the parking worker's seq_cst
+// idle-mirror store, so a push and a park always observe each other —
+// the lost-wakeup interleavings of this handshake are exactly what
+// tests/interleave/ drives schedules through.
+//
+// T must be trivially copyable; the engine uses heap WorkItem pointers
+// and drains leftovers after the workers join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "sched/deque.hpp"
+#include "sched/interleave_hooks.hpp"
+
+namespace ezrt::sched {
+inline namespace EZRT_LOCKFREE_NS {
+
+template <typename T>
+class WorkStealingPool {
+ public:
+  /// Per-worker accounting, written only by the owning worker and read
+  /// after the workers join (cacheline-padded against false sharing).
+  struct alignas(64) WorkerStats {
+    std::uint64_t pops = 0;           ///< items taken from the own deque
+    std::uint64_t steals = 0;         ///< items taken from other deques
+    std::uint64_t steal_batches = 0;  ///< steal sweeps that claimed > 0
+    std::uint64_t idle_transitions = 0;
+  };
+
+  enum class Acquire { kItem, kDone, kTimeout };
+
+  /// `idle_gauge`, when set, is called with the new idle-worker count on
+  /// every transition (under the pool mutex — it must be cheap and must
+  /// not call back into the pool).
+  explicit WorkStealingPool(std::uint32_t workers,
+                            std::function<void(std::uint32_t)> idle_gauge = {},
+                            std::size_t deque_capacity = 64)
+      : workers_(workers),
+        idle_gauge_(std::move(idle_gauge)),
+        stats_(workers),
+        scratch_(workers) {
+    EZRT_CHECK(workers >= 1, "pool needs at least one worker");
+    deques_.reserve(workers);
+    for (std::uint32_t i = 0; i < workers; ++i) {
+      deques_.push_back(std::make_unique<ChaseLevDeque<T>>(deque_capacity));
+    }
+  }
+
+  /// Makes `item` available for any worker. Owner-only per tid (the
+  /// deque bottom is single-producer); tid 0 may also push before the
+  /// workers start, which the spawn happens-before edge covers.
+  void push(std::uint32_t tid, T item) {
+    deques_[tid]->push(item);
+    EZRT_STEP("pool.pending-add");
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    wake_if_idle(1);
+  }
+
+  /// Non-blocking: own deque first, then a steal-half sweep over the
+  /// other workers. Extra stolen items land in the caller's own deque.
+  bool try_acquire(std::uint32_t tid, T& out) {
+    if (deques_[tid]->pop(out)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      ++stats_[tid].pops;
+      return true;
+    }
+    if (workers_ == 1) {
+      return false;
+    }
+    scratch_buffer(tid).clear();
+    for (std::uint32_t step = 1; step < workers_; ++step) {
+      const std::uint32_t victim = (tid + step) % workers_;
+      std::vector<T>& loot = scratch_buffer(tid);
+      const std::size_t taken = deques_[victim]->steal_half(loot);
+      if (taken == 0) {
+        continue;
+      }
+      pending_.fetch_sub(taken, std::memory_order_relaxed);
+      stats_[tid].steals += taken;
+      ++stats_[tid].steal_batches;
+      // Keep the oldest item (the coarsest subtree), requeue the rest
+      // locally, and let parked peers know the pool refilled.
+      out = loot.front();
+      for (std::size_t i = 1; i < taken; ++i) {
+        deques_[tid]->push(loot[i]);
+      }
+      if (taken > 1) {
+        EZRT_STEP("pool.pending-add");
+        pending_.fetch_add(taken - 1, std::memory_order_seq_cst);
+        wake_if_idle(taken - 1);
+      }
+      loot.clear();
+      return true;
+    }
+    return false;
+  }
+
+  /// Blocks until an item is available (kItem), the search space is
+  /// exhausted or shutdown was called (kDone), or `poll` elapsed while
+  /// parked (kTimeout — only with poll > 0; callers use it to run
+  /// resource-guard checks). poll == 0 parks indefinitely.
+  Acquire acquire(std::uint32_t tid, T& out, std::chrono::milliseconds poll) {
+    for (;;) {
+      if (done_.load(std::memory_order_acquire)) {
+        return Acquire::kDone;
+      }
+      if (try_acquire(tid, out)) {
+        return Acquire::kItem;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      if (done_.load(std::memory_order_relaxed)) {
+        return Acquire::kDone;
+      }
+      const std::uint32_t now_idle = ++idle_;
+      ++stats_[tid].idle_transitions;
+      EZRT_STEP("pool.idle-publish");
+      idle_mirror_.store(now_idle, std::memory_order_seq_cst);
+      publish_gauge(now_idle);
+      EZRT_STEP("pool.idle-pending-check");
+      if (pending_.load(std::memory_order_seq_cst) != 0) {
+        // A push slipped in between our sweep and the idle transition;
+        // un-idle and sweep again.
+        idle_mirror_.store(--idle_, std::memory_order_relaxed);
+        publish_gauge(idle_);
+        continue;
+      }
+      if (now_idle == workers_) {
+        // Everyone is idle at once over an empty pool: no worker can
+        // ever produce again, the reachable space is exhausted.
+        done_.store(true, std::memory_order_release);
+        cv_.notify_all();
+        return Acquire::kDone;
+      }
+      if (poll.count() > 0) {
+        cv_.wait_for(lock, poll);
+      } else {
+        cv_.wait(lock);
+      }
+      if (done_.load(std::memory_order_relaxed)) {
+        // Leave the terminal gauge at "all idle".
+        return Acquire::kDone;
+      }
+      idle_mirror_.store(--idle_, std::memory_order_relaxed);
+      publish_gauge(idle_);
+      if (poll.count() > 0) {
+        return Acquire::kTimeout;
+      }
+    }
+  }
+
+  /// Cooperative stop: every current and future acquire returns kDone.
+  /// Items still queued stay in the deques for drain().
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool finished() const {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Items currently queued across all deques (racy snapshot; the gauge
+  /// the engine publishes to the progress sink).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const WorkerStats& stats(std::uint32_t tid) const {
+    return stats_[tid];
+  }
+
+  /// Single-threaded cleanup after the workers joined: hands every item
+  /// still queued (early goal / guard stop) to `fn`.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    T item;
+    for (auto& deque : deques_) {
+      while (deque->pop(item)) {
+        fn(item);
+      }
+    }
+    pending_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void wake_if_idle(std::size_t items) {
+    EZRT_STEP("pool.wake-check");
+    if (idle_mirror_.load(std::memory_order_seq_cst) == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items > 1) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  void publish_gauge(std::uint32_t idle_now) {
+    if (idle_gauge_) {
+      idle_gauge_(idle_now);
+    }
+  }
+
+  /// Per-worker steal scratch, reused across sweeps. Sized once in the
+  /// constructor — a lazy resize here would race between workers.
+  std::vector<T>& scratch_buffer(std::uint32_t tid) {
+    return scratch_[tid].items;
+  }
+
+  struct alignas(64) Scratch {
+    std::vector<T> items;
+  };
+
+  const std::uint32_t workers_;
+  std::function<void(std::uint32_t)> idle_gauge_;
+  std::vector<std::unique_ptr<ChaseLevDeque<T>>> deques_;
+  std::vector<WorkerStats> stats_;
+  std::vector<Scratch> scratch_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint32_t> idle_mirror_{0};
+  std::atomic<bool> done_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint32_t idle_ = 0;  ///< guarded by mu_
+};
+
+}  // namespace EZRT_LOCKFREE_NS
+}  // namespace ezrt::sched

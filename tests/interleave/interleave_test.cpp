@@ -1,0 +1,419 @@
+// Lincheck-style interleaving tests for the lock-free search structures
+// (sched/lockfree_table.hpp, sched/deque.hpp, sched/work_stealing.hpp).
+//
+// This TU is compiled with EZRT_INTERLEAVE_HOOKS, so the structures under
+// test carry a schedule-control step before every linearization-relevant
+// atomic, and the StepScheduler (scheduler.hpp) decides which thread
+// moves at each step. Exhaustive enumeration covers every schedule of the
+// small-bound scenarios; PCT campaigns sample the larger ones; and the
+// kBrokenBlindStore mutation check proves the harness actually detects
+// protocol violations (a harness that cannot fail is not evidence).
+//
+// Every scenario checks against a sequential oracle: per-key insert must
+// return true exactly once, deques must conserve items (nothing lost,
+// nothing duplicated), and the pool must process every pushed item before
+// declaring termination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scheduler.hpp"
+#include "sched/deque.hpp"
+#include "sched/lockfree_table.hpp"
+#include "sched/work_stealing.hpp"
+
+namespace ezrt {
+namespace {
+
+using sched::BasicLockFreeDigestTable;
+using sched::ChaseLevDeque;
+using sched::ClaimProtocol;
+using sched::LockFreeDigestTable;
+using sched::WorkStealingPool;
+using testing::ExhaustResult;
+using testing::RunOutcome;
+using testing::Scenario;
+using testing::ScheduleOptions;
+using testing::StepScheduler;
+
+// ------------------------------------------------------------ CAS table --
+
+/// N threads race to insert the same key; the oracle demands exactly one
+/// winner. Templated over the claim protocol so the same scenario doubles
+/// as the mutation check against the deliberately broken variant.
+template <ClaimProtocol kProtocol>
+class SameKeyInsertScenario final : public Scenario {
+ public:
+  void reset() override {
+    table_ = std::make_unique<BasicLockFreeDigestTable<kProtocol>>(8, 2);
+    results_ = {false, false};
+  }
+  [[nodiscard]] std::size_t threads() const override { return 2; }
+  void body(std::size_t tid) override {
+    results_[tid] = table_->insert(0x1234abcdu, 0x9876fedcu,
+                                   static_cast<std::uint32_t>(tid));
+  }
+  bool check(std::string* why) override {
+    const int winners = (results_[0] ? 1 : 0) + (results_[1] ? 1 : 0);
+    if (winners != 1) {
+      *why = "insert returned true " + std::to_string(winners) +
+             " times for one key";
+      return false;
+    }
+    if (!table_->contains(0x1234abcdu, 0x9876fedcu)) {
+      *why = "key not found after insert";
+      return false;
+    }
+    if (table_->size() != 1) {
+      *why = "size " + std::to_string(table_->size()) + " != 1";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BasicLockFreeDigestTable<kProtocol>> table_;
+  std::array<bool, 2> results_{};
+};
+
+TEST(InterleaveTable, SameKeyInsertIsExactlyOnceExhaustively) {
+  SameKeyInsertScenario<ClaimProtocol::kCas> scenario;
+  // The space is ~17k schedules (the loser's publish-wait spin branches on
+  // every iteration); the budget leaves headroom so the check stays
+  // genuinely exhaustive.
+  const ExhaustResult result = testing::exhaust(scenario, 500, 25000);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+  EXPECT_FALSE(result.budget_exhausted)
+      << "scenario too large for exhaustive enumeration: "
+      << result.schedules << " schedules";
+  // The two-thread claim race has genuinely distinct interleavings.
+  EXPECT_GT(result.schedules, 10u);
+}
+
+/// The mutation check: the blind-store variant replaces the claim CAS
+/// with a check-then-act pair. The harness must find the schedule where
+/// both threads observe the empty slot and both report a fresh insert —
+/// and the minimizer must hand back a smaller schedule that still fails.
+TEST(InterleaveTable, MutationCheckCatchesBlindStoreClaim) {
+  SameKeyInsertScenario<ClaimProtocol::kBrokenBlindStore> scenario;
+  const ExhaustResult result = testing::exhaust(scenario, 500, 5000);
+  ASSERT_TRUE(result.found_failure)
+      << "harness failed to detect the seeded claim-protocol bug in "
+      << result.schedules << " schedules";
+  EXPECT_NE(result.failure.failure.find("true 2 times"), std::string::npos)
+      << result.failure.failure;
+
+  const std::vector<int> minimized =
+      testing::minimize(scenario, result.failing_schedule, 500);
+  ASSERT_FALSE(minimized.empty());
+  // Minimization must preserve the failure...
+  ScheduleOptions replay;
+  replay.policy = ScheduleOptions::Policy::kFixed;
+  replay.fixed = minimized;
+  replay.max_steps = 500;
+  EXPECT_FALSE(StepScheduler(replay).drive(scenario).ok);
+  // ...and never add context switches or steps.
+  EXPECT_LE(testing::context_switches(minimized),
+            testing::context_switches(result.failing_schedule));
+  EXPECT_LE(minimized.size(), result.failing_schedule.size());
+}
+
+/// Two threads insert distinct keys and probe each other's; afterwards
+/// both must be present exactly once. Exercises the publish-wait path
+/// (probe hits a claimed-unpublished slot) under every schedule.
+class DistinctKeysScenario final : public Scenario {
+ public:
+  void reset() override {
+    table_ = std::make_unique<LockFreeDigestTable>(8, 2);
+    inserted_ = {false, false};
+    seen_peer_ = {false, false};
+  }
+  [[nodiscard]] std::size_t threads() const override { return 2; }
+  void body(std::size_t tid) override {
+    const std::uint64_t a = kKeys[tid][0];
+    const std::uint64_t b = kKeys[tid][1];
+    inserted_[tid] = table_->insert(a, b, static_cast<std::uint32_t>(tid));
+    const std::size_t peer = 1 - tid;
+    seen_peer_[tid] = table_->contains(kKeys[peer][0], kKeys[peer][1]);
+  }
+  bool check(std::string* why) override {
+    if (!inserted_[0] || !inserted_[1]) {
+      *why = "distinct keys must both insert fresh";
+      return false;
+    }
+    for (const auto& key : kKeys) {
+      if (!table_->contains(key[0], key[1])) {
+        *why = "a key vanished after quiescence";
+        return false;
+      }
+    }
+    if (table_->size() != 2) {
+      *why = "size " + std::to_string(table_->size()) + " != 2";
+      return false;
+    }
+    return true;  // seen_peer_ is schedule-dependent: any value is legal
+  }
+
+ private:
+  static constexpr std::uint64_t kKeys[2][2] = {{0x11u, 0x22u},
+                                                {0x33u, 0x44u}};
+  std::unique_ptr<LockFreeDigestTable> table_;
+  std::array<bool, 2> inserted_{};
+  std::array<bool, 2> seen_peer_{};
+};
+
+TEST(InterleaveTable, DistinctKeysAndProbesExhaustively) {
+  DistinctKeysScenario scenario;
+  const ExhaustResult result = testing::exhaust(scenario, 500, 20000);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+  EXPECT_FALSE(result.budget_exhausted)
+      << result.schedules << " schedules without covering the space";
+}
+
+/// Concurrent inserts across the epoch-based grow: the table starts at 8
+/// slots with the growth margin already nearly consumed, so the two
+/// racing inserts force the freeze/drain/migrate/install sequence to
+/// interleave with a claim in every possible order.
+class GrowRaceScenario final : public Scenario {
+ public:
+  void reset() override {
+    table_ = std::make_unique<LockFreeDigestTable>(8, 2);
+    // Three seeded keys put the next insert over the margin
+    // ((count + 1 + max_threads) * 10 >= slots * 7).
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      table_->insert(k, k + 100, 0);
+    }
+    results_ = {false, false};
+  }
+  [[nodiscard]] std::size_t threads() const override { return 2; }
+  void body(std::size_t tid) override {
+    results_[tid] = table_->insert(10 + tid, 200 + tid,
+                                   static_cast<std::uint32_t>(tid));
+  }
+  bool check(std::string* why) override {
+    if (!results_[0] || !results_[1]) {
+      *why = "a distinct insert lost across the grow";
+      return false;
+    }
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      if (!table_->contains(k, k + 100)) {
+        *why = "pre-grow key " + std::to_string(k) + " lost in migration";
+        return false;
+      }
+    }
+    for (std::uint64_t tid = 0; tid < 2; ++tid) {
+      if (!table_->contains(10 + tid, 200 + tid)) {
+        *why = "concurrent key lost across the grow";
+        return false;
+      }
+    }
+    if (table_->size() != 5) {
+      *why = "size " + std::to_string(table_->size()) + " != 5";
+      return false;
+    }
+    if (table_->growths() == 0) {
+      *why = "scenario failed to trigger a grow";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<LockFreeDigestTable> table_;
+  std::array<bool, 2> results_{};
+};
+
+TEST(InterleaveTable, EpochGrowKeepsEveryKeyExhaustively) {
+  GrowRaceScenario scenario;
+  const ExhaustResult result = testing::exhaust(scenario, 2000, 20000);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+  // The grow scenario's space is larger; a capped-but-clean sweep still
+  // covers every schedule up to the budget.
+  if (result.budget_exhausted) {
+    EXPECT_EQ(result.schedules, 20000u);
+  }
+}
+
+TEST(InterleaveTable, EpochGrowSurvivesPctCampaign) {
+  GrowRaceScenario scenario;
+  const ExhaustResult result = testing::pct_campaign(scenario, 64, 0x9e3779b9u);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+}
+
+// ---------------------------------------------------------------- deque --
+
+/// Owner pushes then pops; a thief steals concurrently. Conservation
+/// oracle: every pushed item ends up with exactly one party.
+class DequeConservationScenario final : public Scenario {
+ public:
+  explicit DequeConservationScenario(int items) : items_(items) {}
+
+  void reset() override {
+    deque_ = std::make_unique<ChaseLevDeque<int>>(2);
+    popped_.clear();
+    stolen_.clear();
+  }
+  [[nodiscard]] std::size_t threads() const override { return 2; }
+  void body(std::size_t tid) override {
+    if (tid == 0) {
+      for (int i = 0; i < items_; ++i) {
+        deque_->push(i);
+      }
+      int v = 0;
+      while (deque_->pop(v)) {
+        popped_.push_back(v);
+      }
+    } else {
+      deque_->steal_half(stolen_);
+    }
+  }
+  bool check(std::string* why) override {
+    std::vector<int> all = popped_;
+    all.insert(all.end(), stolen_.begin(), stolen_.end());
+    std::sort(all.begin(), all.end());
+    // Whatever the thief leaves, the owner drains: together they must
+    // hold each item exactly once.
+    for (int i = 0; i < items_; ++i) {
+      if (static_cast<std::size_t>(i) >= all.size() || all[i] != i) {
+        *why = "items lost or duplicated (owner " +
+               std::to_string(popped_.size()) + ", thief " +
+               std::to_string(stolen_.size()) + " of " +
+               std::to_string(items_) + ")";
+        return false;
+      }
+    }
+    if (all.size() != static_cast<std::size_t>(items_)) {
+      *why = "item count " + std::to_string(all.size()) + " != " +
+             std::to_string(items_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const int items_;
+  std::unique_ptr<ChaseLevDeque<int>> deque_;
+  std::vector<int> popped_;
+  std::vector<int> stolen_;
+};
+
+TEST(InterleaveDeque, StealVsPopConservesItemsExhaustively) {
+  DequeConservationScenario scenario(2);
+  const ExhaustResult result = testing::exhaust(scenario, 500, 20000);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+  EXPECT_FALSE(result.budget_exhausted)
+      << result.schedules << " schedules without covering the space";
+}
+
+TEST(InterleaveDeque, StealHalfAgainstDrainingOwnerPct) {
+  // Larger batch: steal-half claims up to half of 4 while the owner pops
+  // the same window down — the exact race a batch top-CAS would lose.
+  DequeConservationScenario scenario(4);
+  const ExhaustResult result = testing::pct_campaign(scenario, 128, 7);
+  EXPECT_FALSE(result.found_failure) << result.failure.failure;
+}
+
+// ----------------------------------------------------------------- pool --
+
+/// The termination protocol under forced steal-half during the idle-count
+/// countdown: worker 1 parks hungry immediately (idle count rises), then
+/// worker 0 pushes, processes, and re-donates; every schedule must end
+/// with both workers seeing kDone and every item processed exactly once.
+class PoolTerminationScenario final : public Scenario {
+ public:
+  void reset() override {
+    pool_ = std::make_unique<WorkStealingPool<int>>(2);
+    processed_ = {0, 0};
+    stolen_items_ = 0;
+  }
+  [[nodiscard]] std::size_t threads() const override { return 2; }
+  void body(std::size_t tid) override {
+    if (tid == 0) {
+      for (int i = 0; i < 3; ++i) {
+        pool_->push(0, i);
+      }
+    }
+    int item = 0;
+    for (;;) {
+      // A short poll keeps parked workers cycling through step sites, so
+      // the harness never waits a full stall timeout on a sleeping peer.
+      const auto r = pool_->acquire(static_cast<std::uint32_t>(tid), item,
+                                    std::chrono::milliseconds(1));
+      if (r == WorkStealingPool<int>::Acquire::kDone) {
+        return;
+      }
+      if (r == WorkStealingPool<int>::Acquire::kTimeout) {
+        continue;
+      }
+      ++processed_[tid];
+      if (item >= 100) {
+        continue;  // re-donated item: process without re-sharing
+      }
+      // Re-donate a derivative item once, from whichever worker holds it:
+      // if a steal moved it during the countdown, the push now comes from
+      // the thief's deque — exactly the handoff the protocol must absorb.
+      pool_->push(static_cast<std::uint32_t>(tid), item + 100);
+    }
+  }
+  bool check(std::string* why) override {
+    const std::uint64_t total = processed_[0] + processed_[1];
+    if (total != 6) {  // 3 pushed + 3 re-donated
+      *why = "processed " + std::to_string(total) + " of 6 items";
+      return false;
+    }
+    if (pool_->pending() != 0) {
+      *why = "pool finished with items pending";
+      return false;
+    }
+    if (!pool_->finished()) {
+      *why = "pool not marked finished after both workers returned";
+      return false;
+    }
+    stolen_items_ = pool_->stats(0).steals + pool_->stats(1).steals;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t stolen_items() const { return stolen_items_; }
+
+ private:
+  std::unique_ptr<WorkStealingPool<int>> pool_;
+  std::array<std::uint64_t, 2> processed_{};
+  std::uint64_t stolen_items_ = 0;
+};
+
+TEST(InterleavePool, TerminationLosesNoWorkUnderSeededSchedules) {
+  PoolTerminationScenario scenario;
+  std::uint64_t rounds_with_steals = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    ScheduleOptions opts;
+    opts.policy = ScheduleOptions::Policy::kPct;
+    opts.seed = seed;
+    opts.max_steps = 5000;
+    const RunOutcome out = StepScheduler(opts).drive(scenario);
+    ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.failure;
+    rounds_with_steals += scenario.stolen_items() > 0 ? 1 : 0;
+  }
+  // The campaign must actually exercise steal-half during the idle
+  // countdown, not just the owner draining its own deque.
+  EXPECT_GT(rounds_with_steals, 0u);
+}
+
+TEST(InterleavePool, TerminationLosesNoWorkUnderRandomSchedules) {
+  PoolTerminationScenario scenario;
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    ScheduleOptions opts;
+    opts.policy = ScheduleOptions::Policy::kRandom;
+    opts.seed = seed;
+    opts.max_steps = 5000;
+    const RunOutcome out = StepScheduler(opts).drive(scenario);
+    ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.failure;
+  }
+}
+
+}  // namespace
+}  // namespace ezrt

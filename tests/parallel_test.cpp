@@ -16,7 +16,13 @@
 //     (Fig 3) and exclusion (Fig 4) example models;
 //   * trace_io round-trip — a parallel-produced trace survives save/load
 //     with replay equivalence (the pipeline edge P1–P10 don't exercise);
-//   * ShardedVisitedSet — exactly-once admission under thread contention.
+//   * visited sets — exactly-once admission under thread contention for
+//     both the mutexed ShardedVisitedSet and the lock-free CasVisitedSet
+//     (docs/concurrency.md), including the exact-size-after-quiescence
+//     contract of the relaxed size counter;
+//   * work sharing — steal/donation telemetry of the work-stealing pool is
+//     internally consistent and the distinct-state count stays
+//     thread-count independent on an exhausted instance.
 //
 // Built twice by tests/CMakeLists.txt: the plain binary runs a small sweep
 // for local iteration, and the `parallel_stress_test` binary (ctest label
@@ -363,6 +369,144 @@ TEST(ShardedVisitedSet, GrowsPastInitialCapacity) {
     EXPECT_FALSE(set.insert(d));
   }
   EXPECT_EQ(set.size(), kDigests);
+}
+
+TEST(ShardedVisitedSet, SizeIsExactAfterQuiescence) {
+  // size() is a relaxed counter bumped outside the shard locks: racing
+  // readers may see it lag, but after every writer joins it must equal
+  // the exact distinct-digest count — even under a duplicate-heavy mix
+  // where most inserts lose the race.
+  constexpr std::uint64_t kDistinct = 4'000;
+  constexpr std::uint32_t kThreads = 8;
+  sched::ShardedVisitedSet set(16);
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      // All threads walk the same keys in the same order: maximal
+      // duplicate contention on every digest.
+      for (std::uint64_t i = 0; i < kDistinct; ++i) {
+        const tpn::StateDigest d{hash_cell(i, 3, kHashSeed),
+                                 hash_cell(i, 5, kHashSeed)};
+        set.insert(d);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(set.size(), kDistinct);
+}
+
+// -- CasVisitedSet -----------------------------------------------------------
+
+TEST(CasVisitedSet, ExactlyOnceUnderContention) {
+  constexpr std::uint64_t kDigests = 20'000;
+  constexpr std::uint32_t kThreads = 8;
+  sched::CasVisitedSet set(16, kThreads);
+  std::vector<std::uint64_t> admitted(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kDigests; ++i) {
+        const std::uint64_t k = (i + w * (kDigests / kThreads)) % kDigests;
+        const tpn::StateDigest d{hash_cell(k, 1, kHashSeed),
+                                 hash_cell(k, 2, kHashSeed)};
+        if (set.insert(d, w)) {
+          ++admitted[w];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t a : admitted) {
+    total += a;
+  }
+  EXPECT_EQ(total, kDigests);
+  EXPECT_EQ(set.size(), kDigests);
+}
+
+TEST(CasVisitedSet, DuplicateAndZeroWordDigests) {
+  sched::CasVisitedSet set(4, 1);
+  const tpn::StateDigest d{0x1234, 0x5678};
+  EXPECT_TRUE(set.insert(d, 0));
+  EXPECT_FALSE(set.insert(d, 0));
+  // Digests with a zero word can't ride the two-word publish protocol
+  // (zero means "empty"/"unpublished" in a slot) and take the mutexed
+  // side path; they must still be exactly-once and queryable.
+  const tpn::StateDigest za{0, 0xabcd};
+  const tpn::StateDigest zb{0xabcd, 0};
+  const tpn::StateDigest zz{0, 0};
+  for (const tpn::StateDigest& z : {za, zb, zz}) {
+    EXPECT_TRUE(set.insert(z, 0));
+    EXPECT_FALSE(set.insert(z, 0));
+    EXPECT_TRUE(set.contains(z));
+  }
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(CasVisitedSet, GrowsPastInitialCapacityWithoutLoss) {
+  sched::CasVisitedSet set(1, 1);  // single shard: forces epoch grows
+  constexpr std::uint64_t kDigests = 50'000;
+  for (std::uint64_t i = 0; i < kDigests; ++i) {
+    const tpn::StateDigest d{hash_cell(i, 7, kHashSeed),
+                             hash_cell(i, 9, kHashSeed)};
+    ASSERT_TRUE(set.insert(d, 0));
+  }
+  EXPECT_GT(set.growths(), 0u);
+  for (std::uint64_t i = 0; i < kDigests; i += 97) {
+    const tpn::StateDigest d{hash_cell(i, 7, kHashSeed),
+                             hash_cell(i, 9, kHashSeed)};
+    EXPECT_FALSE(set.insert(d, 0));
+    EXPECT_TRUE(set.contains(d));
+  }
+  EXPECT_EQ(set.size(), kDigests);
+}
+
+// -- Work-stealing pool telemetry --------------------------------------------
+
+TEST(ParallelSearch, WorkSharingTelemetryConsistentAcrossThreadCounts) {
+  // An exhausted (infeasible) instance makes the engine explore the whole
+  // reachable set, so the distinct-state count is an invariant across
+  // thread counts — any steal that lost or duplicated a work item during
+  // the idle-count countdown would break the equality. The telemetry
+  // cross-checks the pool's accounting: every stolen item was previously
+  // donated into some deque (plus the root item).
+  auto s = workload::generate(sweep_config(1));  // tight: infeasible-leaning
+  ASSERT_TRUE(s.ok());
+  auto model = builder::build_tpn(s.value());
+  ASSERT_TRUE(model.ok());
+
+  const sched::DfsScheduler serial(model.value().net, sweep_options(0));
+  const sched::SearchOutcome reference = serial.search();
+  ASSERT_NE(reference.status, sched::SearchStatus::kLimitReached);
+
+  for (std::uint32_t threads : kThreadCounts) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    sched::SchedulerOptions options = sweep_options(threads);
+    options.collect_telemetry = true;
+    const sched::DfsScheduler scheduler(model.value().net, options);
+    const sched::SearchOutcome out = scheduler.search();
+    ASSERT_EQ(out.status, reference.status);
+    if (out.status != sched::SearchStatus::kFeasible) {
+      EXPECT_EQ(out.stats.states_visited, reference.stats.states_visited);
+    }
+
+    ASSERT_TRUE(out.telemetry.collected);
+    ASSERT_EQ(out.telemetry.workers.size(), threads);
+    std::uint64_t donations = 0;
+    std::uint64_t steals = 0;
+    for (const sched::WorkerTelemetry& w : out.telemetry.workers) {
+      donations += w.donations;
+      steals += w.steals;
+    }
+    EXPECT_LE(steals, donations + 1);
+    if (threads == 1) {
+      EXPECT_EQ(steals, 0u);  // nobody to steal from
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Differential property tests for the concurrent visited sets
+// (sched/visited_set.hpp): randomized insert/contains mixes, with enough
+// keys per shard to force repeated growth, checked against a sequential
+// std::unordered_set oracle at 1/2/4/8 threads.
+//
+// The contract under test (docs/concurrency.md):
+//  * exactly-once — across all threads, insert returns true exactly once
+//    per distinct digest, under any interleaving and across grows;
+//  * no losses — every inserted digest is contained after quiescence,
+//    and size() equals the oracle's cardinality exactly;
+//  * telemetry — shard probe histograms sum to the occupancy and the
+//    load factor stays below the growth threshold.
+//
+// Zero-word digests (the CAS table's side-set path) are seeded into the
+// mix deliberately — they are a 2^-63 event in production and would never
+// be covered by chance.
+//
+// Stress-labeled (see tests/CMakeLists.txt): the sweep sizes target
+// contention and growth, not latency. `ctest -LE stress` skips it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.hpp"
+#include "sched/visited_set.hpp"
+#include "tpn/state.hpp"
+
+namespace ezrt {
+namespace {
+
+struct DigestHash {
+  std::size_t operator()(const tpn::StateDigest& d) const noexcept {
+    return hash_mix(d.a, d.b);
+  }
+};
+struct DigestEq {
+  bool operator()(const tpn::StateDigest& x,
+                  const tpn::StateDigest& y) const noexcept {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+using Oracle = std::unordered_set<tpn::StateDigest, DigestHash, DigestEq>;
+
+/// Key pool: mostly random nonzero-word digests, with a sprinkling of
+/// zero-word ones (indices divisible by 97) to route through the CAS
+/// set's mutexed side path.
+std::vector<tpn::StateDigest> make_keys(std::size_t count,
+                                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<tpn::StateDigest> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tpn::StateDigest d{rng() | 1, rng() | 1};
+    if (i % 97 == 0) {
+      switch (i % 3) {
+        case 0:
+          d = {0, rng() | 1};
+          break;
+        case 1:
+          d = {rng() | 1, 0};
+          break;
+        default:
+          d = {0, 0};
+          break;
+      }
+    }
+    keys.push_back(d);
+  }
+  return keys;
+}
+
+/// Runs `ops_per_thread` random insert-or-contains operations per thread
+/// against `set`, then checks the exactly-once and no-loss properties
+/// against the oracle. `Set::insert` is adapted by the caller so the same
+/// harness drives both implementations.
+template <typename InsertFn, typename ContainsFn, typename SizeFn>
+void run_differential(std::uint32_t threads, std::size_t key_count,
+                      std::size_t ops_per_thread, std::uint64_t seed,
+                      InsertFn insert, ContainsFn contains, SizeFn size) {
+  const std::vector<tpn::StateDigest> keys = make_keys(key_count, seed);
+
+  // One winner counter per key: fetch_add on a fresh-insert return. Any
+  // count other than exactly one for a touched key is a broken protocol.
+  std::vector<std::atomic<std::uint32_t>> wins(key_count);
+  std::vector<std::atomic<std::uint8_t>> touched(key_count);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      std::mt19937_64 rng(seed ^ (0x9e3779b97f4a7c15ull * (tid + 1)));
+      for (std::size_t op = 0; op < ops_per_thread; ++op) {
+        const std::size_t k = rng() % key_count;
+        if (rng() % 4 == 0) {
+          // Exercises the lock-free probe path concurrently with inserts
+          // and grows; the result is a racy snapshot, so correctness is
+          // asserted post-join, not here.
+          (void)contains(keys[k]);
+        } else {
+          touched[k].store(1, std::memory_order_relaxed);
+          if (insert(keys[k], tid)) {
+            wins[k].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  Oracle oracle;
+  for (std::size_t k = 0; k < key_count; ++k) {
+    if (touched[k].load(std::memory_order_relaxed) != 0) {
+      oracle.insert(keys[k]);
+    }
+  }
+  for (std::size_t k = 0; k < key_count; ++k) {
+    if (touched[k].load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    EXPECT_TRUE(contains(keys[k]))
+        << "digest lost after quiescence (key " << k << ")";
+  }
+  // Exactly-once, aggregated per distinct digest (the pool repeats the
+  // {0,0} digest at several indices; a fresh-insert return still happens
+  // only once for it, matching the oracle's single entry).
+  std::uint64_t total_wins = 0;
+  for (std::size_t k = 0; k < key_count; ++k) {
+    total_wins += wins[k].load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(total_wins, oracle.size())
+      << "fresh-insert returns != distinct digests inserted";
+  EXPECT_EQ(size(), oracle.size());
+}
+
+class VisitedDifferential : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VisitedDifferential, CasSetMatchesOracleSingleShardGrowthHeavy) {
+  const std::uint32_t threads = GetParam();
+  // One shard: every insert contends on one table, and 12k distinct keys
+  // against 1024 initial slots force several epoch grows mid-race.
+  sched::CasVisitedSet set(1, threads);
+  run_differential(
+      threads, 12'000, 40'000, 0xc0ffee + threads,
+      [&](tpn::StateDigest d, std::uint32_t tid) { return set.insert(d, tid); },
+      [&](tpn::StateDigest d) { return set.contains(d); },
+      [&] { return set.size(); });
+  EXPECT_GT(set.growths(), 0u);
+
+  // Telemetry invariants after quiescence (same contract obs_test pins
+  // for the engine): histogram mass equals occupancy, load below 0.71.
+  for (const sched::ShardTelemetry& shard : set.shard_stats()) {
+    ASSERT_EQ(shard.probe_hist.size(), 9u);
+    std::uint64_t hist = 0;
+    for (std::uint64_t n : shard.probe_hist) {
+      hist += n;
+    }
+    EXPECT_EQ(hist, shard.occupied);
+    EXPECT_LE(shard.load_factor, 0.71);
+  }
+}
+
+TEST_P(VisitedDifferential, CasSetMatchesOracleShardedMix) {
+  const std::uint32_t threads = GetParam();
+  sched::CasVisitedSet set(8, threads);
+  run_differential(
+      threads, 30'000, 60'000, 0xfeed + threads,
+      [&](tpn::StateDigest d, std::uint32_t tid) { return set.insert(d, tid); },
+      [&](tpn::StateDigest d) { return set.contains(d); },
+      [&] { return set.size(); });
+}
+
+TEST_P(VisitedDifferential, MutexSetMatchesOracle) {
+  const std::uint32_t threads = GetParam();
+  sched::ShardedVisitedSet set(8);
+  run_differential(
+      threads, 30'000, 60'000, 0xbeef + threads,
+      [&](tpn::StateDigest d, std::uint32_t) { return set.insert(d); },
+      [&](tpn::StateDigest d) { return set.contains(d); },
+      [&] { return set.size(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, VisitedDifferential,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ezrt

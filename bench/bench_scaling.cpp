@@ -232,6 +232,65 @@ void BM_Guided_BestFirst_Exhaustive(benchmark::State& state) {
 }
 BENCHMARK(BM_Guided_BestFirst_Exhaustive)->Unit(benchmark::kMillisecond);
 
+// -- Multi-processor scenarios (docs/multiprocessor.md) ----------------------
+
+/// Partitioned placement at 2/4 processors: cores are isolated (no
+/// messages), so the search cost should stay near the per-core sum — the
+/// baseline against which BM_MultiProc_Global's bus coupling is read.
+void BM_MultiProc_Partitioned(benchmark::State& state) {
+  const auto processors = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s =
+      workload::generate(workload::multiproc_scenario(
+                             workload::Placement::kPartitioned, true,
+                             processors, 4))
+          .value();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.max_states = 2'000'000;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+  state.counters["processors"] = static_cast<double>(processors);
+}
+BENCHMARK(BM_MultiProc_Partitioned)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Global placement at 2/4 processors: cross-core messages contend for
+/// the bus and the K = 2 sync pool, so the cores' interleavings couple —
+/// the state-space price of shared resources.
+void BM_MultiProc_Global(benchmark::State& state) {
+  const auto processors = static_cast<std::uint32_t>(state.range(0));
+  const spec::Specification s =
+      workload::generate(workload::multiproc_scenario(
+                             workload::Placement::kGlobal, true, processors,
+                             4))
+          .value();
+  auto model = builder::build_tpn(s).value();
+  sched::SchedulerOptions options;
+  options.max_states = 2'000'000;
+  sched::DfsScheduler scheduler(model.net, options);
+  std::uint64_t states = 0;
+  const char* verdict = "?";
+  for (auto _ : state) {
+    const auto out = scheduler.search();
+    states = out.stats.states_visited;
+    verdict = sched::to_string(out.status);
+  }
+  state.SetLabel(verdict);
+  state.counters["states_visited"] = static_cast<double>(states);
+  state.counters["processors"] = static_cast<double>(processors);
+}
+BENCHMARK(BM_MultiProc_Global)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 // -- Visited-set insert throughput (docs/concurrency.md) ---------------------
 
 /// Distinct-digest insert throughput of the mutexed ShardedVisitedSet vs

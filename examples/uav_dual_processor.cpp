@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/project.hpp"
+#include "workload/generator.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sensitivity.hpp"
 #include "tpn/dot.hpp"
@@ -20,51 +21,10 @@
 int main() {
   using namespace ezrt;
 
-  spec::Specification system("uav-autopilot");
-  const ProcessorId sensor_cpu = system.add_processor("sensor-cpu");
-  const ProcessorId control_cpu = system.add_processor("control-cpu");
-
-  auto add = [&](const char* name, ProcessorId cpu,
-                 spec::TimingConstraints timing,
-                 spec::SchedulingType mode =
-                     spec::SchedulingType::kNonPreemptive) {
-    spec::Task task;
-    task.name = name;
-    task.timing = timing;
-    task.scheduling = mode;
-    task.processor = cpu;
-    return system.add_task(std::move(task));
-  };
-
-  // Sensor CPU: IMU sampling and attitude fusion every 10 ms.
-  const TaskId imu = add("imu", sensor_cpu, {0, 0, 2, 6, 10});
-  const TaskId fusion = add("fusion", sensor_cpu, {0, 0, 3, 10, 10});
-  system.add_precedence(imu, fusion);
-
-  // Control CPU: trajectory planning (slow, preemptive), attitude control
-  // (fast) and ESC output; ESC output and telemetry share the SPI bus.
-  const TaskId trajectory = add("trajectory", control_cpu, {0, 0, 6, 20, 20},
-                                spec::SchedulingType::kPreemptive);
-  // attitude consumes the fused estimate, which lands no earlier than
-  // t = 7 (imu 2 + fusion 3 + bus grant 1 ... transfer 2): d = 10.
-  const TaskId attitude = add("attitude", control_cpu, {0, 0, 2, 10, 10});
-  const TaskId esc = add("esc_out", control_cpu, {0, 0, 1, 10, 10},
-                         spec::SchedulingType::kPreemptive);
-  const TaskId telemetry = add("telemetry", control_cpu, {0, 0, 2, 20, 20},
-                               spec::SchedulingType::kPreemptive);
-  system.add_precedence(attitude, esc);
-  // trajectory and telemetry share the logging flash: neither may be
-  // preempted by the other mid-write.
-  system.add_exclusion(trajectory, telemetry);
-
-  // Fused attitude estimate crosses to the control CPU on the CAN bus.
-  spec::Message estimate;
-  estimate.name = "attitude_estimate";
-  estimate.bus = "can0";
-  estimate.grant_bus = 1;
-  estimate.communication = 2;
-  const MessageId msg = system.add_message(std::move(estimate));
-  system.connect_message(fusion, msg, attitude);
+  // The system definition lives in the workload library
+  // (workload::uav_autopilot_specification) so the checked-in spec under
+  // examples/specs/, the CLI tests and this example all share one source.
+  spec::Specification system = workload::uav_autopilot_specification();
 
   // The exclusion lock's acquisition order makes this set a case where
   // the paper's FT_P priority filter prunes away every feasible

@@ -87,6 +87,23 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
                                              1, PlaceRole::kProcessor));
   }
 
+  // Bounded shared-synchronization budget (ROADMAP: feasibility under K
+  // concurrent shared resources). psync_pool starts with K tokens; every
+  // transition that acquires a bus or an exclusion lock also consumes pool
+  // tokens (one per resource held) and the matching release returns them.
+  // When the pool is dry, acquirers stay disabled, the deadline watchdogs
+  // eventually fire, and the branch prunes — so over-synchronized schedules
+  // become infeasible with no per-engine special cases.
+  bool has_sync_consumers = spec.message_count() > 0;
+  for (TaskId tid : spec.task_ids()) {
+    has_sync_consumers = has_sync_consumers || !spec.task(tid).excludes.empty();
+  }
+  if (spec.sync_budget() > 0 && has_sync_consumers) {
+    model.sync_budget = spec.sync_budget();
+    model.sync_pool =
+        net.add_place("psync_pool", model.sync_budget, PlaceRole::kSyncPool);
+  }
+
   // Bus resources and message blocks (§3.3.5). The transfer chain is
   //   tf_sender -> pmsg_wait -> tmacq [0, grant] -> pmsg_xfer
   //             -> tmrel [comm, comm] -> pmsg_done -> tr_receiver,
@@ -114,6 +131,9 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
         TransitionRole::kCommunication);
     net.add_input(acquire, wait);
     net.add_input(acquire, bus);
+    if (model.sync_pool.valid()) {
+      net.add_input(acquire, model.sync_pool);
+    }
     net.add_output(acquire, xfer);
     const TransitionId release = net.add_transition(
         "tmrel_" + msg.name, TimeInterval::exactly(msg.communication),
@@ -121,8 +141,13 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
     net.add_input(release, xfer);
     net.add_output(release, done);
     net.add_output(release, bus);
+    if (model.sync_pool.valid()) {
+      net.add_output(release, model.sync_pool);
+    }
     msg_sent[msg.sender.value()].push_back(wait);
     msg_ready[msg.receiver.value()].push_back(done);
+    model.message_nets.push_back(
+        MessageNet{acquire, release, wait, xfer, done, bus});
   }
 
   // Exclusion lock places, one per unordered pair (§3.3.4). The closure is
@@ -249,6 +274,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
       for (PlaceId lock : locks) {
         net.add_input(tn.release, lock);
       }
+      if (model.sync_pool.valid() && !locks.empty()) {
+        net.add_input(tn.release, model.sync_pool,
+                      static_cast<std::uint32_t>(locks.size()));
+      }
       net.add_output(tn.release, tn.wait_compute);
       tn.compute = net.add_transition(
           "tc_" + nm, TimeInterval::exactly(timing.computation),
@@ -258,6 +287,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
       net.add_output(tn.compute, proc);
       for (PlaceId lock : locks) {
         net.add_output(tn.compute, lock);
+      }
+      if (model.sync_pool.valid() && !locks.empty()) {
+        net.add_output(tn.compute, model.sync_pool,
+                       static_cast<std::uint32_t>(locks.size()));
       }
     } else if (!preemptive) {
       // Literal Fig 2 structure: tg [0, 0] grabs processor and locks.
@@ -270,6 +303,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
       for (PlaceId lock : locks) {
         net.add_input(tn.grant, lock);
       }
+      if (model.sync_pool.valid() && !locks.empty()) {
+        net.add_input(tn.grant, model.sync_pool,
+                      static_cast<std::uint32_t>(locks.size()));
+      }
       net.add_output(tn.grant, tn.wait_compute);
       tn.compute = net.add_transition(
           "tc_" + nm, TimeInterval::exactly(timing.computation),
@@ -279,6 +316,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
       net.add_output(tn.compute, proc);
       for (PlaceId lock : locks) {
         net.add_output(tn.compute, lock);
+      }
+      if (model.sync_pool.valid() && !locks.empty()) {
+        net.add_output(tn.compute, model.sync_pool,
+                       static_cast<std::uint32_t>(locks.size()));
       }
     } else {
       // Preemptive (§3.3.2 Fig 4): the release banks c unit chunks; every
@@ -295,6 +336,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
         net.add_input(tn.acquire, tn.wait_grant, wcet);
         for (PlaceId lock : locks) {
           net.add_input(tn.acquire, lock);
+        }
+        if (model.sync_pool.valid()) {
+          net.add_input(tn.acquire, model.sync_pool,
+                        static_cast<std::uint32_t>(locks.size()));
         }
         net.add_output(tn.acquire, tn.locked, wcet);
         chunk_pool = tn.locked;
@@ -327,6 +372,10 @@ Result<BuiltModel> build_tpn(const spec::Specification& input,
     if (preemptive) {
       for (PlaceId lock : locks) {
         net.add_output(tn.finish, lock);
+      }
+      if (model.sync_pool.valid() && !locks.empty()) {
+        net.add_output(tn.finish, model.sync_pool,
+                       static_cast<std::uint32_t>(locks.size()));
       }
     }
     for (PlaceId p : prec_out[tid.value()]) {

@@ -75,6 +75,16 @@ struct TaskNet {
   PlaceId missed;         ///< pdm_i (undesirable)
 };
 
+/// Handles into the net for one message's transfer chain (§3.3.5).
+struct MessageNet {
+  TransitionId acquire;  ///< tmacq [0, grant] — takes the bus (and pool)
+  TransitionId release;  ///< tmrel [comm, comm] — returns them
+  PlaceId wait;          ///< pmsg_*_wait — produced by tf_sender
+  PlaceId xfer;          ///< pmsg_*_xfer — in-flight transfer
+  PlaceId done;          ///< pmsg_*_done — consumed by tr_receiver
+  PlaceId bus;           ///< the shared bus place this message rides
+};
+
 struct BuiltModel {
   tpn::TimePetriNet net;
   Time schedule_period = 0;  ///< PS = lcm of the task periods
@@ -85,6 +95,13 @@ struct BuiltModel {
   std::vector<PlaceId> processors;
   /// Bus resource places, one per distinct bus name, in first-use order.
   std::vector<PlaceId> buses;
+  /// K-token pool of shared synchronization resources (invalid when the
+  /// spec declares no budget or has nothing that would consume it). Every
+  /// held exclusion lock and every in-flight bus transfer costs one token;
+  /// exhaustion disables further acquisitions until a holder releases.
+  PlaceId sync_pool;
+  std::uint32_t sync_budget = 0;  ///< K (0 = unbounded, no pool place)
+  std::vector<MessageNet> message_nets;  ///< indexed by MessageId value
   std::vector<TaskNet> task_nets;  ///< indexed by TaskId value
 
   [[nodiscard]] const TaskNet& task_net(TaskId id) const {

@@ -127,7 +127,9 @@ class Args {
            name == "mem-limit" || name == "faults" || name == "trials" ||
            name == "intensities" || name == "policies" ||
            name == "engine" || name == "beam-width" ||
-           name == "state-classes";
+           name == "state-classes" || name == "processors" ||
+           name == "placement" || name == "messages" ||
+           name == "sync-budget";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -297,7 +299,19 @@ class Args {
   if (!parsed.ok()) {
     return parsed.error();
   }
-  return core::Project(std::move(parsed).value(), build, scheduler);
+  spec::Specification specification = std::move(parsed).value();
+  if (auto budget = args.value("sync-budget")) {
+    // Override the declared shared-synchronization pool K: shrinking it
+    // below a schedule's high-water mark flips the verdict to infeasible
+    // (docs/multiprocessor.md).
+    auto parsed_budget = parse_uint(*budget);
+    if (!parsed_budget.ok()) {
+      return parsed_budget.error();
+    }
+    specification.set_sync_budget(
+        static_cast<std::uint32_t>(parsed_budget.value()));
+  }
+  return core::Project(std::move(specification), build, scheduler);
 }
 
 int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
@@ -633,8 +647,21 @@ int cmd_workload(const Args& args, std::ostream& out, std::ostream& err) {
   };
   if (!read_u64("tasks", config.tasks) || !read_u64("seed", config.seed) ||
       !read_u64("precedence", config.precedence_edges) ||
-      !read_u64("exclusion", config.exclusion_pairs)) {
+      !read_u64("exclusion", config.exclusion_pairs) ||
+      !read_u64("processors", config.processors) ||
+      !read_u64("messages", config.messages) ||
+      !read_u64("sync-budget", config.sync_budget)) {
     return kInvalidInput;
+  }
+  if (auto value = args.value("placement")) {
+    if (*value == "partitioned") {
+      config.placement = workload::Placement::kPartitioned;
+    } else if (*value == "global") {
+      config.placement = workload::Placement::kGlobal;
+    } else {
+      err << "error: --placement expects partitioned|global\n";
+      return kInvalidInput;
+    }
   }
   if (auto value = args.value("utilization")) {
     try {
@@ -961,6 +988,9 @@ std::string usage() {
       "               [--report FILE] machine-readable run report (JSON)\n"
       "               [--trace-out FILE] Chrome trace of the pipeline\n"
       "               [--progress[=MS]] heartbeat on stderr (default 1000)\n"
+      "               [--sync-budget K] override the shared-sync pool\n"
+      "               (docs/multiprocessor.md); multi-processor specs\n"
+      "               print one table per core plus the bus timeline\n"
       "  codegen      emit the scheduled C program  -o DIR\n"
       "               [--target host-sim|bare-metal] [--mcu "
       "generic|8051|arm9|m68k|x86]\n"
@@ -974,6 +1004,8 @@ std::string usage() {
       "  workload     generate a random task set  [-o FILE] [--tasks N]\n"
       "               [--utilization U] [--seed S] [--preemptive F]\n"
       "               [--precedence N] [--exclusion N]\n"
+      "               [--processors P] [--placement partitioned|global]\n"
+      "               [--messages N] cross-core channels [--sync-budget K]\n"
       "  baseline     compare on-line EDF/DM/RM/NP-EDF on the same tasks\n"
       "  replay       audit a stored firing schedule: replay <spec> "
       "<trace>\n"

@@ -62,6 +62,7 @@ void write_model(JsonWriter& w, Project& project) {
   w.member("tasks", static_cast<std::uint64_t>(spec.task_count()));
   w.member("processors", static_cast<std::uint64_t>(spec.processor_count()));
   w.member("messages", static_cast<std::uint64_t>(spec.message_count()));
+  w.member("sync_budget", static_cast<std::uint64_t>(spec.sync_budget()));
   w.member("utilization", spec.utilization());
   if (auto period = spec.schedule_period(); period.ok()) {
     w.member("schedule_period", period.value());
@@ -176,6 +177,32 @@ void write_schedule(JsonWriter& w, Project& project) {
   w.member("utilization", metrics.utilization);
   w.member("total_energy", metrics.total_energy);
   w.member("total_preemptions", metrics.total_preemptions);
+  // Schema v4: per-processor utilization, bus contention, K-pool usage.
+  w.key("processors").begin_array();
+  for (const runtime::ProcessorMetrics& proc : metrics.processors) {
+    w.begin_object();
+    const std::string name =
+        proc.processor.value() < spec.processor_count()
+            ? spec.processor(proc.processor).name
+            : "cpu" + std::to_string(proc.processor.value());
+    w.member("processor", std::string_view(name));
+    w.member("tasks", proc.tasks);
+    w.member("segments", proc.segments);
+    w.member("busy_time", proc.busy_time);
+    w.member("idle_time", proc.idle_time);
+    w.member("utilization", proc.utilization);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("bus").begin_object();
+  w.member("transfers", metrics.bus_transfers);
+  w.member("busy_time", metrics.bus_busy_time);
+  w.member("utilization", metrics.bus_utilization);
+  w.end_object();
+  w.key("sync").begin_object();
+  w.member("budget", metrics.sync_budget);
+  w.member("high_water", metrics.sync_high_water);
+  w.end_object();
   w.key("tasks").begin_array();
   for (const runtime::TaskMetrics& task : metrics.tasks) {
     w.begin_object();
@@ -221,7 +248,10 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
   // v3: guided-search options (search_engine/beam_width/widen/
   // state_classes/state_classes_enabled) and the class/heuristic effort
   // counters (pruned_doomed/classes_merged/heuristic_evals/beam_dropped).
-  w.member("version", 3);
+  // v4: multi-processor breakdown under "schedule" — per-processor
+  // utilization ("processors"), bus contention ("bus") and the shared
+  // K-pool high-water mark ("sync"); "model" gains "sync_budget".
+  w.member("version", 4);
   write_model(w, project);
   write_options(w, project.scheduler_options());
 

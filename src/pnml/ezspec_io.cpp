@@ -81,6 +81,9 @@ Result<std::string> write_ezspec(const Specification& specification) {
   doc.root->set_attribute("name", s.name());
   doc.root->set_attribute("dispOveh",
                           s.dispatcher_overhead() ? "true" : "false");
+  if (s.sync_budget() > 0) {
+    doc.root->set_attribute("syncBudget", std::to_string(s.sync_budget()));
+  }
 
   for (ProcessorId id : s.processor_ids()) {
     const spec::Processor& p = s.processor(id);
@@ -158,6 +161,14 @@ Result<Specification> read_ezspec(std::string_view document) {
 
   Specification s(std::string(root.attribute("name").value_or("untitled")));
   s.set_dispatcher_overhead(root.attribute("dispOveh") == "true");
+  if (auto budget = root.attribute("syncBudget")) {
+    auto parsed_budget = parse_uint(*budget);
+    if (!parsed_budget.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "syncBudget is not a non-negative integer");
+    }
+    s.set_sync_budget(static_cast<std::uint32_t>(parsed_budget.value()));
+  }
 
   std::map<std::string, ProcessorId> processors_by_id;
   std::map<std::string, TaskId> tasks_by_id;

@@ -117,20 +117,70 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
                      return a.start < b.start;
                    });
 
+  // Partition the table per core: each processor runs its own timer-driven
+  // dispatcher over its own rows. Rows without a processor assignment
+  // (tables built before processors were first-class, hand-made tests)
+  // fall to core 0, which makes the mono-processor walk bit-identical to
+  // the single-dispatcher simulator.
+  std::size_t cores = std::max<std::size_t>(1, table.processor_count);
+  for (const sched::ScheduleItem& item : items) {
+    if (item.processor.valid()) {
+      cores = std::max<std::size_t>(cores, item.processor.value() + 1);
+    }
+  }
+  std::vector<std::vector<sched::ScheduleItem>> core_items(cores);
+  for (const sched::ScheduleItem& item : items) {
+    core_items[item.processor.valid() ? item.processor.value() : 0]
+        .push_back(item);
+  }
+  auto core_of = [&](TaskId task) -> std::size_t {
+    if (task.value() >= spec.task_count()) {
+      return 0;
+    }
+    const ProcessorId proc = spec.task(task).processor;
+    return proc.valid() && proc.value() < cores ? proc.value() : 0;
+  };
+
+  // Bus co-simulation: the statically scheduled message transfers replay
+  // alongside the cores. Each transfer occupies the bus for its window and
+  // leaves send/receive instants on the virtual-time track.
+  run.core_busy.assign(cores, 0);
+  run.core_idle.assign(cores, 0);
+  for (const sched::BusSegment& seg : table.bus_timeline) {
+    run.bus_busy_time += seg.duration;
+    if (tracer != nullptr && seg.message.value() < spec.message_count()) {
+      const spec::Message& msg = spec.message(seg.message);
+      obs::JsonWriter w;
+      w.begin_object()
+          .member("message", std::string_view(msg.name))
+          .member("bus", std::string_view(msg.bus))
+          .end_object();
+      tracer->complete("msg:" + msg.name, "bus", seg.start, seg.duration,
+                       w.take(), obs::kTrackVirtual);
+      tracer->instant_at("msg-send:" + msg.name, "bus", seg.start, "",
+                         obs::kTrackVirtual);
+      tracer->instant_at("msg-recv:" + msg.name, "bus",
+                         seg.start + seg.duration, "", obs::kTrackVirtual);
+    }
+  }
+
   // Remaining WCET per live instance, as the dispatcher would track it via
-  // the schedule table's resume flags.
+  // the schedule table's resume flags. Tasks are pinned to one core, so
+  // the instance maps are shared across the per-core walks without key
+  // collisions.
   std::map<InstanceKey, Time> remaining;
   std::map<InstanceKey, Time> completion;
   // Fault-injection bookkeeping. `need` is the effective (fault-inflated)
   // demand, `last_activity` the end of the instance's last segment — the
-  // earliest point a slack retry can begin. Idle windows accumulate the
-  // table's unused capacity for retry-next-slot.
+  // earliest point a slack retry can begin. Idle windows accumulate each
+  // core's unused capacity for retry-next-slot, kept per core so a retry
+  // re-executes on the processor the task is pinned to.
   std::map<InstanceKey, Time> need;
   std::map<InstanceKey, Time> last_activity;
   std::set<InstanceKey> transient;  ///< latched transient failures
   std::set<InstanceKey> skipped;
   std::set<InstanceKey> recovered;
-  std::vector<std::pair<Time, Time>> idle_windows;
+  std::vector<std::vector<std::pair<Time, Time>>> idle_windows(cores);
 
   // Applies the instance's start-time faults: overruns and bursts inflate
   // the demand, transient failures latch for later detection. Returns the
@@ -166,156 +216,166 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
   };
 
   // The instance currently "on the CPU" and how long it still runs in the
-  // current segment; used to detect preemptions.
+  // current segment; used to detect preemptions. One walk per core, each
+  // with its own clock and dispatcher state.
   bool cpu_busy = false;
   InstanceKey on_cpu{};
   Time segment_ends = 0;
 
-  for (const sched::ScheduleItem& item : items) {
-    if (item.task.value() >= spec.task_count()) {
-      fault("table entry references an unknown task");
-      continue;
-    }
-    const spec::Task& task = spec.task(item.task);
-    const auto key = std::make_pair(item.task, item.instance);
-
-    if (item.start < clock) {
-      if (graceful) {
-        // A drifted segment overran this entry's slot; the dispatcher
-        // drops the entry instead of corrupting its bookkeeping. A
-        // dropped start leaves the whole instance to the recovery pass.
-        if (!item.preempted && !remaining.contains(key)) {
-          remaining[key] = apply_start_faults(task, key, clock);
-          need[key] = remaining[key];
-          last_activity[key] = clock;
-        }
+  for (std::size_t core = 0; core < cores; ++core) {
+    clock = 0;
+    cpu_busy = false;
+    on_cpu = InstanceKey{};
+    segment_ends = 0;
+    for (const sched::ScheduleItem& item : core_items[core]) {
+      if (item.task.value() >= spec.task_count()) {
+        fault("table entry references an unknown task");
         continue;
       }
-      fault("timer for '" + task.name + "' at t=" +
-            std::to_string(item.start) + " is in the past (clock " +
-            std::to_string(clock) + ")");
-      continue;
-    }
+      const spec::Task& task = spec.task(item.task);
+      const auto key = std::make_pair(item.task, item.instance);
 
-    Time dispatch_at = item.start;
-    if (faults != nullptr && !item.preempted) {
-      if (const InjectedFault* f = faults->find(
-              item.task, item.instance, FaultKind::kReleaseDrift)) {
-        dispatch_at += f->magnitude;
-        ++run.injection.release_drifts;
-        ++run.injection.injected;
-        trace_instant("fault:release-drift", key, item.start, f->magnitude);
-      }
-    }
-    bool saved_context = false;
-    if (cpu_busy) {
-      // Run the previous task until this timer interrupt or its segment
-      // end, whichever is earlier. A table produced by the scheduler cuts
-      // segments exactly at the next dispatch, so an unfinished budget at
-      // the boundary *is* a preemption: the ISR saves its context.
-      const Time ran_until = std::min(dispatch_at, segment_ends);
-      const Time executed = ran_until - clock;
-      remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
-      run.busy_time += executed;
-      trace_segment(on_cpu, clock, executed);
-      if (executed > 0) {
-        last_activity[on_cpu] = ran_until;
-      }
-      clock = ran_until;
-      if (remaining[on_cpu] == 0) {
-        if (!completion.contains(on_cpu)) {
-          completion[on_cpu] = ran_until;
+      if (item.start < clock) {
+        if (graceful) {
+          // A drifted segment overran this entry's slot; the dispatcher
+          // drops the entry instead of corrupting its bookkeeping. A
+          // dropped start leaves the whole instance to the recovery pass.
+          if (!item.preempted && !remaining.contains(key)) {
+            remaining[key] = apply_start_faults(task, key, clock);
+            need[key] = remaining[key];
+            last_activity[key] = clock;
+          }
+          continue;
         }
-        cpu_busy = false;
-      } else if (ran_until == dispatch_at) {
-        saved_context = true;  // interrupted with work left
-        ++run.context_saves;
-        cpu_busy = false;
-        if (tracer != nullptr) {
-          tracer->instant_at(
-              "preempt", "dispatch", dispatch_at,
-              instance_args(spec.task(on_cpu.first).name, on_cpu.second),
-              obs::kTrackVirtual);
+        fault("timer for '" + task.name + "' at t=" +
+              std::to_string(item.start) + " is in the past (clock " +
+              std::to_string(clock) + ")");
+        continue;
+      }
+
+      Time dispatch_at = item.start;
+      if (faults != nullptr && !item.preempted) {
+        if (const InjectedFault* f = faults->find(
+                item.task, item.instance, FaultKind::kReleaseDrift)) {
+          dispatch_at += f->magnitude;
+          ++run.injection.release_drifts;
+          ++run.injection.injected;
+          trace_instant("fault:release-drift", key, item.start, f->magnitude);
         }
+      }
+      bool saved_context = false;
+      if (cpu_busy) {
+        // Run the previous task until this timer interrupt or its segment
+        // end, whichever is earlier. A table produced by the scheduler cuts
+        // segments exactly at the next dispatch, so an unfinished budget at
+        // the boundary *is* a preemption: the ISR saves its context.
+        const Time ran_until = std::min(dispatch_at, segment_ends);
+        const Time executed = ran_until - clock;
+        remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
+        run.busy_time += executed;
+        run.core_busy[core] += executed;
+        trace_segment(on_cpu, clock, executed);
+        if (executed > 0) {
+          last_activity[on_cpu] = ran_until;
+        }
+        clock = ran_until;
+        if (remaining[on_cpu] == 0) {
+          if (!completion.contains(on_cpu)) {
+            completion[on_cpu] = ran_until;
+          }
+          cpu_busy = false;
+        } else if (ran_until == dispatch_at) {
+          saved_context = true;  // interrupted with work left
+          ++run.context_saves;
+          cpu_busy = false;
+          if (tracer != nullptr) {
+            tracer->instant_at(
+                "preempt", "dispatch", dispatch_at,
+                instance_args(spec.task(on_cpu.first).name, on_cpu.second),
+                obs::kTrackVirtual);
+          }
+        } else {
+          // Segment budget exhausted before the next dispatch with WCET
+          // left: the table under-allocated; the instance-completion audit
+          // below reports it.
+          cpu_busy = false;
+        }
+      }
+      if (dispatch_at > clock) {
+        run.idle_time += dispatch_at - clock;
+        run.core_idle[core] += dispatch_at - clock;
+        idle_windows[core].emplace_back(clock, dispatch_at);
+      }
+      run.events.push_back(DispatchEvent{dispatch_at, item.task,
+                                         item.instance, item.preempted,
+                                         saved_context});
+
+      // Start or resume the entry's instance.
+      if (!item.preempted) {
+        if (remaining.contains(key)) {
+          fault(task.name + "#" + std::to_string(item.instance + 1) +
+                ": started twice");
+        }
+        const Time demand = apply_start_faults(task, key, dispatch_at);
+        need[key] = demand;
+        if (transient.contains(key) &&
+            options.recovery == RecoveryPolicy::kSkipInstance) {
+          // The dispatcher's start-of-instance self-test catches the fault
+          // latch and abandons the instance; the slot idles.
+          skipped.insert(key);
+          remaining[key] = 0;
+          clock = dispatch_at;
+          trace_instant("recover:skip", key, dispatch_at, 0);
+          continue;
+        }
+        remaining[key] = demand;
       } else {
-        // Segment budget exhausted before the next dispatch with WCET
-        // left: the table under-allocated; the instance-completion audit
-        // below reports it.
-        cpu_busy = false;
-      }
-    }
-    if (dispatch_at > clock) {
-      run.idle_time += dispatch_at - clock;
-      idle_windows.emplace_back(clock, dispatch_at);
-    }
-    run.events.push_back(DispatchEvent{dispatch_at, item.task,
-                                       item.instance, item.preempted,
-                                       saved_context});
-
-    // Start or resume the entry's instance.
-    if (!item.preempted) {
-      if (remaining.contains(key)) {
-        fault(task.name + "#" + std::to_string(item.instance + 1) +
-              ": started twice");
-      }
-      const Time demand = apply_start_faults(task, key, dispatch_at);
-      need[key] = demand;
-      if (transient.contains(key) &&
-          options.recovery == RecoveryPolicy::kSkipInstance) {
-        // The dispatcher's start-of-instance self-test catches the fault
-        // latch and abandons the instance; the slot idles.
-        skipped.insert(key);
-        remaining[key] = 0;
-        clock = dispatch_at;
-        trace_instant("recover:skip", key, dispatch_at, 0);
-        continue;
-      }
-      remaining[key] = demand;
-    } else {
-      if (skipped.contains(key)) {
-        continue;  // resumes of an abandoned instance are no-ops
-      }
-      if (!remaining.contains(key)) {
-        fault(task.name + "#" + std::to_string(item.instance + 1) +
-              ": resume without saved context");
-        remaining[key] = 0;
-      } else if (remaining[key] == 0) {
-        if (options.min_execution_fraction >= 1.0 && faults == nullptr) {
-          // Under the WCET model a resume for a finished instance means
-          // the table is inconsistent; with early completion (or an
-          // instance that finished despite injected faults) it is the
-          // expected no-op (the dispatcher finds the done flag set).
+        if (skipped.contains(key)) {
+          continue;  // resumes of an abandoned instance are no-ops
+        }
+        if (!remaining.contains(key)) {
           fault(task.name + "#" + std::to_string(item.instance + 1) +
                 ": resume without saved context");
-        } else {
-          continue;  // benign: instance finished early, idle until next
+          remaining[key] = 0;
+        } else if (remaining[key] == 0) {
+          if (options.min_execution_fraction >= 1.0 && faults == nullptr) {
+            // Under the WCET model a resume for a finished instance means
+            // the table is inconsistent; with early completion (or an
+            // instance that finished despite injected faults) it is the
+            // expected no-op (the dispatcher finds the done flag set).
+            fault(task.name + "#" + std::to_string(item.instance + 1) +
+                  ": resume without saved context");
+          } else {
+            continue;  // benign: instance finished early, idle until next
+          }
         }
+        ++run.context_restores;
       }
-      ++run.context_restores;
+
+      cpu_busy = true;
+      on_cpu = key;
+      clock = dispatch_at;
+      segment_ends = dispatch_at + std::min(remaining[key], item.duration);
     }
 
-    cpu_busy = true;
-    on_cpu = key;
-    clock = dispatch_at;
-    segment_ends = dispatch_at + std::min(remaining[key], item.duration);
-  }
-
-  // Drain the final segment.
-  if (cpu_busy) {
-    const Time executed = segment_ends - clock;
-    remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
-    run.busy_time += executed;
-    trace_segment(on_cpu, clock, executed);
-    if (executed > 0) {
-      last_activity[on_cpu] = segment_ends;
+    // Drain the final segment.
+    if (cpu_busy) {
+      const Time executed = segment_ends - clock;
+      remaining[on_cpu] -= std::min(remaining[on_cpu], executed);
+      run.busy_time += executed;
+      run.core_busy[core] += executed;
+      trace_segment(on_cpu, clock, executed);
+      if (executed > 0) {
+        last_activity[on_cpu] = segment_ends;
+      }
+      if (remaining[on_cpu] == 0 && !completion.contains(on_cpu)) {
+        completion[on_cpu] = segment_ends;
+      }
+      clock = segment_ends;
     }
-    if (remaining[on_cpu] == 0 && !completion.contains(on_cpu)) {
-      completion[on_cpu] = segment_ends;
+    if (table.schedule_period > clock) {
+      idle_windows[core].emplace_back(clock, table.schedule_period);
     }
-    clock = segment_ends;
-  }
-  if (table.schedule_period > clock) {
-    idle_windows.emplace_back(clock, table.schedule_period);
   }
 
   // retry-next-slot: failed or unfinished instances re-execute in the
@@ -360,8 +420,13 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
       ++run.injection.retries;
       Time left = retry.deficit;
       Time finish = 0;
-      for (std::size_t i = 0; i < idle_windows.size() && left > 0; ++i) {
-        auto& [begin, end] = idle_windows[i];
+      // Retries consume slack on the core the task is pinned to: a fault
+      // on one processor is recovered there while the others keep their
+      // own tables (and their own idle windows) untouched.
+      std::vector<std::pair<Time, Time>>& windows =
+          idle_windows[core_of(retry.key.first)];
+      for (std::size_t i = 0; i < windows.size() && left > 0; ++i) {
+        auto& [begin, end] = windows[i];
         const Time from = std::max(begin, retry.earliest);
         if (from >= end) {
           continue;
@@ -375,8 +440,7 @@ DispatcherRun simulate_dispatcher(const spec::Specification& spec,
         const Time tail_end = end;
         end = from;
         if (tail_begin < tail_end) {
-          idle_windows.insert(idle_windows.begin() + i + 1,
-                              {tail_begin, tail_end});
+          windows.insert(windows.begin() + i + 1, {tail_begin, tail_end});
         }
       }
       if (left == 0 && finish != 0 && finish <= retry.deadline_abs) {

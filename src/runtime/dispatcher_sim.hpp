@@ -49,6 +49,12 @@ struct DispatcherRun {
   std::uint64_t context_restores = 0;  ///< resumed segments
   Time busy_time = 0;
   Time idle_time = 0;
+  /// Per-core breakdown of busy/idle time, indexed by processor value
+  /// (size 1 for mono-processor tables; sums equal the totals above).
+  std::vector<Time> core_busy;
+  std::vector<Time> core_idle;
+  /// Total bus occupancy of the replayed message transfers.
+  Time bus_busy_time = 0;
   bool all_deadlines_met = false;
   std::vector<std::string> faults;  ///< dispatcher-level inconsistencies
   FaultOutcome injection;  ///< injected-fault accounting (robustness.md)

@@ -24,6 +24,20 @@ ScheduleMetrics compute_metrics(const spec::Specification& spec,
     metrics.tasks[id.value()].task = id;
   }
 
+  metrics.processors.resize(std::max<std::size_t>(1, spec.processor_count()));
+  for (std::size_t p = 0; p < metrics.processors.size(); ++p) {
+    metrics.processors[p].processor =
+        ProcessorId(static_cast<std::uint32_t>(p));
+  }
+  for (TaskId id : spec.task_ids()) {
+    const std::size_t core = spec.task(id).processor.valid()
+                                 ? spec.task(id).processor.value()
+                                 : 0;
+    if (core < metrics.processors.size()) {
+      ++metrics.processors[core].tasks;
+    }
+  }
+
   // Gather per-instance spans.
   std::map<std::pair<TaskId, std::uint32_t>, InstanceSpan> spans;
   for (const sched::ScheduleItem& item : table.items) {
@@ -33,7 +47,24 @@ ScheduleMetrics compute_metrics(const spec::Specification& spec,
     ++span.segments;
     metrics.busy_time += item.duration;
     metrics.makespan = std::max(metrics.makespan, item.start + item.duration);
+    if (item.task.valid() && item.task.value() < spec.task_count()) {
+      const std::size_t core = spec.task(item.task).processor.valid()
+                                   ? spec.task(item.task).processor.value()
+                                   : 0;
+      if (core < metrics.processors.size()) {
+        ++metrics.processors[core].segments;
+        metrics.processors[core].busy_time += item.duration;
+      }
+    }
   }
+
+  // Bus contention and shared-synchronization accounting (schema v4).
+  for (const sched::BusSegment& seg : table.bus_timeline) {
+    ++metrics.bus_transfers;
+    metrics.bus_busy_time += seg.duration;
+  }
+  metrics.sync_budget = table.sync_budget;
+  metrics.sync_high_water = table.sync_high_water;
 
   // Fold into per-task aggregates.
   std::vector<Time> min_offset(spec.task_count(), kTimeInfinity);
@@ -89,6 +120,15 @@ ScheduleMetrics compute_metrics(const spec::Specification& spec,
         capacity >= metrics.busy_time ? capacity - metrics.busy_time : 0;
     metrics.utilization = static_cast<double>(metrics.busy_time) /
                           static_cast<double>(capacity);
+    const auto period = static_cast<double>(table.schedule_period);
+    for (ProcessorMetrics& proc : metrics.processors) {
+      proc.idle_time = table.schedule_period >= proc.busy_time
+                           ? table.schedule_period - proc.busy_time
+                           : 0;
+      proc.utilization = static_cast<double>(proc.busy_time) / period;
+    }
+    metrics.bus_utilization =
+        static_cast<double>(metrics.bus_busy_time) / period;
   }
   return metrics;
 }
@@ -127,6 +167,38 @@ std::string format_metrics(const spec::Specification& spec,
                 metrics.utilization, metrics.total_preemptions,
                 static_cast<unsigned long long>(metrics.total_energy));
   os << totals;
+  // Per-core and bus breakdown, only for multi-processor models so the
+  // mono-processor report stays byte-identical.
+  if (metrics.processors.size() > 1) {
+    for (const ProcessorMetrics& proc : metrics.processors) {
+      const std::string name =
+          proc.processor.value() < spec.processor_count()
+              ? spec.processor(proc.processor).name
+              : "cpu" + std::to_string(proc.processor.value());
+      char row[96];
+      std::snprintf(row, sizeof(row),
+                    "%-8s busy %llu, idle %llu, U = %.3f "
+                    "(%u tasks, %u dispatch points)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(proc.busy_time),
+                    static_cast<unsigned long long>(proc.idle_time),
+                    proc.utilization, proc.tasks, proc.segments);
+      os << row;
+    }
+    if (metrics.bus_transfers > 0) {
+      char row[96];
+      std::snprintf(row, sizeof(row),
+                    "bus      %u transfers, busy %llu, U = %.3f\n",
+                    metrics.bus_transfers,
+                    static_cast<unsigned long long>(metrics.bus_busy_time),
+                    metrics.bus_utilization);
+      os << row;
+    }
+    if (metrics.sync_budget > 0) {
+      os << "sync     high-water " << metrics.sync_high_water << " of K="
+         << metrics.sync_budget << "\n";
+    }
+  }
   return os.str();
 }
 

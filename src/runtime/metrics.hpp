@@ -34,6 +34,16 @@ struct TaskMetrics {
   std::uint64_t energy = 0;
 };
 
+/// Per-processor utilization breakdown (run-report schema v4).
+struct ProcessorMetrics {
+  ProcessorId processor;
+  std::uint32_t tasks = 0;     ///< tasks pinned to this core
+  std::uint32_t segments = 0;  ///< dispatch points on this core
+  Time busy_time = 0;
+  Time idle_time = 0;
+  double utilization = 0.0;  ///< busy / schedule_period
+};
+
 struct ScheduleMetrics {
   std::vector<TaskMetrics> tasks;  ///< indexed by TaskId value
   Time makespan = 0;
@@ -42,6 +52,16 @@ struct ScheduleMetrics {
   double utilization = 0.0;  ///< busy / capacity, system-wide
   std::uint64_t total_energy = 0;
   std::uint32_t total_preemptions = 0;
+  /// Indexed by ProcessorId value; always at least one entry.
+  std::vector<ProcessorMetrics> processors;
+  /// Bus occupancy of the statically scheduled message transfers.
+  std::uint32_t bus_transfers = 0;
+  Time bus_busy_time = 0;
+  double bus_utilization = 0.0;  ///< bus busy / schedule_period
+  /// Shared-synchronization pool accounting, copied from the table
+  /// (docs/multiprocessor.md; 0/0 for mono-processor models).
+  std::uint32_t sync_budget = 0;
+  std::uint32_t sync_high_water = 0;
 };
 
 /// Computes metrics from a (validated) table. Instances missing from the

@@ -174,6 +174,114 @@ ValidationReport validate_schedule(const spec::Specification& spec,
     }
   }
 
+  // Core assignment: a row that names a processor must name the one its
+  // task is pinned to. Rows without an assignment (hand-built tables from
+  // before processors were first-class) are exempt.
+  for (const sched::ScheduleItem& item : table.items) {
+    if (!item.processor.valid() || !item.task.valid() ||
+        item.task.value() >= spec.task_count()) {
+      continue;
+    }
+    if (item.processor != spec.task(item.task).processor) {
+      violate("task '" + spec.task(item.task).name + "' segment at t=" +
+              std::to_string(item.start) + " runs on processor " +
+              std::to_string(item.processor.value()) +
+              ", the task is pinned to " +
+              std::to_string(spec.task(item.task).processor.value()));
+    }
+  }
+
+  // Bus serialization: transfers on the same bus never overlap.
+  {
+    std::map<std::string, std::vector<const sched::BusSegment*>> by_bus;
+    for (const sched::BusSegment& seg : table.bus_timeline) {
+      if (seg.message.value() >= spec.message_count()) {
+        violate("bus segment at t=" + std::to_string(seg.start) +
+                " references an unknown message");
+        continue;
+      }
+      by_bus[spec.message(seg.message).bus].push_back(&seg);
+    }
+    for (auto& [bus, segments] : by_bus) {
+      std::sort(segments.begin(), segments.end(),
+                [](const sched::BusSegment* a, const sched::BusSegment* b) {
+                  return a->start < b->start;
+                });
+      for (std::size_t i = 1; i < segments.size(); ++i) {
+        const sched::BusSegment* prev = segments[i - 1];
+        if (prev->start + prev->duration > segments[i]->start) {
+          violate("bus '" + bus + "': transfers of '" +
+                  spec.message(prev->message).name + "' and '" +
+                  spec.message(segments[i]->message).name +
+                  "' overlap at t=" + std::to_string(segments[i]->start));
+        }
+      }
+    }
+  }
+
+  // Cross-core message precedence: the k-th transfer of a message starts
+  // after the k-th sender finish, and the k-th receiver instance starts
+  // after the k-th transfer completes. Only checked when the table carries
+  // a bus timeline (extracted tables always do when messages exist).
+  if (!table.bus_timeline.empty()) {
+    for (MessageId mid : spec.message_ids()) {
+      const spec::Message& msg = spec.message(mid);
+      std::vector<const sched::BusSegment*> transfers;
+      for (const sched::BusSegment& seg : table.bus_timeline) {
+        if (seg.message == mid) {
+          transfers.push_back(&seg);
+        }
+      }
+      std::sort(transfers.begin(), transfers.end(),
+                [](const sched::BusSegment* a, const sched::BusSegment* b) {
+                  return a->start < b->start;
+                });
+      std::vector<Time> sender_finishes;
+      std::vector<Time> receiver_starts;
+      for (const auto& [key, record] : instances) {
+        if (key.first == msg.sender) {
+          sender_finishes.push_back(record.end());
+        }
+        if (key.first == msg.receiver) {
+          receiver_starts.push_back(record.start());
+        }
+      }
+      std::sort(sender_finishes.begin(), sender_finishes.end());
+      std::sort(receiver_starts.begin(), receiver_starts.end());
+      for (std::size_t k = 0; k < receiver_starts.size(); ++k) {
+        if (k >= transfers.size()) {
+          violate("message '" + msg.name + "': receiver instance " +
+                  std::to_string(k + 1) + " has no matching bus transfer");
+          break;
+        }
+        const Time xfer_end = transfers[k]->start + transfers[k]->duration;
+        if (receiver_starts[k] < xfer_end) {
+          violate("message '" + msg.name + "': receiver starts at " +
+                  std::to_string(receiver_starts[k]) +
+                  " before the transfer completes at " +
+                  std::to_string(xfer_end));
+        }
+      }
+      for (std::size_t k = 0;
+           k < transfers.size() && k < sender_finishes.size(); ++k) {
+        if (transfers[k]->start < sender_finishes[k]) {
+          violate("message '" + msg.name + "': transfer starts at " +
+                  std::to_string(transfers[k]->start) +
+                  " before the sender finishes at " +
+                  std::to_string(sender_finishes[k]));
+        }
+      }
+    }
+  }
+
+  // Shared-synchronization budget: the trace-derived high-water mark must
+  // fit the pool the net was built with.
+  if (table.sync_budget > 0 && table.sync_high_water > table.sync_budget) {
+    violate("sync budget: " + std::to_string(table.sync_high_water) +
+            " synchronization resources held at once, budget K=" +
+            std::to_string(table.sync_budget));
+  }
+
   // Exclusion: instance spans of excluded tasks never overlap (the lock is
   // held from first dispatch to completion).
   for (TaskId a : spec.task_ids()) {

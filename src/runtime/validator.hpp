@@ -13,9 +13,13 @@
 //   * precedence — the k-th start of a successor never precedes the k-th
 //     finish of its predecessor;
 //   * exclusion — instance execution spans of excluded tasks are disjoint
-//     (a task holds its locks from first dispatch to completion).
-// Message/bus timing is validated at the TPN level by trace replay and is
-// out of scope here (the table does not carry bus traffic).
+//     (a task holds its locks from first dispatch to completion);
+//   * core assignment — a row naming a processor names its task's core;
+//   * bus serialization — transfers on one bus never overlap;
+//   * cross-core message precedence — the k-th transfer starts after the
+//     k-th sender finish and completes before the k-th receiver start;
+//   * sync budget — the high-water mark of concurrently held
+//     synchronization resources fits the declared K pool.
 #pragma once
 
 #include <string>

@@ -213,20 +213,49 @@ SearchOutcome DfsScheduler::search() const {
     // cost already reaches the incumbent. Cost edges:
     //   kMinimizeMakespan — the firing delay (partial cost = elapsed);
     //   kMinimizeSwitches — 1 whenever a compute firing belongs to a
-    //     different task than the previous compute firing on the path.
+    //     different task than the previous compute firing on the same
+    //     processor (per-core context switches; on mono-processor nets
+    //     this degenerates to the global previous-compute comparison).
     // The visited table keeps the best cost per state and readmits a
-    // state reached more cheaply. For the switches objective the
+    // state reached more cheaply. For the switches objective every core's
     // previous-compute task is folded into the state key (two paths to
     // equal (m,c) with different running tasks have different futures).
     const bool switches =
         options_.objective == Objective::kMinimizeSwitches;
+
+    // Per-transition processor index for the switches cost: each compute
+    // transition returns its processor place on completion in every block
+    // style, so the kProcessor place among its outputs identifies the
+    // core. Role-free nets collapse to a single pseudo-core (index 0).
+    std::vector<std::uint32_t> proc_of(net_->transition_count(), 0);
+    std::size_t proc_count = 1;
+    if (switches) {
+      std::vector<std::int32_t> place_proc(net_->place_count(), -1);
+      std::size_t next_proc = 0;
+      for (TransitionId t : net_->transition_ids()) {
+        if (net_->transition(t).role != tpn::TransitionRole::kCompute) {
+          continue;
+        }
+        for (const tpn::Arc& arc : net_->outputs(t)) {
+          if (net_->place(arc.place).role == tpn::PlaceRole::kProcessor) {
+            std::int32_t& idx = place_proc[arc.place.value()];
+            if (idx < 0) {
+              idx = static_cast<std::int32_t>(next_proc++);
+            }
+            proc_of[t.value()] = static_cast<std::uint32_t>(idx);
+          }
+        }
+      }
+      proc_count = std::max<std::size_t>(1, next_proc);
+    }
 
     struct BbFrame {
       State state;
       std::vector<Candidate> candidates;
       std::size_t next = 0;
       std::uint64_t cost = 0;
-      TaskId last_compute;
+      /// Previous compute firing's task per core (empty unless switches).
+      std::vector<TaskId> last_compute;
     };
 
     std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash>
@@ -236,10 +265,10 @@ SearchOutcome DfsScheduler::search() const {
     Trace best_trace;
     std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
 
-    auto key_of = [&](const State& s, TaskId last) {
+    auto key_of = [&](const State& s, const std::vector<TaskId>& last) {
       Fingerprint f = fingerprint(s);
-      if (switches) {
-        f.b = hash_mix(f.b, last.valid() ? last.value() + 1 : 0);
+      for (TaskId l : last) {
+        f.b = hash_mix(f.b, l.valid() ? l.value() + 1 : 0);
       }
       return f;
     };
@@ -247,7 +276,10 @@ SearchOutcome DfsScheduler::search() const {
     BbFrame root;
     root.state = State::initial(*net_);
     expander.expand(root.state, root.candidates);
-    best_seen.emplace(key_of(root.state, TaskId()), 0);
+    if (switches) {
+      root.last_compute.assign(proc_count, TaskId());
+    }
+    best_seen.emplace(key_of(root.state, root.last_compute), 0);
     stats.states_visited = 1;
     if (goal_(std::as_const(root.state).marking())) {
       out.status = SearchStatus::kFeasible;
@@ -278,11 +310,12 @@ SearchOutcome DfsScheduler::search() const {
           net_->transition(cand.fireable.transition);
 
       std::uint64_t edge_cost = 0;
-      TaskId last_compute = frame.last_compute;
+      std::vector<TaskId> last_compute = frame.last_compute;
       if (switches) {
         if (fired.role == tpn::TransitionRole::kCompute) {
-          edge_cost = fired.task == frame.last_compute ? 0 : 1;
-          last_compute = fired.task;
+          const std::uint32_t core = proc_of[cand.fireable.transition.value()];
+          edge_cost = fired.task == last_compute[core] ? 0 : 1;
+          last_compute[core] = fired.task;
         }
       } else {
         edge_cost = cand.delay;
@@ -350,7 +383,7 @@ SearchOutcome DfsScheduler::search() const {
       child.candidates = pooled_vector();
       expander.expand(child.state, child.candidates);
       child.cost = cost;
-      child.last_compute = last_compute;
+      child.last_compute = std::move(last_compute);
       stack.push_back(std::move(child));
     }
 

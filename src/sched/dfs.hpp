@@ -95,9 +95,13 @@ enum class StateClassMode : std::uint8_t {
 enum class Objective : std::uint8_t {
   kFirstFeasible,        ///< stop at the first schedule (paper behavior)
   kMinimizeMakespan,     ///< earliest completion of the whole period
-  kMinimizeSwitches,     ///< fewest processor context switches — the
-                         ///< "optimize the generated code" future work:
-                         ///< each switch costs dispatcher time on target
+  kMinimizeSwitches,     ///< fewest context switches, counted per core: a
+                         ///< switch is a compute firing whose task differs
+                         ///< from the previous compute firing on the *same*
+                         ///< processor (on mono-processor nets this equals
+                         ///< the global count) — the "optimize the generated
+                         ///< code" future work: each switch costs dispatcher
+                         ///< time on the target
 };
 
 struct SchedulerOptions {

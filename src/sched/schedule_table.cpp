@@ -17,13 +17,59 @@ struct TaskCursor {
 
 }  // namespace
 
+std::vector<ScheduleItem> ScheduleTable::items_for(ProcessorId proc) const {
+  std::vector<ScheduleItem> out;
+  for (const ScheduleItem& item : items) {
+    if (item.processor == proc) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
 Result<ScheduleTable> extract_schedule(const spec::Specification& spec,
                                        const builder::BuiltModel& model,
                                        const Trace& trace) {
   ScheduleTable table;
   table.schedule_period = model.schedule_period;
+  table.processor_count = std::max<std::size_t>(1, spec.processor_count());
+  table.sync_budget = model.sync_budget;
 
   std::vector<TaskCursor> cursors(spec.task_count());
+
+  // Bus timeline + sync high-water bookkeeping. Communication transitions
+  // map back to their message through the builder's handles; the held
+  // counter tracks bus and exclusion-lock tokens by scanning each fired
+  // transition's arcs for resource places (acquire = consume, release =
+  // produce), which covers every block style without role special cases.
+  std::vector<std::int32_t> msg_of_transition(model.net.transition_count(),
+                                              -1);
+  for (std::size_t m = 0; m < model.message_nets.size(); ++m) {
+    msg_of_transition[model.message_nets[m].acquire.value()] =
+        static_cast<std::int32_t>(m);
+    msg_of_transition[model.message_nets[m].release.value()] =
+        static_cast<std::int32_t>(m);
+  }
+  std::vector<Time> open_transfer(model.message_nets.size(), -1);
+  std::int64_t sync_held = 0;
+  auto sync_delta = [&](TransitionId t) {
+    std::int64_t delta = 0;
+    for (const tpn::Arc& arc : model.net.inputs(t)) {
+      const tpn::PlaceRole role = model.net.place(arc.place).role;
+      if (role == tpn::PlaceRole::kBus ||
+          role == tpn::PlaceRole::kExclusionLock) {
+        delta += arc.weight;
+      }
+    }
+    for (const tpn::Arc& arc : model.net.outputs(t)) {
+      const tpn::PlaceRole role = model.net.place(arc.place).role;
+      if (role == tpn::PlaceRole::kBus ||
+          role == tpn::PlaceRole::kExclusionLock) {
+        delta -= arc.weight;
+      }
+    }
+    return delta;
+  };
 
   auto close_segment = [&](TaskCursor& cursor) {
     if (cursor.open.has_value()) {
@@ -34,8 +80,31 @@ Result<ScheduleTable> extract_schedule(const spec::Specification& spec,
 
   for (const FiringEvent& event : trace) {
     const tpn::Transition& t = model.net.transition(event.transition);
+    sync_held += sync_delta(event.transition);
+    if (sync_held > 0) {
+      table.sync_high_water = std::max(
+          table.sync_high_water, static_cast<std::uint32_t>(sync_held));
+    }
+    if (const std::int32_t mi = msg_of_transition[event.transition.value()];
+        mi >= 0) {
+      const auto m = static_cast<std::size_t>(mi);
+      if (event.transition == model.message_nets[m].acquire) {
+        open_transfer[m] = event.at;
+      } else if (open_transfer[m] >= 0) {
+        const spec::Message& msg = spec.message(MessageId(
+            static_cast<std::uint32_t>(m)));
+        BusSegment seg;
+        seg.start = open_transfer[m];
+        seg.duration = event.at - open_transfer[m];
+        seg.message = MessageId(static_cast<std::uint32_t>(m));
+        seg.from = spec.task(msg.sender).processor;
+        seg.to = spec.task(msg.receiver).processor;
+        table.bus_timeline.push_back(seg);
+        open_transfer[m] = -1;
+      }
+    }
     if (!t.task.valid()) {
-      continue;  // fork/join/communication infrastructure
+      continue;  // fork/join infrastructure
     }
     const spec::Task& task = spec.task(t.task);
     TaskCursor& cursor = cursors[t.task.value()];
@@ -79,6 +148,7 @@ Result<ScheduleTable> extract_schedule(const spec::Specification& spec,
     item.task = t.task;
     item.instance = instance;
     item.duration = chunk;
+    item.processor = task.processor;
     // Fig 8 flag semantics: true when the instance ran before and this row
     // resumes it after a preemption.
     item.preempted = cursor.instance_had_segment;
@@ -97,25 +167,73 @@ Result<ScheduleTable> extract_schedule(const spec::Specification& spec,
   for (const ScheduleItem& item : table.items) {
     table.makespan = std::max(table.makespan, item.start + item.duration);
   }
+  std::stable_sort(table.bus_timeline.begin(), table.bus_timeline.end(),
+                   [](const BusSegment& a, const BusSegment& b) {
+                     return a.start < b.start;
+                   });
   return table;
 }
 
-std::string to_string(const ScheduleTable& table,
-                      const spec::Specification& spec) {
-  std::ostringstream os;
-  os << "struct ScheduleItem scheduleTable[" << table.items.size()
+namespace {
+
+void append_table(std::ostringstream& os,
+                  const std::vector<ScheduleItem>& items,
+                  const std::string& symbol,
+                  const spec::Specification& spec) {
+  os << "struct ScheduleItem " << symbol << "[" << items.size()
      << "] = {\n";
-  for (std::size_t i = 0; i < table.items.size(); ++i) {
-    const ScheduleItem& item = table.items[i];
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ScheduleItem& item = items[i];
     const spec::Task& task = spec.task(item.task);
     os << "  {" << item.start << ", " << (item.preempted ? "true " : "false")
        << ", " << item.task.value() + 1 << ", (int *)" << task.name << "}";
-    os << (i + 1 < table.items.size() ? "," : " ");
+    os << (i + 1 < items.size() ? "," : " ");
     os << " /* " << task.name << "#" << item.instance + 1
        << (item.preempted ? " resumes" : " starts") << ", runs "
        << item.duration << " */\n";
   }
   os << "};\n";
+}
+
+}  // namespace
+
+std::string to_string(const ScheduleTable& table,
+                      const spec::Specification& spec) {
+  std::ostringstream os;
+  if (table.processor_count <= 1) {
+    append_table(os, table.items, "scheduleTable", spec);
+    return os.str();
+  }
+  // Multi-processor tables print one dispatch table per core plus the bus
+  // timeline — the same shape codegen emits (docs/multiprocessor.md).
+  for (std::size_t p = 0; p < table.processor_count; ++p) {
+    const ProcessorId pid(static_cast<std::uint32_t>(p));
+    const std::string name = p < spec.processor_count()
+                                 ? spec.processor(pid).name
+                                 : "cpu" + std::to_string(p);
+    os << "/* processor " << p << ": " << name << " */\n";
+    append_table(os, table.items_for(pid),
+                 "scheduleTable_p" + std::to_string(p), spec);
+  }
+  if (!table.bus_timeline.empty()) {
+    os << "/* bus timeline */\n";
+    for (const BusSegment& seg : table.bus_timeline) {
+      const std::string msg = seg.message.value() < spec.message_count()
+                                  ? spec.message(seg.message).name
+                                  : "?";
+      os << "  [" << seg.start << ", " << seg.start + seg.duration << ") "
+         << msg << " on '"
+         << (seg.message.value() < spec.message_count()
+                 ? spec.message(seg.message).bus
+                 : "?")
+         << "' cpu" << seg.from.value() << " -> cpu" << seg.to.value()
+         << "\n";
+    }
+  }
+  if (table.sync_budget > 0) {
+    os << "/* sync pool: high-water " << table.sync_high_water << " of K="
+       << table.sync_budget << " */\n";
+  }
   return os.str();
 }
 

@@ -26,12 +26,36 @@ struct ScheduleItem {
   TaskId task;
   std::uint32_t instance = 0;  ///< 0-based instance index of the task
   Time duration = 0;     ///< contiguous execution time of this part
+  ProcessorId processor;  ///< executing core (the task's static assignment)
+};
+
+/// One bus occupancy window: an inter-processor message transfer, from the
+/// bus grant (tmacq firing) to the transfer completion (tmrel firing).
+struct BusSegment {
+  Time start = 0;     ///< bus acquired
+  Time duration = 0;  ///< occupancy (arbitration residue + transfer time)
+  MessageId message;
+  ProcessorId from;  ///< sender task's processor
+  ProcessorId to;    ///< receiver task's processor
 };
 
 struct ScheduleTable {
-  std::vector<ScheduleItem> items;  ///< sorted by start time
+  std::vector<ScheduleItem> items;  ///< sorted by start time, all cores
   Time schedule_period = 0;  ///< PS — the table repeats with this period
   Time makespan = 0;         ///< completion time of the last segment
+  std::size_t processor_count = 1;  ///< cores the table spans
+  /// Message transfers in bus-grant order (sorted by start). Empty for
+  /// message-free (in particular all mono-processor) specifications.
+  std::vector<BusSegment> bus_timeline;
+  /// Most synchronization resources (exclusion locks + in-flight bus
+  /// transfers) held at once anywhere along the trace. A sync budget K
+  /// below this value makes the schedule infeasible.
+  std::uint32_t sync_high_water = 0;
+  std::uint32_t sync_budget = 0;  ///< K the net was built with (0 = none)
+
+  /// The rows executing on `proc`, in start order (one core's dispatcher
+  /// table; the concatenation over all cores is `items`).
+  [[nodiscard]] std::vector<ScheduleItem> items_for(ProcessorId proc) const;
 };
 
 /// Builds the table from a feasible firing schedule over `model`. Fails if

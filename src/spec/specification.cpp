@@ -143,6 +143,17 @@ double Specification::utilization() const {
   return u;
 }
 
+double Specification::utilization(ProcessorId proc) const {
+  double u = 0.0;
+  for (const Task& t : tasks_) {
+    if (t.processor == proc && t.timing.period > 0) {
+      u += static_cast<double>(t.timing.computation) /
+           static_cast<double>(t.timing.period);
+    }
+  }
+  return u;
+}
+
 std::string Specification::mint_identifier() {
   return "ez" + std::to_string(next_identifier_++);
 }

@@ -27,6 +27,14 @@ class Specification {
   }
   void set_dispatcher_overhead(bool v) { dispatcher_overhead_ = v; }
 
+  /// Bounded pool of shared synchronization resources (K). While a task
+  /// holds an exclusion lock or a message transfer occupies the bus, one
+  /// pool token is consumed; schedules that would need more than K
+  /// concurrently held synchronization resources are infeasible. 0 means
+  /// unbounded (the paper's default — no pool place is built).
+  [[nodiscard]] std::uint32_t sync_budget() const { return sync_budget_; }
+  void set_sync_budget(std::uint32_t k) { sync_budget_ = k; }
+
   // -- Construction -------------------------------------------------------
 
   ProcessorId add_processor(Processor processor);
@@ -93,6 +101,10 @@ class Specification {
   /// one processor.
   [[nodiscard]] double utilization() const;
 
+  /// Utilization restricted to tasks assigned to `proc`; > 1.0 makes the
+  /// partition trivially infeasible regardless of the other processors.
+  [[nodiscard]] double utilization(ProcessorId proc) const;
+
   /// Semantic validation (§3.2 constraints):
   ///   * at least one task and one processor;
   ///   * unique, non-empty task/processor/message names;
@@ -108,6 +120,7 @@ class Specification {
  private:
   std::string name_ = "untitled";
   bool dispatcher_overhead_ = false;
+  std::uint32_t sync_budget_ = 0;
   IdVector<TaskId, Task> tasks_;
   IdVector<ProcessorId, Processor> processors_;
   IdVector<MessageId, Message> messages_;

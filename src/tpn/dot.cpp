@@ -18,6 +18,7 @@ namespace {
     case PlaceRole::kProcessor:
     case PlaceRole::kBus:
     case PlaceRole::kExclusionLock:
+    case PlaceRole::kSyncPool:
       return "style=filled fillcolor=lightgoldenrod";
     case PlaceRole::kMissPending:
     case PlaceRole::kMissed:

@@ -75,6 +75,8 @@ const char* to_string(PlaceRole role) {
       return "locked";
     case PlaceRole::kPrecedence:
       return "precedence";
+    case PlaceRole::kSyncPool:
+      return "sync-pool";
   }
   return "unknown";
 }

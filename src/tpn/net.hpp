@@ -60,6 +60,7 @@ enum class PlaceRole : std::uint8_t {
   kExclusionLock, ///< pexcl_ij
   kLocked,        ///< pwexcl_i — chunks allowed to run under the lock
   kPrecedence,    ///< pprec_ij
+  kSyncPool,      ///< psync_pool — bounded budget of K shared sync resources
 };
 
 [[nodiscard]] const char* to_string(TransitionRole role);

@@ -55,17 +55,64 @@ Result<spec::Specification> generate(const WorkloadConfig& config) {
   if (config.period_pool.empty()) {
     return make_error(ErrorCode::kInvalidArgument, "empty period pool");
   }
-  if (config.utilization <= 0.0 || config.utilization > 1.0) {
+  if (config.processors == 0) {
     return make_error(ErrorCode::kInvalidArgument,
-                      "utilization must be in (0, 1]");
+                      "workload needs at least one processor");
+  }
+  if (config.messages > 0 && config.processors < 2) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cross-core messages need at least two processors");
+  }
+  // Total utilization is bounded by the core count; the mono-processor
+  // bound (and its exact diagnostic) is unchanged.
+  if (config.processors <= 1) {
+    if (config.utilization <= 0.0 || config.utilization > 1.0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "utilization must be in (0, 1]");
+    }
+  } else if (config.utilization <= 0.0 ||
+             config.utilization > static_cast<double>(config.processors)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "utilization must be in (0, processors]");
   }
 
   Rng rng(config.seed);
   spec::Specification s("workload-" + std::to_string(config.seed));
-  s.add_processor("cpu0");
+  for (std::uint32_t p = 0; p < config.processors; ++p) {
+    s.add_processor("cpu" + std::to_string(p));
+  }
 
   const std::vector<double> shares =
       uunifast(config.tasks, config.utilization, rng);
+
+  // Task-to-core mapping. Mono-processor workloads skip this entirely (no
+  // extra PRNG draws), so equal seeds keep producing byte-identical specs.
+  std::vector<ProcessorId> assigned(config.tasks);
+  if (config.processors > 1) {
+    if (config.placement == Placement::kGlobal) {
+      for (std::uint32_t i = 0; i < config.tasks; ++i) {
+        assigned[i] = ProcessorId(
+            static_cast<std::uint32_t>(rng.below(config.processors)));
+      }
+    } else {
+      // Worst-fit decreasing by utilization share: deterministic, no PRNG.
+      std::vector<std::uint32_t> order(config.tasks);
+      for (std::uint32_t i = 0; i < config.tasks; ++i) {
+        order[i] = i;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&shares](std::uint32_t a, std::uint32_t b) {
+                         return shares[a] > shares[b];
+                       });
+      std::vector<double> load(config.processors, 0.0);
+      for (std::uint32_t i : order) {
+        const auto core = static_cast<std::uint32_t>(std::distance(
+            load.begin(), std::min_element(load.begin(), load.end())));
+        assigned[i] = ProcessorId(core);
+        load[core] += shares[i];
+      }
+    }
+  }
 
   for (std::uint32_t i = 0; i < config.tasks; ++i) {
     const Time period =
@@ -88,9 +135,13 @@ Result<spec::Specification> generate(const WorkloadConfig& config) {
     timing.period = period;
 
     const bool preemptive = rng.uniform() < config.preemptive_fraction;
-    s.add_task("T" + std::to_string(i + 1), timing,
-               preemptive ? spec::SchedulingType::kPreemptive
-                          : spec::SchedulingType::kNonPreemptive);
+    spec::Task t;
+    t.name = "T" + std::to_string(i + 1);
+    t.timing = timing;
+    t.scheduling = preemptive ? spec::SchedulingType::kPreemptive
+                              : spec::SchedulingType::kNonPreemptive;
+    t.processor = assigned[i];  // invalid when mono: defaults to cpu0
+    s.add_task(std::move(t));
   }
 
   // Precedence edges: only between tasks of equal period (instances match
@@ -112,6 +163,11 @@ Result<spec::Specification> generate(const WorkloadConfig& config) {
     const TaskId after(hi);
     if (s.task(before).timing.period != s.task(after).timing.period) {
       continue;
+    }
+    if (config.processors > 1 &&
+        config.placement == Placement::kPartitioned &&
+        s.task(before).processor != s.task(after).processor) {
+      continue;  // partitioned scenarios keep cores isolated
     }
     const auto& existing = s.task(before).precedes;
     if (std::find(existing.begin(), existing.end(), after) !=
@@ -142,10 +198,71 @@ Result<spec::Specification> generate(const WorkloadConfig& config) {
     ++pairs_placed;
   }
 
+  // Cross-core messages: same-period sender/receiver on different cores,
+  // one channel per ordered pair, all sharing the single bus "bus0".
+  std::uint32_t messages_placed = 0;
+  for (std::uint32_t attempt = 0;
+       attempt < config.messages * 16 && messages_placed < config.messages;
+       ++attempt) {
+    const auto a = static_cast<std::uint32_t>(rng.below(config.tasks));
+    const auto b = static_cast<std::uint32_t>(rng.below(config.tasks));
+    if (a == b) {
+      continue;
+    }
+    const TaskId sender(a);
+    const TaskId receiver(b);
+    if (s.task(sender).processor == s.task(receiver).processor) {
+      continue;
+    }
+    if (s.task(sender).timing.period != s.task(receiver).timing.period) {
+      continue;
+    }
+    bool duplicate = false;
+    for (MessageId mid : s.task(sender).precedes_msgs) {
+      duplicate = duplicate || s.message(mid).receiver == receiver;
+    }
+    if (duplicate) {
+      continue;
+    }
+    spec::Message m;
+    m.name = "M" + std::to_string(messages_placed + 1);
+    m.bus = "bus0";
+    m.grant_bus = 1;
+    m.communication = static_cast<Time>(
+        1 + rng.below(1 + s.task(sender).timing.period / 100));
+    const MessageId mid = s.add_message(std::move(m));
+    s.connect_message(sender, mid, receiver);
+    ++messages_placed;
+  }
+
+  if (config.sync_budget > 0) {
+    s.set_sync_budget(config.sync_budget);
+  }
+
   if (auto status = s.validate(); !status.ok()) {
     return status.error();
   }
   return s;
+}
+
+WorkloadConfig multiproc_scenario(Placement placement, bool harmonic,
+                                  std::uint32_t processors,
+                                  std::uint64_t seed) {
+  WorkloadConfig config;
+  config.tasks = 3 * processors;
+  config.processors = processors;
+  config.placement = placement;
+  config.utilization = 0.45 * static_cast<double>(processors);
+  config.period_pool =
+      harmonic ? std::vector<Time>{100, 200, 400}
+               : std::vector<Time>{100, 150, 200, 300};
+  config.precedence_edges = 2;
+  config.seed = seed;
+  if (placement == Placement::kGlobal) {
+    config.messages = processors - 1;
+    config.sync_budget = 2;
+  }
+  return config;
 }
 
 spec::Specification mine_pump_specification() {
@@ -170,6 +287,51 @@ spec::Specification mine_pump_specification() {
                                        row.period});
   }
   return s;
+}
+
+spec::Specification uav_autopilot_specification() {
+  spec::Specification system("uav-autopilot");
+  const ProcessorId sensor_cpu = system.add_processor("sensor-cpu");
+  const ProcessorId control_cpu = system.add_processor("control-cpu");
+
+  auto add = [&system](const char* name, ProcessorId cpu,
+                       spec::TimingConstraints timing,
+                       spec::SchedulingType mode =
+                           spec::SchedulingType::kNonPreemptive) {
+    spec::Task task;
+    task.name = name;
+    task.timing = timing;
+    task.scheduling = mode;
+    task.processor = cpu;
+    return system.add_task(std::move(task));
+  };
+
+  // Sensor CPU: IMU sampling and attitude fusion every 10 ms.
+  const TaskId imu = add("imu", sensor_cpu, {0, 0, 2, 6, 10});
+  const TaskId fusion = add("fusion", sensor_cpu, {0, 0, 3, 10, 10});
+  system.add_precedence(imu, fusion);
+
+  // Control CPU: trajectory planning (slow, preemptive), attitude control
+  // (fast) and ESC output; trajectory and telemetry share the log flash.
+  const TaskId trajectory = add("trajectory", control_cpu, {0, 0, 6, 20, 20},
+                                spec::SchedulingType::kPreemptive);
+  const TaskId attitude = add("attitude", control_cpu, {0, 0, 2, 10, 10});
+  const TaskId esc = add("esc_out", control_cpu, {0, 0, 1, 10, 10},
+                         spec::SchedulingType::kPreemptive);
+  const TaskId telemetry = add("telemetry", control_cpu, {0, 0, 2, 20, 20},
+                               spec::SchedulingType::kPreemptive);
+  system.add_precedence(attitude, esc);
+  system.add_exclusion(trajectory, telemetry);
+
+  // Fused attitude estimate crosses to the control CPU on the CAN bus.
+  spec::Message estimate;
+  estimate.name = "attitude_estimate";
+  estimate.bus = "can0";
+  estimate.grant_bus = 1;
+  estimate.communication = 2;
+  const MessageId msg = system.add_message(std::move(estimate));
+  system.connect_message(fusion, msg, attitude);
+  return system;
 }
 
 }  // namespace ezrt::workload

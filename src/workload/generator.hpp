@@ -34,21 +34,43 @@ class Rng {
   std::uint64_t state_;
 };
 
+/// How tasks are mapped onto processors when `processors > 1`.
+enum class Placement {
+  /// Worst-fit decreasing by utilization: cores stay balanced and, with
+  /// `messages == 0`, isolated — the classic partitioned scenario.
+  kPartitioned,
+  /// Uniformly random core per task: arbitrary load spread, precedence
+  /// edges may couple cores — the global (bus-coupled) scenario.
+  kGlobal,
+};
+
 struct WorkloadConfig {
   std::uint32_t tasks = 5;
   /// Target total processor utilization sum(c_i / p_i).
   double utilization = 0.5;
   /// Periods are drawn uniformly from this pool. Harmonic defaults keep
-  /// the hyper-period equal to the largest period.
+  /// the hyper-period equal to the largest period; an arbitrary
+  /// (non-harmonic) pool exercises LCM hyper-periods.
   std::vector<Time> period_pool{100, 200, 400, 800};
   /// Fraction of tasks scheduled preemptively (the rest non-preemptive).
   double preemptive_fraction = 0.0;
   /// Deadline = c + x*(p - c) with x uniform in [deadline_min_factor, 1].
   double deadline_min_factor = 0.6;
   /// Random precedence edges between same-period tasks (kept acyclic).
+  /// With kPartitioned placement the edges stay within one core.
   std::uint32_t precedence_edges = 0;
   /// Random symmetric exclusion pairs.
   std::uint32_t exclusion_pairs = 0;
+  /// Processors to generate ("cpu0".."cpuN-1"). 1 reproduces the original
+  /// mono-processor workloads byte-for-byte at equal seeds.
+  std::uint32_t processors = 1;
+  Placement placement = Placement::kPartitioned;
+  /// Cross-core messages over the shared bus ("bus0"), connecting
+  /// same-period tasks on different cores. Requires `processors > 1`.
+  std::uint32_t messages = 0;
+  /// Shared-synchronization budget K recorded on the specification
+  /// (0 = unbounded; see docs/multiprocessor.md).
+  std::uint32_t sync_budget = 0;
   std::uint64_t seed = 1;
 };
 
@@ -62,8 +84,26 @@ struct WorkloadConfig {
 [[nodiscard]] std::vector<double> uunifast(std::uint32_t n, double total,
                                            Rng& rng);
 
+/// Canonical multi-processor evaluation scenario: `placement` crossed with
+/// a harmonic ({100,200,400}) or arbitrary ({100,150,200,300}) period
+/// pool. Global placement also couples the cores with cross-core messages
+/// and a sync budget, so the bus and K-pool machinery is exercised.
+[[nodiscard]] WorkloadConfig multiproc_scenario(Placement placement,
+                                                bool harmonic,
+                                                std::uint32_t processors,
+                                                std::uint64_t seed);
+
 /// The paper's Table 1 mine-pump specification (10 tasks; the §5 case
 /// study). Exposed here because tests, benches and examples all use it.
 [[nodiscard]] spec::Specification mine_pump_specification();
+
+/// The dual-processor UAV autopilot (examples/uav_dual_processor.cpp,
+/// checked in as examples/specs/uav_dual_processor.ezspec): a sensor CPU
+/// feeds a control CPU over a CAN bus, with an exclusion pair and a
+/// preemptive trajectory task on the control side. The multi-processor
+/// end-to-end case (docs/multiprocessor.md). Requires the complete search
+/// mode (PruningMode::kNone): the FT_P priority filter prunes away every
+/// feasible interleaving of this set.
+[[nodiscard]] spec::Specification uav_autopilot_specification();
 
 }  // namespace ezrt::workload

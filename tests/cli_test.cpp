@@ -277,11 +277,15 @@ TEST_F(CliTest, ScheduleWritesRunReport) {
   EXPECT_NE(json.find("\"search\""), std::string::npos);
 }
 
-TEST_F(CliTest, RunReportIsVersion3WithSearchEngineFields) {
-  const std::string report = (dir_ / "v3.json").string();
+TEST_F(CliTest, RunReportIsVersion4WithSearchEngineFields) {
+  const std::string report = (dir_ / "v4.json").string();
   EXPECT_EQ(run_cli({"schedule", spec_path_, "--report", report}), 0);
   const std::string json = read_file(report);
-  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  // v4: per-processor / bus / sync breakdown is always present.
+  EXPECT_NE(json.find("\"processors\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"bus\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"sync\":{"), std::string::npos);
   // The default run records the exploration strategy and the resolved
   // state-class decision alongside the legacy successor-engine field.
   EXPECT_NE(json.find("\"search_engine\":\"dfs\""), std::string::npos);
@@ -491,6 +495,43 @@ TEST_F(CliTest, ScheduleCompleteModeFlag) {
   std::ofstream(path) << pnml::write_ezspec(s).value();
   EXPECT_EQ(run_cli({"schedule", path}), 2);
   EXPECT_EQ(run_cli({"schedule", path, "--complete"}), 0);
+}
+
+TEST_F(CliTest, UavDualProcessorEndToEnd) {
+  // Hermetic copy of examples/specs/uav_dual_processor.ezspec — the
+  // checked-in file is exactly this serialization (CI's multiproc job
+  // schedules the committed file itself).
+  const std::string path = (dir_ / "uav.ezspec").string();
+  std::ofstream(path)
+      << pnml::write_ezspec(workload::uav_autopilot_specification())
+             .value();
+  const std::string report = (dir_ / "uav.json").string();
+
+  EXPECT_EQ(run_cli({"schedule", path, "--complete", "--report", report}),
+            0);
+  EXPECT_NE(out_.str().find("scheduleTable_p0[4]"), std::string::npos);
+  EXPECT_NE(out_.str().find("scheduleTable_p1[7]"), std::string::npos);
+  EXPECT_NE(out_.str().find("bus timeline"), std::string::npos);
+
+  // v4 report: per-processor breakdown, bus contention, K high-water.
+  const std::string json = read_file(report);
+  EXPECT_NE(json.find("\"processor\":\"sensor-cpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"processor\":\"control-cpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"bus\":{\"transfers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sync\":{\"budget\":0,\"high_water\":2"),
+            std::string::npos);
+
+  // Replay through the dispatcher co-simulation (per-core metric rows).
+  EXPECT_EQ(run_cli({"simulate", path, "--complete"}), 0);
+  EXPECT_NE(out_.str().find("sensor-cpu"), std::string::npos);
+  EXPECT_NE(out_.str().find("control-cpu"), std::string::npos);
+
+  // K-budget flip: the schedule's high-water mark is 2, so K = 2 stays
+  // feasible and K = 1 proves infeasible (exit code 2).
+  EXPECT_EQ(
+      run_cli({"schedule", path, "--complete", "--sync-budget", "2"}), 0);
+  EXPECT_EQ(
+      run_cli({"schedule", path, "--complete", "--sync-budget", "1"}), 2);
 }
 
 }  // namespace

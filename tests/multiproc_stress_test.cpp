@@ -1,0 +1,130 @@
+// Multi-processor differential stress sweep (docs/multiprocessor.md):
+// generated 2–4 processor models — partitioned and global placement,
+// harmonic and arbitrary period pools — searched serially and at every
+// thread count. Runs under the ctest "stress" label only.
+//
+// The multi-processor encoding adds resource places (per-core processor,
+// bus, K-pool) but no engine special cases, so the parallel-search
+// invariants from parallel_test.cpp must carry over unchanged: identical
+// verdicts at every thread count, identical exhaustive state counts, and
+// every feasible trace valid under replay, the independent validator and
+// the dual-core dispatcher simulator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "builder/tpn_builder.hpp"
+#include "runtime/dispatcher_sim.hpp"
+#include "runtime/validator.hpp"
+#include "sched/dfs.hpp"
+#include "sched/schedule_table.hpp"
+#include "tpn/analysis.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt {
+namespace {
+
+constexpr std::uint64_t kSweepModels = 48;
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Interleaves the four scenario quadrants (placement x period pool) over
+/// 2..4 processors, alternating relaxed and tight utilization so both
+/// verdict families appear.
+[[nodiscard]] workload::WorkloadConfig sweep_config(std::uint64_t i) {
+  const auto placement = (i % 2) == 0 ? workload::Placement::kPartitioned
+                                      : workload::Placement::kGlobal;
+  const bool harmonic = (i / 2) % 2 == 0;
+  const auto processors = static_cast<std::uint32_t>(2 + (i / 4) % 3);
+  workload::WorkloadConfig c = workload::multiproc_scenario(
+      placement, harmonic, processors, 3000 + i);
+  const bool tight = (i % 8) >= 6;
+  if (tight) {
+    c.utilization =
+        (0.82 + 0.03 * static_cast<double>(i % 5)) * processors;
+    c.exclusion_pairs = 1;
+  }
+  // Smaller pools keep hyper-periods (and exhaustive searches) bounded.
+  c.period_pool = harmonic ? std::vector<Time>{40, 80, 160}
+                           : std::vector<Time>{40, 60, 80};
+  return c;
+}
+
+[[nodiscard]] sched::SchedulerOptions sweep_options(std::uint32_t threads) {
+  sched::SchedulerOptions options;
+  options.max_states = 400'000;
+  options.threads = threads;
+  return options;
+}
+
+void expect_trace_valid(const spec::Specification& s,
+                        const builder::BuiltModel& model,
+                        const sched::DfsScheduler& scheduler,
+                        const sched::Trace& trace) {
+  auto final_state = scheduler.replay(trace);
+  ASSERT_TRUE(final_state.ok()) << final_state.error();
+  EXPECT_TRUE(tpn::is_final_marking(model.net, final_state.value().marking()));
+
+  auto table = sched::extract_schedule(s, model, trace);
+  ASSERT_TRUE(table.ok()) << table.error();
+  EXPECT_EQ(table.value().processor_count, s.processor_count());
+  const runtime::ValidationReport report =
+      runtime::validate_schedule(s, table.value());
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  const runtime::DispatcherRun run =
+      runtime::simulate_dispatcher(s, table.value());
+  EXPECT_TRUE(run.ok()) << (run.faults.empty() ? "deadline missed"
+                                               : run.faults.front());
+}
+
+TEST(MultiProcDifferential, SweepAgreesWithSerialAtAllThreadCounts) {
+  std::uint64_t feasible = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t limited = 0;
+  for (std::uint64_t i = 0; i < kSweepModels; ++i) {
+    SCOPED_TRACE("sweep model " + std::to_string(i));
+    auto s = workload::generate(sweep_config(i));
+    ASSERT_TRUE(s.ok()) << s.error();
+    auto model = builder::build_tpn(s.value());
+    ASSERT_TRUE(model.ok()) << model.error();
+
+    const sched::DfsScheduler serial(model.value().net, sweep_options(0));
+    const sched::SearchOutcome reference = serial.search();
+    if (reference.status == sched::SearchStatus::kLimitReached) {
+      // Bounded-budget verdicts are scheduling-order dependent; the sweep
+      // parameters make them rare.
+      ++limited;
+      continue;
+    }
+    (reference.status == sched::SearchStatus::kFeasible ? feasible
+                                                        : infeasible)++;
+    if (reference.status == sched::SearchStatus::kFeasible) {
+      expect_trace_valid(s.value(), model.value(), serial, reference.trace);
+    }
+
+    for (std::uint32_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const sched::DfsScheduler parallel(model.value().net,
+                                         sweep_options(threads));
+      const sched::SearchOutcome out = parallel.search();
+      ASSERT_EQ(out.status, reference.status);
+      if (out.status == sched::SearchStatus::kFeasible) {
+        expect_trace_valid(s.value(), model.value(), serial, out.trace);
+      } else {
+        // Exhausted searches explore exactly the reachable set of the
+        // shared pruned successor graph — including the bus and K-pool
+        // resource places — so the distinct-state count is an invariant.
+        EXPECT_EQ(out.stats.states_visited, reference.stats.states_visited);
+      }
+    }
+  }
+  // The sweep must genuinely exercise both verdict families.
+  EXPECT_GT(feasible, kSweepModels / 8);
+  EXPECT_GT(infeasible, kSweepModels / 16);
+  EXPECT_LT(limited, kSweepModels / 4);
+}
+
+}  // namespace
+}  // namespace ezrt

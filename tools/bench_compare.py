@@ -125,6 +125,22 @@ def report_metrics(report):
         rows["workers"] = len(workers)
         rows["steals"] = sum(w.get("steals", 0) for w in workers)
         rows["donations"] = sum(w.get("donations", 0) for w in workers)
+    # Schema v4: per-processor utilization, bus contention and the shared
+    # K-pool high-water mark (docs/multiprocessor.md).
+    schedule = report.get("schedule", {})
+    for proc in schedule.get("processors", []):
+        name = proc.get("processor", "?")
+        rows[f"util[{name}]"] = proc.get("utilization", 0)
+        rows[f"busy[{name}]"] = proc.get("busy_time", 0)
+    bus = schedule.get("bus", {})
+    if bus.get("transfers"):
+        rows["bus_transfers"] = bus["transfers"]
+        rows["bus_busy_time"] = bus.get("busy_time", 0)
+        rows["bus_utilization"] = bus.get("utilization", 0)
+    sync = schedule.get("sync", {})
+    if sync.get("budget"):
+        rows["sync_budget"] = sync["budget"]
+        rows["sync_high_water"] = sync.get("high_water", 0)
     verdict = report.get("verdict", {})
     if "status" in verdict:
         rows["status"] = verdict["status"]

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/project.hpp"
+#include "obs/explain.hpp"
 #include "pnml/ezspec_io.hpp"
 #include "pnml/pnml_io.hpp"
 #include "workload/generator.hpp"
@@ -71,6 +72,35 @@ void BM_Pipeline_DocumentToCode(benchmark::State& state) {
   state.counters["generated_bytes"] = static_cast<double>(code_bytes);
 }
 BENCHMARK(BM_Pipeline_DocumentToCode)->Unit(benchmark::kMillisecond);
+
+/// Verdict provenance end to end (docs/explain.md): the sync-starved UAV
+/// spec through search + attribution + culprit minimization + the K
+/// lower-bound search + WCET slack — the full `ezrt explain` diagnosis
+/// an infeasible multi-processor design pays for.
+void BM_Explain_UAVCulprit(benchmark::State& state) {
+  std::size_t culprit_tasks = 0;
+  std::uint32_t k_bound = 0;
+  for (auto _ : state) {
+    spec::Specification s = workload::uav_autopilot_specification();
+    s.set_sync_budget(1);
+    core::Project project(std::move(s));
+    project.scheduler_options().pruning = sched::PruningMode::kNone;
+    project.scheduler_options().collect_attribution = true;
+    project.scheduler_options().deterministic = true;
+    (void)project.schedule();
+    obs::ExplainOptions options;
+    options.scheduler = project.scheduler_options();
+    obs::Explanation e =
+        obs::build_explanation(project.specification(), &project.model().net,
+                               &project.outcome(), nullptr, options);
+    culprit_tasks = e.culprits ? e.culprits->tasks.size() : 0;
+    k_bound = e.culprits ? e.culprits->sync_budget_lower_bound : 0;
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["culprit_tasks"] = static_cast<double>(culprit_tasks);
+  state.counters["k_lower_bound"] = static_cast<double>(k_bound);
+}
+BENCHMARK(BM_Explain_UAVCulprit)->Unit(benchmark::kMillisecond);
 
 void print_report() {
   const std::string doc = mine_pump_document();

@@ -11,6 +11,7 @@
 
 #include "base/cancel.hpp"
 #include "base/strings.hpp"
+#include "obs/explain.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "pnml/ezspec_io.hpp"
@@ -129,7 +130,7 @@ class Args {
            name == "engine" || name == "beam-width" ||
            name == "state-classes" || name == "processors" ||
            name == "placement" || name == "messages" ||
-           name == "sync-budget";
+           name == "sync-budget" || name == "sync-cap";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -324,10 +325,32 @@ int cmd_info(const Args& args, std::ostream& out, std::ostream& err) {
       << "  processors: " << s.processor_count() << "\n"
       << "  tasks:      " << s.task_count() << "\n"
       << "  messages:   " << s.message_count() << "\n"
-      << "  utilization: " << s.utilization() << "\n";
+      << "  utilization: " << s.utilization() << "\n"
+      << "  sync budget: " << s.sync_budget() << "\n";
   if (auto ps = s.schedule_period(); ps.ok()) {
     out << "  schedule period: " << ps.value() << "\n"
         << "  task instances:  " << s.total_instances().value() << "\n";
+  }
+  if (s.processor_count() > 1) {
+    out << "  processors (name utilization):\n";
+    for (ProcessorId id : s.processor_ids()) {
+      out << "    " << s.processor(id).name << " " << s.utilization(id)
+          << "\n";
+    }
+  }
+  if (s.message_count() > 0) {
+    // Routing: which bus each cross-core channel crosses, and its cost.
+    out << "  messages (name sender -> [bus] -> receiver, grant+comm):\n";
+    for (MessageId id : s.message_ids()) {
+      const spec::Message& m = s.message(id);
+      const std::string sender =
+          m.sender.valid() ? s.task(m.sender).name : "?";
+      const std::string receiver =
+          m.receiver.valid() ? s.task(m.receiver).name : "?";
+      out << "    " << m.name << " " << sender << " -> [" << m.bus
+          << "] -> " << receiver << ", " << m.grant_bus << "+"
+          << m.communication << "\n";
+    }
   }
   out << "  tasks (name c d p ph r mode):\n";
   for (TaskId id : s.task_ids()) {
@@ -462,6 +485,98 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err,
     return fail(err, s.error());
   }
   return kOk;
+}
+
+/// Exit code for the explain command: mirrors the verdict the
+/// explanation was built for, so scripts can branch identically on
+/// `ezrt schedule` and `ezrt explain`.
+[[nodiscard]] int exit_code_for(sched::SearchStatus status) {
+  switch (status) {
+    case sched::SearchStatus::kFeasible:
+      return kOk;
+    case sched::SearchStatus::kInfeasible:
+      return kInfeasibleExit;
+    case sched::SearchStatus::kLimitReached:
+    case sched::SearchStatus::kTimeLimit:
+    case sched::SearchStatus::kMemoryLimit:
+      return kLimitExit;
+    case sched::SearchStatus::kCancelled:
+      return kCancelledExit;
+  }
+  return kFailure;
+}
+
+int cmd_explain(const Args& args, std::ostream& out, std::ostream& err,
+                const base::CancelToken* cancel) {
+  const auto report_path = args.value("report");
+  auto project = load_project(args, nullptr, cancel);
+  if (!project.ok()) {
+    return fail(err, project.error());
+  }
+  core::Project& p = project.value();
+  // The provenance contract (docs/explain.md §4): attribution counters on,
+  // thread-count-independent outcome, and byte-deterministic report
+  // emission — the same spec and options always produce the same bytes.
+  p.scheduler_options().collect_attribution = true;
+  p.scheduler_options().deterministic = true;
+
+  obs::ExplainOptions explain_options;
+  if (args.has("no-minimize")) {
+    explain_options.minimize = false;
+  }
+  if (auto cap = args.value("sync-cap")) {
+    auto parsed = parse_uint(*cap);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --sync-cap expects a positive budget\n";
+      return kInvalidInput;
+    }
+    explain_options.sync_budget_cap =
+        static_cast<std::uint32_t>(parsed.value());
+  }
+
+  // Layer 1 first: a violated necessary condition explains infeasibility
+  // without any search, so trivially-doomed specs answer in microseconds.
+  obs::Explanation explanation;
+  if (obs::certificates_prove_infeasible(
+          obs::analytic_certificates(p.specification()))) {
+    explain_options.scheduler = p.scheduler_options();
+    explanation = obs::build_explanation(p.specification(), nullptr, nullptr,
+                                         nullptr, explain_options);
+  } else {
+    const Status status = p.schedule();
+    if (!p.scheduled()) {
+      // The pipeline failed before a verdict (parse/validate/build); there
+      // is nothing to explain.
+      return fail(err, status.error());
+    }
+    explain_options.scheduler = p.scheduler_options();
+    Result<sched::ScheduleTable> table = make_error(
+        ErrorCode::kInternal, "no schedule");
+    const sched::ScheduleTable* table_ptr = nullptr;
+    if (p.outcome().status == sched::SearchStatus::kFeasible) {
+      table = p.table();
+      if (table.ok()) {
+        table_ptr = &table.value();
+      }
+    }
+    explanation = obs::build_explanation(p.specification(), &p.model().net,
+                                         &p.outcome(), table_ptr,
+                                         explain_options);
+  }
+
+  out << obs::render_explanation(explanation);
+  if (report_path.has_value()) {
+    core::RunReportExtras extras;
+    extras.explanation = &explanation;
+    extras.deterministic = true;
+    if (auto s = write_file(*report_path,
+                            core::run_report_json(p, nullptr, &extras));
+        !s.ok()) {
+      return fail(err, s.error());
+    }
+    out << "report written to " << *report_path << "\n";
+  }
+  return exit_code_for(explanation.status);
 }
 
 int cmd_codegen(const Args& args, std::ostream& out, std::ostream& err) {
@@ -758,16 +873,41 @@ int cmd_replay(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_reach(const Args& args, std::ostream& out, std::ostream& err,
               const base::CancelToken* cancel) {
-  auto project = load_project(args);
+  const auto report_path = args.value("report");
+  const auto trace_out_path = args.value("trace-out");
+  obs::Tracer tracer;
+  obs::Tracer* const tracer_ptr =
+      report_path.has_value() || trace_out_path.has_value() ? &tracer
+                                                            : nullptr;
+  auto project = load_project(args, tracer_ptr, cancel);
   if (!project.ok()) {
     return fail(err, project.error());
   }
   core::Project& p = project.value();
+  p.set_tracer(tracer_ptr);
   if (auto status = p.build(); !status.ok()) {
     return fail(err, status.error());
   }
   sched::ReachabilityOptions reach_options;
   reach_options.cancel = cancel;
+
+  obs::ProgressSink sink;
+  std::optional<obs::ProgressReporter> reporter;
+  if (args.has("progress")) {
+    std::uint64_t interval_ms = 1000;
+    if (auto value = args.value("progress");
+        value.has_value() && !value->empty()) {
+      auto parsed = parse_uint(*value);
+      if (!parsed.ok()) {
+        err << "error: --progress: " << parsed.error() << "\n";
+        return kInvalidInput;
+      }
+      interval_ms = parsed.value();
+    }
+    reach_options.progress = &sink;
+    // Heartbeats go to stderr so stdout stays parseable.
+    reporter.emplace(sink, err, std::chrono::milliseconds(interval_ms));
+  }
   std::uint64_t max_states = reach_options.max_states;
   if (auto value = args.value("max-states")) {
     auto parsed = parse_uint(*value);
@@ -812,8 +952,32 @@ int cmd_reach(const Args& args, std::ostream& out, std::ostream& err,
   }
   sched::ReachabilityOptions options = reach_options;
   options.max_states = max_states;
-  const sched::ReachabilityResult result =
-      sched::explore(p.model().net, options);
+  const sched::ReachabilityResult result = [&] {
+    obs::Span span(tracer_ptr, "reachability", "pipeline");
+    return sched::explore(p.model().net, options);
+  }();
+  if (reporter.has_value()) {
+    reporter->stop();
+  }
+  // Report and Chrome trace are written for every stop reason: a
+  // budget-limited exploration leaves the same audit trail as a complete
+  // one (mirrors `ezrt schedule --report`).
+  if (report_path.has_value()) {
+    core::RunReportExtras extras;
+    extras.reachability = &result;
+    if (auto s = write_file(*report_path,
+                            core::run_report_json(p, tracer_ptr, &extras));
+        !s.ok()) {
+      return fail(err, s.error());
+    }
+    out << "report written to " << *report_path << "\n";
+  }
+  if (trace_out_path.has_value()) {
+    if (auto s = obs::write_trace_file(tracer, *trace_out_path); !s.ok()) {
+      return fail(err, s.error());
+    }
+    out << "trace written to " << *trace_out_path << "\n";
+  }
   out << "reachability ("
       << (result.complete ? "complete" : sched::to_string(result.stop))
       << "):\n"
@@ -930,7 +1094,30 @@ int cmd_robust(const Args& args, std::ostream& out, std::ostream& err,
   }
   core::Project& p = project.value();
   p.set_tracer(tracer_ptr);
+
+  // --progress covers the synthesis phase (the search is where a campaign
+  // can stall); the trial sweep afterwards is bounded work.
+  obs::ProgressSink sink;
+  std::optional<obs::ProgressReporter> reporter;
+  if (args.has("progress")) {
+    std::uint64_t interval_ms = 1000;
+    if (auto value = args.value("progress");
+        value.has_value() && !value->empty()) {
+      auto parsed = parse_uint(*value);
+      if (!parsed.ok()) {
+        err << "error: --progress: " << parsed.error() << "\n";
+        return kInvalidInput;
+      }
+      interval_ms = parsed.value();
+    }
+    p.scheduler_options().progress = &sink;
+    reporter.emplace(sink, err, std::chrono::milliseconds(interval_ms));
+  }
+
   auto table = p.table();  // synthesizes the schedule on demand
+  if (reporter.has_value()) {
+    reporter->stop();
+  }
   if (!table.ok()) {
     return fail(err, table.error());
   }
@@ -991,6 +1178,15 @@ std::string usage() {
       "               [--sync-budget K] override the shared-sync pool\n"
       "               (docs/multiprocessor.md); multi-processor specs\n"
       "               print one table per core plus the bus timeline\n"
+      "  explain      verdict provenance (docs/explain.md): analytic\n"
+      "               certificates, per-task/per-resource blame, 1-minimal\n"
+      "               infeasible culprit sets, sync-budget lower bound and\n"
+      "               WCET slack; exit code mirrors the verdict\n"
+      "               [--no-minimize] skip the culprit/slack re-runs\n"
+      "               [--sync-cap K] bound for the budget search (default "
+      "64)\n"
+      "               [--report FILE] schema-v5 JSON, byte-deterministic\n"
+      "               (accepts all `schedule` search options)\n"
       "  codegen      emit the scheduled C program  -o DIR\n"
       "               [--target host-sim|bare-metal] [--mcu "
       "generic|8051|arm9|m68k|x86]\n"
@@ -1012,6 +1208,8 @@ std::string usage() {
       "  reach        bounded reachability / property check "
       "[--max-states N]\n"
       "               [--wall-limit MS] [--mem-limit BYTES[k|m|g]]\n"
+      "               [--report FILE] run report with a \"reachability\"\n"
+      "               section [--trace-out FILE] [--progress[=MS]]\n"
       "  robust       fault-injection campaign over the synthesized "
       "schedule\n"
       "               [--faults SPEC] e.g. wcet:0.3,drift:0.2,burst:0.1,"
@@ -1024,6 +1222,7 @@ std::string usage() {
       "retry-next-slot,fallback-online\n"
       "               [--report FILE] resilience report (JSON) "
       "[--trace-out FILE]\n"
+      "               [--progress[=MS]] heartbeat for the synthesis phase\n"
       "  help         this text\n"
       "\n"
       "exit codes: 0 success/feasible, 1 runtime failure, 2 infeasible,\n"
@@ -1048,6 +1247,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (command == "schedule") {
     return cmd_schedule(parsed, out, err, cancel);
+  }
+  if (command == "explain") {
+    return cmd_explain(parsed, out, err, cancel);
   }
   if (command == "codegen") {
     return cmd_codegen(parsed, out, err);

@@ -2,10 +2,12 @@
 
 #include <string_view>
 
+#include "obs/explain.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/metrics.hpp"
+#include "sched/reachability.hpp"
 
 namespace ezrt::core {
 
@@ -104,10 +106,12 @@ void write_options(JsonWriter& w, const sched::SchedulerOptions& opt) {
   w.member("threads", opt.threads);
   w.member("deterministic", opt.deterministic);
   w.member("collect_telemetry", opt.collect_telemetry);
+  w.member("collect_attribution", opt.collect_attribution);
   w.end_object();
 }
 
-void write_search_stats(JsonWriter& w, const sched::SearchStats& s) {
+void write_search_stats(JsonWriter& w, const sched::SearchStats& s,
+                        bool deterministic = false) {
   w.member("states_visited", s.states_visited);
   w.member("transitions_fired", s.transitions_fired);
   w.member("backtracks", s.backtracks);
@@ -121,7 +125,21 @@ void write_search_stats(JsonWriter& w, const sched::SearchStats& s) {
   w.member("beam_dropped", s.beam_dropped);
   w.member("max_depth", s.max_depth);
   w.member("peak_visited_bytes", s.peak_visited_bytes);
-  w.member("elapsed_ms", s.elapsed_ms);
+  w.member("elapsed_ms", deterministic ? std::uint64_t{0} : s.elapsed_ms);
+}
+
+void write_reachability(JsonWriter& w, const sched::ReachabilityResult& r) {
+  w.key("reachability").begin_object();
+  w.member("states_explored", r.states_explored);
+  w.member("transitions_fired", r.transitions_fired);
+  w.member("complete", r.complete);
+  w.member("stop", std::string_view(sched::to_string(r.stop)));
+  w.member("final_reachable", r.final_reachable);
+  w.member("miss_reachable", r.miss_reachable);
+  w.member("deadlock_found", r.deadlock_found);
+  w.member("bound", r.bound);
+  w.member("peak_frontier", r.peak_frontier);
+  w.end_object();
 }
 
 void write_telemetry(JsonWriter& w, const sched::SearchTelemetry& t) {
@@ -239,7 +257,9 @@ void write_stages(JsonWriter& w, const obs::Tracer& tracer) {
 
 }  // namespace
 
-std::string run_report_json(Project& project, const obs::Tracer* tracer) {
+std::string run_report_json(Project& project, const obs::Tracer* tracer,
+                            const RunReportExtras* extras) {
+  const bool deterministic = extras != nullptr && extras->deterministic;
   JsonWriter w;
   w.begin_object();
   w.member("schema", "ezrt-run-report");
@@ -251,7 +271,11 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
   // v4: multi-processor breakdown under "schedule" — per-processor
   // utilization ("processors"), bus contention ("bus") and the shared
   // K-pool high-water mark ("sync"); "model" gains "sync_budget".
-  w.member("version", 4);
+  // v5: verdict provenance — the optional "explanation" section (`ezrt
+  // explain`, docs/explain.md), the optional "reachability" section
+  // (`ezrt reach --report`), and the byte-deterministic emission mode
+  // (wall-clock fields zeroed, stages/telemetry omitted, counters empty).
+  w.member("version", 5);
   write_model(w, project);
   write_options(w, project.scheduler_options());
 
@@ -267,11 +291,12 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
     w.end_object();
 
     w.key("search").begin_object();
-    write_search_stats(w, outcome.stats);
-    w.member("parallel_verdict_ms", outcome.parallel_verdict_ms);
+    write_search_stats(w, outcome.stats, deterministic);
+    w.member("parallel_verdict_ms",
+             deterministic ? std::uint64_t{0} : outcome.parallel_verdict_ms);
     w.end_object();
 
-    if (outcome.telemetry.collected) {
+    if (outcome.telemetry.collected && !deterministic) {
       write_telemetry(w, outcome.telemetry);
     }
     if (outcome.status == sched::SearchStatus::kFeasible) {
@@ -279,12 +304,28 @@ std::string run_report_json(Project& project, const obs::Tracer* tracer) {
     }
   }
 
-  if (tracer != nullptr) {
+  if (extras != nullptr && extras->reachability != nullptr) {
+    write_reachability(w, *extras->reachability);
+  }
+  if (extras != nullptr && extras->explanation != nullptr) {
+    w.key("explanation");
+    obs::write_explanation(w, *extras->explanation);
+  }
+
+  if (tracer != nullptr && !deterministic) {
     write_stages(w, *tracer);
   }
 
   w.key("counters");
-  obs::Registry::global().write_json(w);
+  if (deterministic) {
+    // The process-wide registry accumulates across everything that ran in
+    // the process (including explain's probe re-runs); freeze it empty so
+    // the report stays byte-identical across reruns and builds.
+    w.begin_object();
+    w.end_object();
+  } else {
+    obs::Registry::global().write_json(w);
+  }
   w.end_object();
   return w.take();
 }

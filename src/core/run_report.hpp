@@ -15,16 +15,37 @@
 
 namespace ezrt::obs {
 class Tracer;
+struct Explanation;
 }  // namespace ezrt::obs
 
+namespace ezrt::sched {
+struct ReachabilityResult;
+}  // namespace ezrt::sched
+
 namespace ezrt::core {
+
+/// Optional v5 sections and emission modes.
+struct RunReportExtras {
+  /// Verdict provenance (`ezrt explain`, docs/explain.md): emitted as the
+  /// "explanation" section.
+  const obs::Explanation* explanation = nullptr;
+  /// Reachability verdicts (`ezrt reach --report`): "reachability".
+  const sched::ReachabilityResult* reachability = nullptr;
+  /// Byte-deterministic emission: zero the wall-clock fields
+  /// (elapsed_ms, parallel_verdict_ms), omit the stage spans and the
+  /// telemetry breakdown, and emit an empty counter registry — so two
+  /// runs of the same spec under the same options produce identical
+  /// bytes (the `ezrt explain --report` contract, docs/explain.md §4).
+  bool deterministic = false;
+};
 
 /// Serializes the report for `project`'s current pipeline state. Stages
 /// that have not run are omitted (the report of a failed run still
 /// carries everything up to the failure); `tracer` (optional) supplies
 /// the wall-clock stage spans. Non-const because reading the schedule
 /// table of a feasible project may extract it on demand.
-[[nodiscard]] std::string run_report_json(Project& project,
-                                          const obs::Tracer* tracer = nullptr);
+[[nodiscard]] std::string run_report_json(
+    Project& project, const obs::Tracer* tracer = nullptr,
+    const RunReportExtras* extras = nullptr);
 
 }  // namespace ezrt::core

@@ -1,0 +1,643 @@
+#include "obs/explain.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "base/cancel.hpp"
+#include "builder/tpn_builder.hpp"
+#include "obs/json.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sensitivity.hpp"
+
+namespace ezrt::obs {
+
+namespace {
+
+/// Two-decimal fixed rendering for ratios; snprintf so the output is
+/// locale-independent and byte-deterministic.
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+const char* verdict_name(runtime::AdmissionVerdict v) {
+  switch (v) {
+    case runtime::AdmissionVerdict::kInfeasible:
+      return "violated";
+    case runtime::AdmissionVerdict::kSchedulable:
+      return "satisfied";
+    case runtime::AdmissionVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "inconclusive";
+}
+
+/// Layer-3 re-runs derive from the primary options but are forced onto
+/// the deterministic serial path: the guided best-first engine with state
+/// classes on (verdict-equivalent to DFS, docs/search.md) and no
+/// telemetry/attribution/progress. Pruning, firing policy, reduction and
+/// the state budget are inherited, so answers stay relative to the
+/// configured search mode — the sensitivity-module contract.
+sched::SchedulerOptions probe_options(sched::SchedulerOptions base) {
+  base.objective = sched::Objective::kFirstFeasible;
+  base.search_engine = sched::SearchEngine::kBestFirst;
+  base.state_classes = sched::StateClassMode::kOn;
+  base.threads = 0;
+  base.deterministic = false;
+  base.collect_telemetry = false;
+  base.collect_attribution = false;
+  base.progress = nullptr;
+  base.tracer = nullptr;
+  return base;
+}
+
+enum class Probe : std::uint8_t { kFeasible, kInfeasible, kInconclusive };
+
+/// Tri-state feasibility of a candidate under the probe options. A
+/// violated analytic necessary condition proves infeasibility without a
+/// search (and keeps trivially-doomed probes at microseconds); guard and
+/// budget verdicts are inconclusive, never misread as infeasible.
+Probe probe_spec(const spec::Specification& candidate,
+                 const sched::SchedulerOptions& options) {
+  if (runtime::check_admission(candidate).overall ==
+      runtime::AdmissionVerdict::kInfeasible) {
+    return Probe::kInfeasible;
+  }
+  auto model = builder::build_tpn(candidate);
+  if (!model.ok()) {
+    return Probe::kInfeasible;  // e.g. a WCET that no longer fits its window
+  }
+  const auto out = sched::DfsScheduler(model.value().net, options).search();
+  if (out.status == sched::SearchStatus::kFeasible) {
+    return Probe::kFeasible;
+  }
+  if (out.status == sched::SearchStatus::kInfeasible) {
+    return Probe::kInfeasible;
+  }
+  return Probe::kInconclusive;
+}
+
+/// Copy of `spec` restricted to the tasks with keep[id] set. Processors
+/// are copied wholesale (ids unchanged); precedence/exclusion edges and
+/// messages survive only when every endpoint is kept.
+spec::Specification subset_spec(const spec::Specification& spec,
+                                const std::vector<bool>& keep) {
+  spec::Specification out;
+  out.set_sync_budget(spec.sync_budget());
+  for (ProcessorId p : spec.processor_ids()) {
+    out.add_processor(spec.processor(p));
+  }
+  std::vector<TaskId> remap(spec.task_count());
+  for (TaskId t : spec.task_ids()) {
+    if (!keep[t.value()]) {
+      continue;
+    }
+    spec::Task task = spec.task(t);
+    task.precedes.clear();
+    task.excludes.clear();
+    task.precedes_msgs.clear();
+    remap[t.value()] = out.add_task(std::move(task));
+  }
+  for (TaskId t : spec.task_ids()) {
+    if (!keep[t.value()]) {
+      continue;
+    }
+    for (TaskId succ : spec.task(t).precedes) {
+      if (keep[succ.value()]) {
+        out.add_precedence(remap[t.value()], remap[succ.value()]);
+      }
+    }
+    for (TaskId ex : spec.task(t).excludes) {
+      // Exclusion is symmetric and stored closed; add each pair once.
+      if (keep[ex.value()] && t.value() < ex.value()) {
+        out.add_exclusion(remap[t.value()], remap[ex.value()]);
+      }
+    }
+  }
+  for (MessageId m : spec.message_ids()) {
+    const spec::Message& msg = spec.message(m);
+    if (!msg.sender.valid() || !msg.receiver.valid() ||
+        !keep[msg.sender.value()] || !keep[msg.receiver.value()]) {
+      continue;
+    }
+    const MessageId copy = out.add_message(msg);
+    out.connect_message(remap[msg.sender.value()], copy,
+                        remap[msg.receiver.value()]);
+  }
+  return out;
+}
+
+const char* resource_kind(tpn::PlaceRole role) {
+  switch (role) {
+    case tpn::PlaceRole::kProcessor:
+      return "processor";
+    case tpn::PlaceRole::kBus:
+      return "bus";
+    case tpn::PlaceRole::kExclusionLock:
+      return "lock";
+    case tpn::PlaceRole::kSyncPool:
+      return "sync-pool";
+    default:
+      return "resource";
+  }
+}
+
+/// Layer 2: folds the place/task-indexed counters back onto spec names.
+void map_attribution(const spec::Specification& spec,
+                     const tpn::TimePetriNet& net,
+                     const sched::AttributionCounters& a, Explanation& e) {
+  e.attribution_collected = true;
+  std::vector<std::uint64_t> watchdog(spec.task_count(), 0);
+  for (PlaceId p : net.place_ids()) {
+    const tpn::Place& place = net.place(p);
+    const std::uint64_t hits =
+        p.value() < a.deadline_hits.size() ? a.deadline_hits[p.value()] : 0;
+    if (hits > 0 && place.task.valid() &&
+        place.task.value() < watchdog.size()) {
+      watchdog[place.task.value()] += hits;
+    }
+    const std::uint64_t waits =
+        p.value() < a.contention.size() ? a.contention[p.value()] : 0;
+    if (waits > 0) {
+      e.resources.push_back(
+          ResourceBlame{place.name, resource_kind(place.role), waits});
+    }
+  }
+  for (TaskId t : spec.task_ids()) {
+    const std::uint64_t doomed =
+        t.value() < a.doomed_hits.size() ? a.doomed_hits[t.value()] : 0;
+    if (watchdog[t.value()] > 0 || doomed > 0) {
+      e.tasks.push_back(
+          TaskBlame{spec.task(t).name, watchdog[t.value()], doomed});
+    }
+  }
+  e.doomed_unattributed = a.doomed_unattributed;
+}
+
+/// Deletion-based 1-minimality: repeatedly drop any task whose removal
+/// keeps the remainder infeasible, until a fixed point. Deterministic
+/// (TaskId order) and sound: only a proven-infeasible probe removes.
+void minimize_culprits(const spec::Specification& spec,
+                       const sched::SchedulerOptions& probe,
+                       CulpritReport& report) {
+  std::vector<bool> keep(spec.task_count(), true);
+  std::size_t kept = spec.task_count();
+  report.minimized = true;
+  bool progress = true;
+  while (progress && kept > 1) {
+    progress = false;
+    for (TaskId t : spec.task_ids()) {
+      if (!keep[t.value()] || kept == 1) {
+        continue;
+      }
+      keep[t.value()] = false;
+      const Probe r = probe_spec(subset_spec(spec, keep), probe);
+      if (r == Probe::kInfeasible) {
+        --kept;
+        progress = true;
+      } else {
+        keep[t.value()] = true;
+        if (r == Probe::kInconclusive) {
+          report.minimized = false;
+        }
+      }
+    }
+  }
+  for (TaskId t : spec.task_ids()) {
+    if (keep[t.value()]) {
+      report.tasks.push_back(spec.task(t).name);
+    }
+  }
+}
+
+/// Smallest K > sync_budget that flips the verdict feasible: exponential
+/// climb to a feasible upper bound, then binary search down.
+void sync_lower_bound(const spec::Specification& spec,
+                      const sched::SchedulerOptions& probe,
+                      std::uint32_t cap, CulpritReport& report) {
+  const std::uint32_t k0 = spec.sync_budget();
+  if (k0 == 0) {
+    return;
+  }
+  auto feasible_with = [&](std::uint32_t k) {
+    spec::Specification candidate = spec;
+    candidate.set_sync_budget(k);
+    return probe_spec(candidate, probe) == Probe::kFeasible;
+  };
+  std::uint32_t hi = 0;  // smallest known-feasible K, 0 = none yet
+  std::uint32_t lo = k0;  // largest known-infeasible K (the primary verdict)
+  for (std::uint32_t step = 1; k0 + step <= cap && k0 + step > k0;
+       step *= 2) {
+    if (feasible_with(k0 + step)) {
+      hi = k0 + step;
+      break;
+    }
+    lo = k0 + step;
+  }
+  if (hi == 0 && cap > lo && feasible_with(cap)) {
+    hi = cap;  // the doubling overshot the cap; try the cap itself
+  }
+  if (hi == 0) {
+    return;  // no K up to the cap restores feasibility: K is not the culprit
+  }
+  // Invariant: lo infeasible, hi feasible. Bisect for the smallest
+  // feasible K in (lo, hi].
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (feasible_with(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  report.sync_budget_lower_bound = hi;
+  report.sync_budget_culprit = true;
+}
+
+/// Infeasible direction: smallest WCET reduction of `task` alone that
+/// makes the whole spec feasible (monotone in the reduction, so binary
+/// search); decisive=false when even computation = 1 stays infeasible.
+TaskSlack reduction_slack(const spec::Specification& spec, TaskId task,
+                          const sched::SchedulerOptions& probe) {
+  TaskSlack slack;
+  slack.task = spec.task(task).name;
+  const Time c = spec.task(task).timing.computation;
+  auto feasible_with_reduction = [&](Time r) {
+    spec::Specification candidate = spec;
+    candidate.task(task).timing.computation = c - r;
+    return probe_spec(candidate, probe) == Probe::kFeasible;
+  };
+  Time lo = 0;      // known infeasible (the primary verdict)
+  Time hi = c - 1;  // computation floor of 1
+  if (hi <= 0 || !feasible_with_reduction(hi)) {
+    slack.decisive = false;
+    return slack;
+  }
+  while (hi - lo > 1) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible_with_reduction(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  slack.amount = hi;
+  return slack;
+}
+
+}  // namespace
+
+std::vector<Certificate> analytic_certificates(
+    const spec::Specification& spec) {
+  std::vector<Certificate> certs;
+  const runtime::AdmissionReport admission = runtime::check_admission(spec);
+  certs.reserve(admission.checks.size() + 2);
+  for (const runtime::AdmissionCheck& check : admission.checks) {
+    certs.push_back(
+        Certificate{check.name, verdict_name(check.verdict), check.detail});
+  }
+
+  const auto ps = spec.schedule_period();
+  if (!ps.ok()) {
+    return certs;
+  }
+  const Time period = ps.value();
+
+  // Bus saturation (necessary): messages on one bus serialize, so their
+  // summed occupancy (arbitration + transfer, per instance) must fit the
+  // schedule period.
+  std::map<std::string, Time> bus_demand;
+  for (MessageId m : spec.message_ids()) {
+    const spec::Message& msg = spec.message(m);
+    if (!msg.sender.valid()) {
+      continue;
+    }
+    const auto instances = spec.instance_count(msg.sender);
+    if (!instances.ok()) {
+      continue;
+    }
+    bus_demand[msg.bus] +=
+        instances.value() * (msg.grant_bus + msg.communication);
+  }
+  for (const auto& [bus, demand] : bus_demand) {
+    Certificate cert;
+    cert.name = "bus saturation (" + bus + ")";
+    cert.verdict = demand > period ? "violated" : "inconclusive";
+    cert.detail = "occupancy " + std::to_string(demand) +
+                  (demand > period ? " > " : " <= ") + "period " +
+                  std::to_string(period);
+    certs.push_back(std::move(cert));
+  }
+
+  // Sync-budget token-time bound (necessary): the K-token pool supplies at
+  // most K * period token-time per schedule period; transfers hold a token
+  // for at least `communication`, exclusion-locked tasks for at least
+  // their WCET per instance.
+  const std::uint32_t k = spec.sync_budget();
+  if (k > 0) {
+    Time hold = 0;
+    for (MessageId m : spec.message_ids()) {
+      const spec::Message& msg = spec.message(m);
+      if (!msg.sender.valid()) {
+        continue;
+      }
+      const auto instances = spec.instance_count(msg.sender);
+      if (instances.ok()) {
+        hold += instances.value() * msg.communication;
+      }
+    }
+    for (TaskId t : spec.task_ids()) {
+      if (spec.task(t).excludes.empty()) {
+        continue;
+      }
+      const auto instances = spec.instance_count(t);
+      if (instances.ok()) {
+        hold += instances.value() * spec.task(t).timing.computation;
+      }
+    }
+    if (hold > 0) {
+      const Time supply = static_cast<Time>(k) * period;
+      Certificate cert;
+      cert.name = "sync budget token-time (K=" + std::to_string(k) + ")";
+      cert.verdict = hold > supply ? "violated" : "inconclusive";
+      cert.detail = "token-time demand >= " + std::to_string(hold) +
+                    (hold > supply ? " > " : " <= ") + "supply K*period = " +
+                    std::to_string(supply);
+      certs.push_back(std::move(cert));
+    }
+  }
+  return certs;
+}
+
+bool certificates_prove_infeasible(
+    const std::vector<Certificate>& certificates) {
+  return std::any_of(
+      certificates.begin(), certificates.end(),
+      [](const Certificate& c) { return c.verdict == "violated"; });
+}
+
+Explanation build_explanation(const spec::Specification& spec,
+                              const tpn::TimePetriNet* net,
+                              const sched::SearchOutcome* outcome,
+                              const sched::ScheduleTable* table,
+                              const ExplainOptions& options) {
+  Explanation e;
+  e.certificates = analytic_certificates(spec);
+  e.searched = outcome != nullptr;
+  e.status = outcome != nullptr ? outcome->status
+                                : sched::SearchStatus::kInfeasible;
+
+  if (outcome != nullptr && outcome->attribution.collected && net != nullptr) {
+    map_attribution(spec, *net, outcome->attribution, e);
+  }
+
+  const bool cancelled =
+      options.scheduler.cancel != nullptr &&
+      options.scheduler.cancel->requested();
+  const sched::SchedulerOptions probe = probe_options(options.scheduler);
+
+  const bool infeasible = e.status == sched::SearchStatus::kInfeasible &&
+                          (e.searched || certificates_prove_infeasible(
+                                             e.certificates));
+  if (infeasible && options.minimize && !cancelled) {
+    CulpritReport culprits;
+    culprits.sync_budget = spec.sync_budget();
+    minimize_culprits(spec, probe, culprits);
+    sync_lower_bound(spec, probe, options.sync_budget_cap, culprits);
+    // WCET slack for the culprits only: the minimal subset names the
+    // tasks whose timing actually drives the verdict.
+    for (const std::string& name : culprits.tasks) {
+      if (const auto id = spec.find_task(name)) {
+        e.slack.push_back(reduction_slack(spec, *id, probe));
+      }
+    }
+    e.culprits = std::move(culprits);
+  }
+
+  if (e.status == sched::SearchStatus::kFeasible) {
+    if (table != nullptr) {
+      const runtime::ScheduleMetrics metrics =
+          runtime::compute_metrics(spec, *table);
+      BindingConstraints binding;
+      Time tightest = kTimeInfinity;
+      for (const runtime::TaskMetrics& tm : metrics.tasks) {
+        if (tm.instances == 0 || !tm.task.valid()) {
+          continue;
+        }
+        if (tm.worst_slack < tightest) {
+          tightest = tm.worst_slack;
+          binding.tightest_task = spec.task(tm.task).name;
+          binding.tightest_slack = tm.worst_slack;
+        }
+      }
+      for (const runtime::ProcessorMetrics& pm : metrics.processors) {
+        if (pm.utilization >= binding.max_processor_utilization &&
+            pm.processor.valid()) {
+          binding.max_processor_utilization = pm.utilization;
+          binding.busiest_processor = spec.processor(pm.processor).name;
+        }
+      }
+      binding.bus_utilization = metrics.bus_utilization;
+      binding.sync_budget = metrics.sync_budget;
+      binding.sync_high_water = metrics.sync_high_water;
+      e.binding = std::move(binding);
+    }
+    if (options.minimize && !cancelled) {
+      runtime::SensitivityOptions sens;
+      sens.scheduler = probe;
+      const runtime::SensitivityReport report =
+          runtime::analyze_sensitivity(spec, sens);
+      e.max_scaling_permille = report.max_scaling_permille;
+      for (const runtime::TaskHeadroom& h : report.headroom) {
+        e.slack.push_back(
+            TaskSlack{spec.task(h.task).name, h.extra_wcet, true});
+      }
+    }
+  }
+  return e;
+}
+
+std::string render_explanation(const Explanation& e) {
+  std::string out;
+  out += "verdict: ";
+  out += sched::to_string(e.status);
+  if (!e.searched) {
+    out += " (analytic, no search needed)";
+  }
+  out += "\n\ncertificates:\n";
+  for (const Certificate& c : e.certificates) {
+    out += "  [" + c.verdict + "] " + c.name;
+    if (!c.detail.empty()) {
+      out += ": " + c.detail;
+    }
+    out += "\n";
+  }
+
+  if (e.attribution_collected && (!e.tasks.empty() || !e.resources.empty())) {
+    out += "\nblame (search attribution):\n";
+    for (const TaskBlame& t : e.tasks) {
+      out += "  task " + t.task + ": " + std::to_string(t.watchdog_hits) +
+             " deadline-watchdog hits";
+      if (t.doomed_prunes > 0) {
+        out += ", " + std::to_string(t.doomed_prunes) + " doomed prunes";
+      }
+      out += "\n";
+    }
+    for (const ResourceBlame& r : e.resources) {
+      out += "  " + r.kind + " " + r.resource + ": contended at " +
+             std::to_string(r.contention) + " prunes\n";
+    }
+  }
+
+  if (e.culprits.has_value()) {
+    const CulpritReport& c = *e.culprits;
+    out += "\nculprits (1-minimal infeasible task subset";
+    if (!c.minimized) {
+      out += ", minimization inconclusive";
+    }
+    out += "):\n  tasks:";
+    for (const std::string& t : c.tasks) {
+      out += " " + t;
+    }
+    out += "\n";
+    if (c.sync_budget_culprit) {
+      out += "  sync budget: K=" + std::to_string(c.sync_budget) +
+             " < minimum feasible budget " +
+             std::to_string(c.sync_budget_lower_bound) +
+             " — raising K alone restores feasibility\n";
+    } else if (c.sync_budget > 0) {
+      out += "  sync budget: K=" + std::to_string(c.sync_budget) +
+             " is not the culprit alone (no tested K restores "
+             "feasibility)\n";
+    }
+  }
+
+  if (!e.slack.empty()) {
+    out += "\nslack:\n";
+    for (const TaskSlack& s : e.slack) {
+      if (e.status == sched::SearchStatus::kFeasible) {
+        out += "  task " + s.task + ": +" + std::to_string(s.amount) +
+               " WCET tolerable\n";
+      } else if (s.decisive) {
+        out += "  reduce " + s.task + ".wcet by >= " +
+               std::to_string(s.amount) + " to become feasible\n";
+      } else {
+        out += "  no WCET reduction of " + s.task +
+               " alone restores feasibility\n";
+      }
+    }
+  }
+  if (e.max_scaling_permille > 0) {
+    out += "  uniform WCET scaling: x" +
+           fmt2(static_cast<double>(e.max_scaling_permille) / 1000.0) + "\n";
+  }
+
+  if (e.binding.has_value()) {
+    const BindingConstraints& b = *e.binding;
+    out += "\nbinding constraints:\n";
+    out += "  tightest slack: task " + b.tightest_task + ", worst slack " +
+           std::to_string(b.tightest_slack) + "\n";
+    out += "  busiest processor: " + b.busiest_processor + " at utilization " +
+           fmt2(b.max_processor_utilization) + "\n";
+    if (b.bus_utilization > 0.0) {
+      out += "  bus utilization: " + fmt2(b.bus_utilization) + "\n";
+    }
+    if (b.sync_budget > 0) {
+      out += "  sync budget high water: " +
+             std::to_string(b.sync_high_water) + " of K=" +
+             std::to_string(b.sync_budget) + "\n";
+    }
+  }
+  return out;
+}
+
+void write_explanation(JsonWriter& w, const Explanation& e) {
+  w.begin_object();
+  w.member("status", sched::to_string(e.status));
+  w.member("searched", e.searched);
+  w.key("certificates").begin_array();
+  for (const Certificate& c : e.certificates) {
+    w.begin_object();
+    w.member("name", c.name);
+    w.member("verdict", c.verdict);
+    w.member("detail", c.detail);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("attribution").begin_object();
+  w.member("collected", e.attribution_collected);
+  w.key("tasks").begin_array();
+  for (const TaskBlame& t : e.tasks) {
+    w.begin_object();
+    w.member("task", t.task);
+    w.member("watchdog_hits", t.watchdog_hits);
+    w.member("doomed_prunes", t.doomed_prunes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("resources").begin_array();
+  for (const ResourceBlame& r : e.resources) {
+    w.begin_object();
+    w.member("resource", r.resource);
+    w.member("kind", r.kind);
+    w.member("contention", r.contention);
+    w.end_object();
+  }
+  w.end_array();
+  w.member("doomed_unattributed", e.doomed_unattributed);
+  w.end_object();
+
+  if (e.culprits.has_value()) {
+    const CulpritReport& c = *e.culprits;
+    w.key("culprits").begin_object();
+    w.key("tasks").begin_array();
+    for (const std::string& t : c.tasks) {
+      w.value(t);
+    }
+    w.end_array();
+    w.member("minimized", c.minimized);
+    w.member("sync_budget", c.sync_budget);
+    w.member("sync_budget_lower_bound", c.sync_budget_lower_bound);
+    w.member("sync_budget_culprit", c.sync_budget_culprit);
+    w.end_object();
+  }
+
+  w.key("slack").begin_array();
+  for (const TaskSlack& s : e.slack) {
+    w.begin_object();
+    w.member("task", s.task);
+    if (e.status == sched::SearchStatus::kFeasible) {
+      w.member("wcet_headroom", static_cast<std::int64_t>(s.amount));
+    } else {
+      w.member("decisive", s.decisive);
+      if (s.decisive) {
+        w.member("wcet_reduction_needed", static_cast<std::int64_t>(s.amount));
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (e.max_scaling_permille > 0) {
+    w.member("max_scaling_permille", e.max_scaling_permille);
+  }
+
+  if (e.binding.has_value()) {
+    const BindingConstraints& b = *e.binding;
+    w.key("binding").begin_object();
+    w.member("tightest_task", b.tightest_task);
+    w.member("tightest_slack", static_cast<std::int64_t>(b.tightest_slack));
+    w.member("busiest_processor", b.busiest_processor);
+    w.member("max_processor_utilization", b.max_processor_utilization);
+    w.member("bus_utilization", b.bus_utilization);
+    w.member("sync_budget", b.sync_budget);
+    w.member("sync_high_water", b.sync_high_water);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace ezrt::obs

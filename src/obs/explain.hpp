@@ -1,0 +1,156 @@
+// Verdict provenance (docs/explain.md): turns a search verdict into an
+// explanation a designer can act on. Three layers:
+//
+//   1. analytic certificates — the admission pre-checks plus bus-
+//      saturation and sync-budget token-time bounds, each a named
+//      necessary/sufficient condition with the numbers behind it; a
+//      violated necessary condition explains infeasibility without any
+//      search;
+//   2. blame attribution — the engines' per-place deadline-watchdog /
+//      contention counters and per-task doom certificates
+//      (sched/attribution.hpp), mapped back to task and resource names;
+//   3. culprit minimization and slack — deletion-based 1-minimal
+//      infeasible task subsets, the smallest feasible sync budget K, and
+//      per-task WCET slack (headroom when feasible, required reduction
+//      when not), all via deterministic serial re-runs of the guided
+//      engine (runtime::schedulable).
+//
+// Everything here is byte-deterministic for a fixed spec and options:
+// re-run probes are forced serial, and no wall-clock value enters the
+// output. Compiled as its own library (ezrt_explain) because ezrt_sched
+// links ezrt_obs — the dependency points the other way.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/dfs.hpp"
+#include "sched/schedule_table.hpp"
+#include "spec/specification.hpp"
+
+namespace ezrt::obs {
+
+class JsonWriter;
+
+/// One named analytic condition with its verdict: "violated" (a necessary
+/// condition failed — the spec is infeasible under every policy),
+/// "satisfied" (a sufficient condition passed), or "inconclusive".
+struct Certificate {
+  std::string name;
+  std::string verdict;
+  std::string detail;
+};
+
+/// Search-attributed blame for one task (layer 2).
+struct TaskBlame {
+  std::string task;
+  /// Deadline prunes in which this task's watchdog place was marked.
+  std::uint64_t watchdog_hits = 0;
+  /// Doom certificates naming this task's instance as unable to make its
+  /// deadline (state classes only).
+  std::uint64_t doomed_prunes = 0;
+};
+
+/// Search-attributed blame for one resource place (layer 2).
+struct ResourceBlame {
+  std::string resource;  ///< place name: pproc_*, pbus_*, pexcl_*, psync_pool
+  std::string kind;      ///< "processor" | "bus" | "lock" | "sync-pool"
+  /// Prunes at which this place held no token (fully claimed elsewhere).
+  std::uint64_t contention = 0;
+};
+
+/// Layer-3 culprit set for an infeasible verdict.
+struct CulpritReport {
+  /// 1-minimal task subset that is still infeasible on its own: removing
+  /// any single listed task makes the remainder feasible.
+  std::vector<std::string> tasks;
+  /// False when a re-run probe was inconclusive (budget/cancel) and the
+  /// subset may not be minimal.
+  bool minimized = false;
+  std::uint32_t sync_budget = 0;  ///< the K the verdict was produced under
+  /// Smallest feasible K found by binary search above sync_budget; 0 when
+  /// no K up to the cap restores feasibility.
+  std::uint32_t sync_budget_lower_bound = 0;
+  /// True when raising K alone flips the verdict: the budget is a culprit.
+  bool sync_budget_culprit = false;
+};
+
+/// Per-task WCET slack (layer 3). Direction depends on the verdict:
+/// feasible — `amount` is the largest tolerable WCET increase; infeasible
+/// — `amount` is the smallest reduction that flips the whole spec
+/// feasible, with decisive=false when no reduction of this task alone
+/// suffices.
+struct TaskSlack {
+  std::string task;
+  Time amount = 0;
+  bool decisive = true;
+};
+
+/// Binding constraints of a feasible schedule: what would give first.
+struct BindingConstraints {
+  std::string tightest_task;  ///< smallest worst-case slack
+  Time tightest_slack = 0;
+  std::string busiest_processor;
+  double max_processor_utilization = 0.0;
+  double bus_utilization = 0.0;
+  std::uint32_t sync_budget = 0;
+  std::uint32_t sync_high_water = 0;
+};
+
+struct Explanation {
+  sched::SearchStatus status = sched::SearchStatus::kInfeasible;
+  /// False when layer 1 already proved the verdict and no search ran.
+  bool searched = false;
+  std::vector<Certificate> certificates;
+  bool attribution_collected = false;
+  std::vector<TaskBlame> tasks;          ///< nonzero blame only, id order
+  std::vector<ResourceBlame> resources;  ///< nonzero blame only, id order
+  std::uint64_t doomed_unattributed = 0;
+  std::optional<CulpritReport> culprits;      ///< infeasible verdicts
+  std::vector<TaskSlack> slack;               ///< feasible + infeasible
+  /// Largest feasible uniform WCET scaling in permille (feasible only).
+  std::uint32_t max_scaling_permille = 0;
+  std::optional<BindingConstraints> binding;  ///< feasible verdicts
+};
+
+struct ExplainOptions {
+  /// Options of the primary search; layer-3 probes derive from these
+  /// (same pruning/policy, forced serial bestfirst with state classes, no
+  /// telemetry) so answers are relative to the configured search mode.
+  /// The state budget stays as the deterministic re-run guard; wall and
+  /// memory limits are honored too but trade byte-determinism for
+  /// boundedness (docs/explain.md §4).
+  sched::SchedulerOptions scheduler;
+  /// Run layer 3 (culprit minimization, K search, slack).
+  bool minimize = true;
+  /// Cap for the sync-budget lower-bound search.
+  std::uint32_t sync_budget_cap = 64;
+};
+
+/// Layer 1 alone: analytic certificates, no search. Microseconds.
+[[nodiscard]] std::vector<Certificate> analytic_certificates(
+    const spec::Specification& spec);
+
+/// True when any certificate is a violated necessary condition.
+[[nodiscard]] bool certificates_prove_infeasible(
+    const std::vector<Certificate>& certificates);
+
+/// Builds the full explanation. `outcome` is the primary search result
+/// (with SearchOutcome::attribution when the caller enabled it), or null
+/// when layer 1 already proved infeasibility and no search ran; `net` is
+/// the built model (for place/task name mapping, null only with null
+/// outcome); `table` is the synthesized schedule for feasible verdicts.
+[[nodiscard]] Explanation build_explanation(
+    const spec::Specification& spec, const tpn::TimePetriNet* net,
+    const sched::SearchOutcome* outcome, const sched::ScheduleTable* table,
+    const ExplainOptions& options);
+
+/// Human-readable rendering for the CLI.
+[[nodiscard]] std::string render_explanation(const Explanation& e);
+
+/// Emits the explanation as a JSON object in value position (run-report
+/// schema v5, docs/schemas/report.schema.json).
+void write_explanation(JsonWriter& w, const Explanation& e);
+
+}  // namespace ezrt::obs

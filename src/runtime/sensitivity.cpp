@@ -6,13 +6,8 @@
 
 namespace ezrt::runtime {
 
-namespace {
-
-/// Feasibility of a candidate specification under the configured search.
-/// Validation failures (e.g. a scaled WCET no longer fits its deadline)
-/// count as unschedulable.
-[[nodiscard]] bool schedulable(const spec::Specification& candidate,
-                               const sched::SchedulerOptions& options) {
+bool schedulable(const spec::Specification& candidate,
+                 const sched::SchedulerOptions& options) {
   auto model = builder::build_tpn(candidate);
   if (!model.ok()) {
     return false;
@@ -20,6 +15,8 @@ namespace {
   return sched::DfsScheduler(model.value().net, options).search().status ==
          sched::SearchStatus::kFeasible;
 }
+
+namespace {
 
 /// Copy of `spec` with every WCET scaled by permille/1000 (floor, >= 1).
 [[nodiscard]] spec::Specification scaled(const spec::Specification& spec,

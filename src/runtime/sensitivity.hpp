@@ -36,6 +36,14 @@ struct TaskHeadroom {
   Time extra_wcet = 0;  ///< largest tolerable absolute WCET increase
 };
 
+/// Feasibility of a candidate specification under the configured search:
+/// builds the TPN and runs the synthesis. Validation failures (e.g. a
+/// perturbed WCET that no longer fits its deadline) count as
+/// unschedulable. This is the re-run primitive behind both analyses here
+/// and the explain layer's delta-debugging probes (src/obs/explain.cpp).
+[[nodiscard]] bool schedulable(const spec::Specification& candidate,
+                               const sched::SchedulerOptions& options);
+
 struct SensitivityReport {
   bool baseline_schedulable = false;
   /// Largest schedulable uniform scaling, in permille (>= 1000 when the

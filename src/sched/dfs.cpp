@@ -154,6 +154,11 @@ SearchOutcome DfsScheduler::search() const {
   Expander expander(*net_, semantics_, options_);
   obs::ProgressSink* const progress = options_.progress;
 
+  // Blame attribution (sched/attribution.hpp): counts marked miss places
+  // and empty resource places at every deadline/doom prune. Off by
+  // default; when off, each prune pays one predicted branch.
+  AttributionRecorder attribution(*net_, options_.collect_attribution);
+
   // Resource guards (sched/guards.hpp): `guarded` is hoisted so the
   // common unguarded configuration pays one predictable branch per fired
   // transition. Fired transitions — not admitted states — drive the
@@ -167,6 +172,7 @@ SearchOutcome DfsScheduler::search() const {
   // when requested, the telemetry breakdown. Runs once per return path;
   // everything here is deterministic for a deterministic exploration.
   auto finalize = [&](std::uint64_t visited_bytes) {
+    out.attribution = attribution.take();
     stats.pruned_priority = expander.counters().pruned_priority;
     stats.peak_visited_bytes = visited_bytes;
     stats.elapsed_ms = std::chrono::duration<double, std::milli>(
@@ -342,6 +348,7 @@ SearchOutcome DfsScheduler::search() const {
       }
       if (has_miss(std::as_const(next).marking())) {
         ++stats.pruned_deadline;
+        attribution.record_deadline(std::as_const(next).marking());
         continue;
       }
       const Fingerprint key = key_of(next, last_compute);
@@ -482,6 +489,7 @@ SearchOutcome DfsScheduler::search() const {
         }
         if (has_miss(std::as_const(next).marking())) {
           ++stats.pruned_deadline;
+          attribution.record_deadline(std::as_const(next).marking());
           pruned = true;
           break;
         }
@@ -490,8 +498,11 @@ SearchOutcome DfsScheduler::search() const {
           finalize(node_container_bytes(visited, sizeof(Fingerprint)));
           return out;
         }
-        if (classifier.evaluate(next, semantics_, scratch).doomed) {
+        if (const auto eval = classifier.evaluate(next, semantics_, scratch);
+            eval.doomed) {
           ++stats.pruned_doomed;
+          attribution.record_doomed(eval.doomed_watchdog,
+                                    std::as_const(next).marking());
           pruned = true;
           break;
         }
@@ -601,6 +612,7 @@ SearchOutcome DfsScheduler::search() const {
 
     if (has_miss(std::as_const(next).marking())) {
       ++stats.pruned_deadline;
+      attribution.record_deadline(std::as_const(next).marking());
       continue;
     }
     if (!visited.insert(fingerprint(next)).second) {

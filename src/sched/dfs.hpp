@@ -23,6 +23,7 @@
 #include <functional>
 
 #include "base/result.hpp"
+#include "sched/attribution.hpp"
 #include "sched/trace.hpp"
 #include "tpn/analysis.hpp"
 #include "tpn/semantics.hpp"
@@ -169,6 +170,13 @@ struct SchedulerOptions {
   /// Collection happens after the verdict, so it never perturbs the
   /// search itself.
   bool collect_telemetry = false;
+  /// Fill SearchOutcome::attribution (per-place deadline/contention and
+  /// per-task doom counters at prune points, sched/attribution.hpp). Plain
+  /// deterministic integers, present in every build — `ezrt explain`
+  /// depends on them being byte-identical under EZRT_NO_TELEMETRY. For
+  /// exhausted (kInfeasible) searches with state classes off they are also
+  /// thread-count- and engine-order-independent (docs/explain.md §4).
+  bool collect_attribution = false;
   /// Live progress atomics the engines publish into (masked to every
   /// 64th admitted state; docs/observability.md). Publishing is
   /// write-only and never read back, so verdict, trace and SearchStats
@@ -212,6 +220,8 @@ struct SearchOutcome {
   double parallel_verdict_ms = 0.0;
   /// Filled when SchedulerOptions::collect_telemetry is set.
   SearchTelemetry telemetry;
+  /// Filled when SchedulerOptions::collect_attribution is set.
+  AttributionCounters attribution;
 };
 
 /// Goal predicate over markings; the default accepts any marking with a

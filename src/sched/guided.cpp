@@ -81,6 +81,7 @@ class GuidedSearcher {
         semantics_(net),
         expander_(net, semantics_, options),
         classifier_(net),
+        attribution_(net, options.collect_attribution),
         classes_on_(state_classes_enabled(options)),
         t0_(std::chrono::steady_clock::now()),
         guard_(options, t0_),
@@ -196,6 +197,7 @@ class GuidedSearcher {
       }
       if (has_miss(std::as_const(next).marking())) {
         ++stats().pruned_deadline;
+        attribution_.record_deadline(std::as_const(next).marking());
         return std::nullopt;
       }
       if (goal_(std::as_const(next).marking())) {
@@ -207,6 +209,8 @@ class GuidedSearcher {
       ++stats().heuristic_evals;
       if (classes_on_ && eval.doomed) {
         ++stats().pruned_doomed;
+        attribution_.record_doomed(eval.doomed_watchdog,
+                                   std::as_const(next).marking());
         return std::nullopt;
       }
       const auto [canon_fp, canon_capped] = key_of(next);
@@ -367,6 +371,7 @@ class GuidedSearcher {
   }
 
   void finalize() {
+    out_.attribution = attribution_.take();
     SearchStats& s = stats();
     s.pruned_priority = expander_.counters().pruned_priority;
     s.peak_visited_bytes = std::max(
@@ -402,6 +407,7 @@ class GuidedSearcher {
   Expander expander_;
   tpn::StateClassifier classifier_;
   tpn::StateClassifier::Scratch scratch_;
+  AttributionRecorder attribution_;
   const bool classes_on_;
   const std::chrono::steady_clock::time_point t0_;
   const ResourceGuard guard_;

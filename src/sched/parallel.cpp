@@ -125,6 +125,9 @@ class ParallelSearch {
     std::uint32_t index;  ///< pool tid and visited-set epoch slot
     Expander expander;
     SearchStats stats;
+    /// Per-worker blame recorder, merged after the join exactly like
+    /// `stats` (plain integers, never read concurrently).
+    AttributionRecorder attribution;
     tpn::StateClassifier::Scratch scratch;  ///< evaluate() buffers
     /// Edge events of the admission in flight (one event, or a whole
     /// contracted corridor). Reused across admit() calls.
@@ -147,7 +150,8 @@ class ParallelSearch {
     Worker(ParallelSearch* s, std::uint32_t tid)
         : search(s),
           index(tid),
-          expander(*s->net_, s->semantics_, *s->options_) {}
+          expander(*s->net_, s->semantics_, *s->options_),
+          attribution(*s->net_, s->options_->collect_attribution) {}
 
     std::vector<Candidate> pooled_vector() {
       if (pool.empty()) {
@@ -272,14 +276,19 @@ class ParallelSearch {
         }
         if (has_miss(std::as_const(next).marking())) {
           ++w.stats.pruned_deadline;
+          w.attribution.record_deadline(std::as_const(next).marking());
           return std::nullopt;
         }
         if ((*goal_)(std::as_const(next).marking())) {
           declare_goal(w, item, parent_path_len, w.admit_events);
           return std::nullopt;
         }
-        if (classifier_.evaluate(next, semantics_, w.scratch).doomed) {
+        if (const auto eval = classifier_.evaluate(next, semantics_,
+                                                   w.scratch);
+            eval.doomed) {
           ++w.stats.pruned_doomed;
+          w.attribution.record_doomed(eval.doomed_watchdog,
+                                      std::as_const(next).marking());
           return std::nullopt;
         }
         const auto cd = classifier_.canonical_digest(next, semantics_);
@@ -335,6 +344,7 @@ class ParallelSearch {
     }
     if (has_miss(std::as_const(next).marking())) {
       ++w.stats.pruned_deadline;
+      w.attribution.record_deadline(std::as_const(next).marking());
       return std::nullopt;
     }
     if (!visited_.insert(next.digest(), w.index)) {
@@ -468,7 +478,8 @@ class ParallelSearch {
     }
   }
 
-  void worker_main(std::uint32_t index, WorkerTelemetry& out) {
+  void worker_main(std::uint32_t index, WorkerTelemetry& out,
+                   AttributionCounters& attribution_out) {
     Worker w(this, index);
     obs::Span span(options_->tracer, "search-worker", "sched");
     span.set_args("{\"worker\":" + std::to_string(index) + "}");
@@ -511,6 +522,7 @@ class ParallelSearch {
     out.reduction_singletons = w.expander.counters().reduction_singletons;
     w.stats.pruned_priority = w.expander.counters().pruned_priority;
     out.stats = w.stats;
+    attribution_out = w.attribution.take();
   }
 
   const tpn::TimePetriNet* net_;
@@ -567,11 +579,12 @@ SearchOutcome ParallelSearch::run() {
   push_work(0, WorkItem{std::move(s0), Trace{}});
 
   std::vector<WorkerTelemetry> per_worker(thread_count_);
+  std::vector<AttributionCounters> per_attribution(thread_count_);
   std::vector<std::thread> threads;
   threads.reserve(thread_count_);
   for (std::uint32_t i = 0; i < thread_count_; ++i) {
-    threads.emplace_back([this, &per_worker, i] {
-      worker_main(i, per_worker[i]);
+    threads.emplace_back([this, &per_worker, &per_attribution, i] {
+      worker_main(i, per_worker[i], per_attribution[i]);
     });
   }
   for (std::thread& t : threads) {
@@ -595,6 +608,11 @@ SearchOutcome ParallelSearch::run() {
     stats.pruned_doomed += ws.pruned_doomed;
     stats.classes_merged += ws.classes_merged;
     stats.max_depth = std::max(stats.max_depth, ws.max_depth);
+  }
+  // Per-worker blame counters merge like the stats above: element-wise
+  // sums of deterministic per-edge counts (docs/explain.md §4).
+  for (AttributionCounters& wa : per_attribution) {
+    out.attribution.merge(wa);
   }
   stats.peak_visited_bytes = visited_.memory_bytes();
   if (progress_ != nullptr) {

@@ -6,6 +6,7 @@
 
 #include "base/assert.hpp"
 #include "base/cancel.hpp"
+#include "obs/progress.hpp"
 
 namespace ezrt::sched {
 
@@ -71,6 +72,26 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
   std::unordered_set<Fingerprint, FingerprintHash> visited;
   std::deque<tpn::State> frontier;
 
+  // Masked publish cadence as in the search engines; BFS has no notion of
+  // prunes, so the duplicate-hit count stands in, and the frontier size
+  // feeds both the depth and queue gauges.
+  std::uint64_t duplicates = 0;
+  auto publish = [&](bool force) {
+    if (options.progress == nullptr) {
+      return;
+    }
+    if (force ||
+        (result.states_explored & obs::ProgressSink::kPublishMask) == 0) {
+      options.progress->publish(result.states_explored,
+                                result.transitions_fired, duplicates,
+                                frontier.size());
+      if constexpr (obs::kTelemetryEnabled) {
+        options.progress->queue.store(frontier.size(),
+                                      std::memory_order_relaxed);
+      }
+    }
+  };
+
   auto observe = [&](const tpn::State& s) {
     for (PlaceId p : net.place_ids()) {
       result.bound = std::max(result.bound, s.marking()[p]);
@@ -106,12 +127,14 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
       ++result.transitions_fired;
       if (options.cancel != nullptr && options.cancel->requested()) {
         result.stop = ReachabilityStop::kCancelled;
+        publish(true);
         return result;
       }
       if (options.wall_limit_ms != 0 &&
           (result.transitions_fired & 255) == 0 &&
           std::chrono::steady_clock::now() >= deadline) {
         result.stop = ReachabilityStop::kTimeLimit;
+        publish(true);
         return result;
       }
       if (options.memory_limit_bytes != 0 &&
@@ -122,14 +145,17 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
             frontier.size() * state_bytes;
         if (bytes > options.memory_limit_bytes) {
           result.stop = ReachabilityStop::kMemoryLimit;
+          publish(true);
           return result;
         }
       }
       if (!visited.insert(fingerprint(next)).second) {
+        ++duplicates;
         continue;
       }
       ++result.states_explored;
       observe(next);
+      publish(false);
       if (tpn::has_deadline_miss(net, next.marking())) {
         // Observed but not expanded, mirroring the scheduler's pruning.
         result.miss_reachable = true;
@@ -139,6 +165,7 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
           result.states_explored >= options.max_states) {
         result.complete = false;
         result.stop = ReachabilityStop::kStateBudget;
+        publish(true);
         return result;
       }
       frontier.push_back(std::move(next));
@@ -147,6 +174,7 @@ ReachabilityResult explore(const tpn::TimePetriNet& net,
 
   result.complete = true;
   result.stop = ReachabilityStop::kComplete;
+  publish(true);
   return result;
 }
 

@@ -32,6 +32,10 @@ namespace ezrt::base {
 class CancelToken;
 }  // namespace ezrt::base
 
+namespace ezrt::obs {
+class ProgressSink;
+}  // namespace ezrt::obs
+
 namespace ezrt::sched {
 
 struct ReachabilityOptions {
@@ -46,6 +50,10 @@ struct ReachabilityOptions {
   std::uint64_t memory_limit_bytes = 0;
   /// Cooperative cancellation (base/cancel.hpp). Null = off.
   const base::CancelToken* cancel = nullptr;
+  /// Live progress gauges (obs/progress.hpp), same masked publish cadence
+  /// as the search engines; the frontier size feeds the queue gauge.
+  /// Null = off.
+  obs::ProgressSink* progress = nullptr;
 };
 
 /// Why the exploration stopped. kComplete is the only outcome whose

@@ -544,12 +544,13 @@ StateClassifier::Eval StateClassifier::evaluate(const State& s,
       }
       if (work > slack) {
         eval.doomed = true;  // this instance alone cannot make its deadline
+        eval.doomed_watchdog = ti.td;
         return eval;
       }
       eval.min_slack = std::min(eval.min_slack, slack);
       if (work > 0 && ti.proc >= 0) {
         scratch.per_proc[static_cast<std::size_t>(ti.proc)].push_back(
-            {slack, work});
+            {slack, work, ti.td});
       }
     }
     if (ti.proc >= 0) {
@@ -565,10 +566,11 @@ StateClassifier::Eval StateClassifier::evaluate(const State& s,
     }
     std::sort(group.begin(), group.end());
     Time demand = 0;
-    for (const auto& [slack, work] : group) {
+    for (const auto& [slack, work, td] : group) {
       demand += work;
       if (demand > slack) {
         eval.doomed = true;
+        eval.doomed_watchdog = td;
         return eval;
       }
     }

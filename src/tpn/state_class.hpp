@@ -159,6 +159,11 @@ class StateClassifier {
   struct Eval {
     /// No continuation of the state can avoid marking a miss place.
     bool doomed = false;
+    /// Watchdog transition of the instance whose slack certificate fired
+    /// (-1 when not doomed); lets callers attribute the doom to a task —
+    /// for the EDF-prefix certificate, the last instance of the failing
+    /// prefix (the one whose horizon the summed demand overran).
+    std::int32_t doomed_watchdog = -1;
     /// Admissible lower bound on further elapsed time before the final
     /// marking is reachable: the largest per-processor remaining
     /// computation demand (active instances plus unarrived budget).
@@ -172,8 +177,10 @@ class StateClassifier {
   /// evaluate() allocation-free on the admission hot path.
   struct Scratch {
     std::vector<Time> proc_demand;
-    /// (slack, work) per active instance, grouped by processor index.
-    std::vector<std::vector<std::pair<Time, Time>>> per_proc;
+    /// (slack, work, watchdog transition) per active instance, grouped by
+    /// processor index. The watchdog rides along purely for attribution;
+    /// it is the last sort key, so ordering stays slack-major.
+    std::vector<std::vector<std::tuple<Time, Time, std::int32_t>>> per_proc;
   };
 
   /// Doom certificate + heuristic in one pass over the per-task tables.

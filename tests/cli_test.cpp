@@ -277,11 +277,11 @@ TEST_F(CliTest, ScheduleWritesRunReport) {
   EXPECT_NE(json.find("\"search\""), std::string::npos);
 }
 
-TEST_F(CliTest, RunReportIsVersion4WithSearchEngineFields) {
-  const std::string report = (dir_ / "v4.json").string();
+TEST_F(CliTest, RunReportIsVersion5WithSearchEngineFields) {
+  const std::string report = (dir_ / "v5.json").string();
   EXPECT_EQ(run_cli({"schedule", spec_path_, "--report", report}), 0);
   const std::string json = read_file(report);
-  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":5"), std::string::npos);
   // v4: per-processor / bus / sync breakdown is always present.
   EXPECT_NE(json.find("\"processors\":[{"), std::string::npos);
   EXPECT_NE(json.find("\"bus\":{"), std::string::npos);

@@ -144,6 +144,38 @@ def report_metrics(report):
     verdict = report.get("verdict", {})
     if "status" in verdict:
         rows["status"] = verdict["status"]
+    # Schema v5: verdict-provenance counters (`ezrt explain --report`,
+    # docs/explain.md) — per-task watchdog/doom blame, per-resource
+    # contention, the culprit set and the sync-budget lower bound. A/B
+    # diffs of these show *where* the search effort moved, not just how
+    # much of it there was.
+    explanation = report.get("explanation", {})
+    if explanation:
+        rows["explain_status"] = explanation.get("status", "?")
+        attribution = explanation.get("attribution", {})
+        for task in attribution.get("tasks", []):
+            name = task.get("task", "?")
+            rows[f"watchdog[{name}]"] = task.get("watchdog_hits", 0)
+            if task.get("doomed_prunes"):
+                rows[f"doomed[{name}]"] = task["doomed_prunes"]
+        for resource in attribution.get("resources", []):
+            name = resource.get("resource", "?")
+            rows[f"contention[{name}]"] = resource.get("contention", 0)
+        culprits = explanation.get("culprits")
+        if culprits:
+            rows["culprit_tasks"] = ",".join(culprits.get("tasks", []))
+            if culprits.get("sync_budget_culprit"):
+                rows["sync_budget_lower_bound"] = culprits.get(
+                    "sync_budget_lower_bound", 0)
+        for slack in explanation.get("slack", []):
+            name = slack.get("task", "?")
+            if "wcet_headroom" in slack:
+                rows[f"headroom[{name}]"] = slack["wcet_headroom"]
+            elif "wcet_reduction_needed" in slack:
+                rows[f"reduce[{name}]"] = slack["wcet_reduction_needed"]
+        if "max_scaling_permille" in explanation:
+            rows["max_scaling_permille"] = explanation[
+                "max_scaling_permille"]
     return rows
 
 

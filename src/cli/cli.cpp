@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "base/cancel.hpp"
 #include "base/strings.hpp"
@@ -28,6 +29,7 @@
 #include "runtime/online_sched.hpp"
 #include "sched/reachability.hpp"
 #include "sched/trace_io.hpp"
+#include "serve/server.hpp"
 #include "tpn/state_class.hpp"
 #include "workload/generator.hpp"
 
@@ -130,7 +132,11 @@ class Args {
            name == "engine" || name == "beam-width" ||
            name == "state-classes" || name == "processors" ||
            name == "placement" || name == "messages" ||
-           name == "sync-budget" || name == "sync-cap";
+           name == "sync-budget" || name == "sync-cap" ||
+           name == "socket" || name == "workers" || name == "queue-depth" ||
+           name == "cache-entries" || name == "budget" ||
+           name == "degrade-queue" || name == "degrade-max-states" ||
+           name == "max-request-bytes";
   }
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;
@@ -519,6 +525,15 @@ int cmd_explain(const Args& args, std::ostream& out, std::ostream& err,
   // emission — the same spec and options always produce the same bytes.
   p.scheduler_options().collect_attribution = true;
   p.scheduler_options().deterministic = true;
+  if (p.scheduler_options().wall_limit_ms != 0) {
+    // One budget for the whole explanation, not per search: without the
+    // absolute deadline, every culprit-minimization probe would restart
+    // the relative wall limit at its own t0 and `--wall-limit 100` could
+    // legally burn 100 ms × probes (docs/robustness.md).
+    p.scheduler_options().deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(p.scheduler_options().wall_limit_ms);
+  }
 
   obs::ExplainOptions explain_options;
   if (args.has("no-minimize")) {
@@ -1149,6 +1164,94 @@ int cmd_robust(const Args& args, std::ostream& out, std::ostream& err,
   return report.cancelled ? kCancelledExit : kOk;
 }
 
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err,
+              const base::CancelToken* cancel) {
+  serve::ServerOptions options;
+  options.endpoint = args.value("socket").value_or("tcp:127.0.0.1:7420");
+  if (auto workers = args.value("workers")) {
+    auto parsed = parse_uint(*workers);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --workers expects a positive count\n";
+      return kInvalidInput;
+    }
+    options.workers = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (auto depth = args.value("queue-depth")) {
+    auto parsed = parse_uint(*depth);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --queue-depth expects a positive depth\n";
+      return kInvalidInput;
+    }
+    options.queue_depth = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (auto entries = args.value("cache-entries")) {
+    auto parsed = parse_uint(*entries);
+    if (!parsed.ok()) {
+      err << "error: --cache-entries expects a count\n";
+      return kInvalidInput;
+    }
+    options.cache_entries = static_cast<std::size_t>(parsed.value());
+  }
+  if (auto budget = args.value("budget")) {
+    auto parsed = parse_uint(*budget);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --budget expects a positive default budget in ms\n";
+      return kInvalidInput;
+    }
+    options.default_budget_ms = parsed.value();
+  }
+  if (auto degrade = args.value("degrade-queue")) {
+    auto parsed = parse_uint(*degrade);
+    if (!parsed.ok()) {
+      err << "error: --degrade-queue expects a queue length (0 = never)\n";
+      return kInvalidInput;
+    }
+    options.degrade_queue = static_cast<std::uint32_t>(parsed.value());
+  }
+  if (auto states = args.value("degrade-max-states")) {
+    auto parsed = parse_uint(*states);
+    if (!parsed.ok() || parsed.value() == 0) {
+      err << "error: --degrade-max-states expects a positive budget\n";
+      return kInvalidInput;
+    }
+    options.degrade_max_states = parsed.value();
+  }
+  if (auto bytes = args.value("max-request-bytes")) {
+    auto parsed = parse_bytes(*bytes);
+    if (!parsed.ok() || parsed.value() == 0 ||
+        parsed.value() > serve::kMaxFrameBytes) {
+      err << "error: --max-request-bytes expects 1.." "64m\n";
+      return kInvalidInput;
+    }
+    options.max_request_bytes = static_cast<std::uint32_t>(parsed.value());
+  }
+
+  serve::Server server(std::move(options));
+  if (auto status = server.start(); !status.ok()) {
+    return fail(err, status.error());
+  }
+  out << "serving on " << server.endpoint() << " ("
+      << "workers, queue, cache: " << args.value("workers").value_or("2")
+      << ", " << args.value("queue-depth").value_or("32") << ", "
+      << args.value("cache-entries").value_or("128") << ")\n"
+      << "SIGINT/SIGTERM drain in-flight requests before exit\n";
+  out.flush();
+  while (!(cancel != nullptr && cancel->requested())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  out << "draining...\n";
+  out.flush();
+  server.shutdown();
+  server.wait();
+  const serve::ServerStats stats = server.stats();
+  out << "drained: " << stats.requests << " requests, " << stats.ok
+      << " ok, " << stats.sheds << " shed, " << stats.degrades
+      << " degraded, " << stats.invalid << " invalid, cache "
+      << stats.cache.hits << " hits / " << stats.cache.misses
+      << " misses / " << stats.cache.coalesced << " coalesced\n";
+  return kCancelledExit;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -1223,12 +1326,25 @@ std::string usage() {
       "               [--report FILE] resilience report (JSON) "
       "[--trace-out FILE]\n"
       "               [--progress[=MS]] heartbeat for the synthesis phase\n"
+      "  serve        scheduling-as-a-service socket server "
+      "(docs/serve.md):\n"
+      "               length-prefixed JSON frames, content-addressed\n"
+      "               schedule cache with single-flight dedup, deadline-\n"
+      "               aware admission control, graceful degradation\n"
+      "               [--socket unix:PATH|tcp:HOST:PORT] (default\n"
+      "               tcp:127.0.0.1:7420; tcp:HOST:0 picks a free port)\n"
+      "               [--workers N] [--queue-depth N] [--cache-entries N]\n"
+      "               [--budget MS] default per-request budget\n"
+      "               [--degrade-queue N] [--degrade-max-states N]\n"
+      "               [--max-request-bytes BYTES[k|m|g]] frame cap "
+      "(<=64m)\n"
       "  help         this text\n"
       "\n"
       "exit codes: 0 success/feasible, 1 runtime failure, 2 infeasible,\n"
       "            3 state/wall/memory budget hit, 4 invalid input or "
       "usage,\n"
-      "            130 cancelled (SIGINT)\n";
+      "            130-family cancelled by signal (130 SIGINT, 143 "
+      "SIGTERM)\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -1277,6 +1393,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (command == "robust") {
     return cmd_robust(parsed, out, err, cancel);
+  }
+  if (command == "serve") {
+    return cmd_serve(parsed, out, err, cancel);
   }
   err << "error: unknown command '" << command << "'\n" << usage();
   return kInvalidInput;

@@ -1,0 +1,80 @@
+#include "core/response.hpp"
+
+#include "obs/json.hpp"
+
+namespace ezrt::core {
+
+int exit_code_for(const Error& error) {
+  switch (error.code()) {
+    case ErrorCode::kInfeasible:
+      return kExitInfeasible;
+    case ErrorCode::kLimitExceeded:
+      return kExitLimit;
+    case ErrorCode::kCancelled:
+      return kExitCancelled;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+    case ErrorCode::kValidationError:
+      return kExitInvalidInput;
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kIoError:
+    case ErrorCode::kInternal:
+      return kExitFailure;
+  }
+  return kExitFailure;
+}
+
+int exit_code_for(sched::SearchStatus status) {
+  switch (status) {
+    case sched::SearchStatus::kFeasible:
+      return kExitOk;
+    case sched::SearchStatus::kInfeasible:
+      return kExitInfeasible;
+    case sched::SearchStatus::kLimitReached:
+    case sched::SearchStatus::kTimeLimit:
+    case sched::SearchStatus::kMemoryLimit:
+      return kExitLimit;
+    case sched::SearchStatus::kCancelled:
+      return kExitCancelled;
+  }
+  return kExitFailure;
+}
+
+std::string serve_response_json(const ServeResponseInfo& info,
+                                const std::string* report_json,
+                                const std::string* stats_json) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "ezrt-serve-response");
+  w.member("version", std::uint64_t{1});
+  if (!info.id.empty()) {
+    w.member("id", info.id);
+  }
+  w.member("status", info.status);
+  w.member("code", info.code);
+  if (!info.verdict.empty()) {
+    w.member("verdict", info.verdict);
+  }
+  if (!info.error.empty()) {
+    w.member("error", info.error);
+  }
+  w.member("cache", info.cache);
+  w.member("degraded", info.degraded);
+  w.member("queue_ms", info.queue_ms);
+  w.member("service_ms", info.service_ms);
+  if (info.retry_after_ms != 0) {
+    w.member("retry_after_ms", info.retry_after_ms);
+  }
+  if (report_json != nullptr && !report_json->empty()) {
+    w.key("report");
+    w.raw(*report_json);
+  }
+  if (stats_json != nullptr && !stats_json->empty()) {
+    w.key("stats");
+    w.raw(*stats_json);
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace ezrt::core

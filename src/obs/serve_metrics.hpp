@@ -1,0 +1,46 @@
+// Telemetry mirror for the serve worker pool (docs/serve.md §6).
+//
+// The server's *authoritative* counters are plain mutex-protected
+// integers inside serve::Server — cache hit/miss accounting and shed
+// decisions are correctness-relevant (tests assert on them), so they must
+// not vanish under EZRT_NO_TELEMETRY. This struct is the observability
+// mirror: the same events recorded into the process-wide Registry, where
+// the run report and dashboards already look, using the registry's
+// "serve." namespace. Under EZRT_NO_TELEMETRY every record here is a
+// no-op while the server keeps functioning unchanged.
+#pragma once
+
+#include "obs/telemetry.hpp"
+
+namespace ezrt::obs {
+
+struct ServeMetrics {
+  Counter& requests;        ///< frames parsed into requests
+  Counter& cache_hits;      ///< served straight from the schedule cache
+  Counter& cache_misses;    ///< searches started (single-flight owners)
+  Counter& coalesced;       ///< joined an identical in-flight search
+  Counter& sheds;           ///< requests shed with `overloaded`
+  Counter& degrades;        ///< exhaustive requests downgraded under load
+  Counter& invalid;         ///< malformed frames / envelopes / specs
+  Gauge& queue_depth;       ///< current admitted-but-unserved requests
+  Histogram& queue_ms;      ///< admission -> worker pickup
+  Histogram& service_ms;    ///< worker pickup -> result
+
+  static ServeMetrics& global() {
+    static ServeMetrics m{
+        Registry::global().counter("serve.requests"),
+        Registry::global().counter("serve.cache_hits"),
+        Registry::global().counter("serve.cache_misses"),
+        Registry::global().counter("serve.coalesced"),
+        Registry::global().counter("serve.sheds"),
+        Registry::global().counter("serve.degrades"),
+        Registry::global().counter("serve.invalid"),
+        Registry::global().gauge("serve.queue_depth"),
+        Registry::global().histogram("serve.queue_ms"),
+        Registry::global().histogram("serve.service_ms"),
+    };
+    return m;
+  }
+};
+
+}  // namespace ezrt::obs

@@ -20,6 +20,7 @@
 // explores deliberately inserted idle time (exponentially larger).
 #pragma once
 
+#include <chrono>
 #include <functional>
 
 #include "base/result.hpp"
@@ -139,6 +140,14 @@ struct SchedulerOptions {
   /// visited-set bytes (exact slot accounting) plus an estimate of the
   /// live frame stacks. Terminates with kMemoryLimit.
   std::uint64_t memory_limit_bytes = 0;
+  /// Absolute wall-clock deadline (default-constructed = off). Unlike
+  /// wall_limit_ms, which restarts at every engine's own t0, this point is
+  /// fixed by the caller, so one budget spans a whole *sequence* of
+  /// searches: `ezrt explain`'s culprit-minimization probes and the serve
+  /// worker pool (where queueing time must count against the request's
+  /// budget, docs/serve.md) both rely on it. When both ceilings are set
+  /// the earlier one wins; terminates with kTimeLimit either way.
+  std::chrono::steady_clock::time_point deadline{};
   /// Cooperative cancellation (base/cancel.hpp): polled on every fired
   /// transition (one relaxed atomic load), terminates with kCancelled.
   /// The CLI wires a SIGINT handler to this so ^C still produces a run

@@ -44,8 +44,21 @@ class ResourceGuard {
                 std::chrono::steady_clock::time_point t0)
       : cancel_(options.cancel),
         memory_limit_(options.memory_limit_bytes),
-        has_wall_(options.wall_limit_ms != 0),
-        deadline_(t0 + std::chrono::milliseconds(options.wall_limit_ms)) {}
+        has_wall_(options.wall_limit_ms != 0 ||
+                  options.deadline !=
+                      std::chrono::steady_clock::time_point{}),
+        deadline_(std::chrono::steady_clock::time_point::max()) {
+    // Two wall ceilings compose: the per-search relative limit anchored at
+    // this engine's t0, and the caller-fixed absolute deadline that spans
+    // search sequences (SchedulerOptions::deadline). Earlier wins.
+    if (options.wall_limit_ms != 0) {
+      deadline_ = t0 + std::chrono::milliseconds(options.wall_limit_ms);
+    }
+    if (options.deadline != std::chrono::steady_clock::time_point{} &&
+        options.deadline < deadline_) {
+      deadline_ = options.deadline;
+    }
+  }
 
   /// False when no ceiling is configured — callers hoist this so the
   /// unguarded hot loop pays a single branch.

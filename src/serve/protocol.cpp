@@ -1,0 +1,274 @@
+#include "serve/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ezrt::serve {
+namespace {
+
+/// read() until `len` bytes or EOF/error. Returns bytes read (short count
+/// means EOF), or -1 on a hard error. EINTR restarts so signal delivery
+/// (SIGTERM during drain) does not corrupt framing.
+ssize_t read_full(int fd, char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, buf + done, len - done);
+    if (n == 0) {
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+Status write_full(int fd, const char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a client that hung up mid-response must surface as
+    // EPIPE here, not kill the whole server with SIGPIPE.
+    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return make_error(ErrorCode::kIoError,
+                        std::string("socket write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::optional<std::string>> read_frame(int fd, std::uint32_t max_bytes) {
+  char header[4];
+  const ssize_t got = read_full(fd, header, sizeof header);
+  if (got < 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("socket read: ") + std::strerror(errno));
+  }
+  if (got == 0) {
+    return std::optional<std::string>{};  // clean close between frames
+  }
+  if (got < static_cast<ssize_t>(sizeof header)) {
+    return make_error(ErrorCode::kParseError,
+                      "truncated frame: connection closed inside the "
+                      "4-byte length prefix");
+  }
+  const std::uint32_t declared =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (declared > max_bytes) {
+    // Drain up to one ceiling's worth so a well-meaning client that
+    // already wrote the payload still gets a readable error response, but
+    // never buffer the oversized body itself.
+    char sink[4096];
+    std::uint64_t remaining = declared;
+    std::uint64_t drained = 0;
+    while (remaining > 0 && drained < max_bytes) {
+      const std::size_t chunk = remaining < sizeof sink
+                                    ? static_cast<std::size_t>(remaining)
+                                    : sizeof sink;
+      const ssize_t n = read_full(fd, sink, chunk);
+      if (n <= 0) {
+        break;
+      }
+      remaining -= static_cast<std::uint64_t>(n);
+      drained += static_cast<std::uint64_t>(n);
+    }
+    return make_error(ErrorCode::kInvalidArgument,
+                      "frame of " + std::to_string(declared) +
+                          " bytes exceeds the " + std::to_string(max_bytes) +
+                          "-byte limit");
+  }
+  std::string payload(declared, '\0');
+  const ssize_t body = read_full(fd, payload.data(), payload.size());
+  if (body < 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("socket read: ") + std::strerror(errno));
+  }
+  if (body < static_cast<ssize_t>(payload.size())) {
+    return make_error(ErrorCode::kParseError,
+                      "truncated frame: got " + std::to_string(body) + " of " +
+                          std::to_string(declared) + " declared bytes");
+  }
+  return std::optional<std::string>{std::move(payload)};
+}
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "refusing to write a frame larger than the " +
+                          std::to_string(kMaxFrameBytes) + "-byte limit");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((len >> 24) & 0xFF),
+      static_cast<char>((len >> 16) & 0xFF),
+      static_cast<char>((len >> 8) & 0xFF),
+      static_cast<char>(len & 0xFF),
+  };
+  if (auto status = write_full(fd, header, sizeof header); !status.ok()) {
+    return status;
+  }
+  return write_full(fd, payload.data(), payload.size());
+}
+
+namespace {
+
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;  // unix socket path
+  std::string host;  // tcp host
+  std::string port;  // tcp port
+};
+
+Result<Endpoint> parse_endpoint(const std::string& endpoint) {
+  Endpoint out;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = endpoint.substr(5);
+    if (out.path.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "empty unix socket path in '" + endpoint + "'");
+    }
+    sockaddr_un probe{};
+    if (out.path.size() >= sizeof probe.sun_path) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "unix socket path longer than sun_path: " + out.path);
+    }
+    return out;
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "expected tcp:host:port, got '" + endpoint + "'");
+    }
+    out.host = rest.substr(0, colon);
+    out.port = rest.substr(colon + 1);
+    return out;
+  }
+  return make_error(
+      ErrorCode::kInvalidArgument,
+      "endpoint must be unix:<path> or tcp:<host>:<port>, got '" + endpoint +
+          "'");
+}
+
+Result<int> tcp_socket(const Endpoint& ep, bool server) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (server) {
+    hints.ai_flags = AI_PASSIVE;
+  }
+  addrinfo* info = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &info);
+  if (rc != 0) {
+    return make_error(ErrorCode::kIoError,
+                      "resolve " + ep.host + ":" + ep.port + ": " +
+                          gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (server) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        break;
+      }
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIoError,
+                      (server ? "bind " : "connect ") + ep.host + ":" +
+                          ep.port + ": " + last_error);
+  }
+  return fd;
+}
+
+Result<int> unix_socket(const Endpoint& ep, bool server) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  if (server) {
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      return make_error(ErrorCode::kIoError, "bind " + ep.path + ": " + what);
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+             0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    return make_error(ErrorCode::kIoError, "connect " + ep.path + ": " + what);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<int> connect_endpoint(const std::string& endpoint) {
+  auto parsed = parse_endpoint(endpoint);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  return parsed.value().is_unix ? unix_socket(parsed.value(), false)
+                                : tcp_socket(parsed.value(), false);
+}
+
+Result<int> listen_endpoint(const std::string& endpoint, int backlog) {
+  auto parsed = parse_endpoint(endpoint);
+  if (!parsed.ok()) {
+    return parsed.error();
+  }
+  auto fd = parsed.value().is_unix ? unix_socket(parsed.value(), true)
+                                   : tcp_socket(parsed.value(), true);
+  if (!fd.ok()) {
+    return fd;
+  }
+  if (::listen(fd.value(), backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd.value());
+    return make_error(ErrorCode::kIoError,
+                      "listen " + endpoint + ": " + what);
+  }
+  return fd;
+}
+
+}  // namespace ezrt::serve

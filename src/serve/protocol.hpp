@@ -1,0 +1,55 @@
+// Wire framing for `ezrt serve` (docs/serve.md §2).
+//
+// One frame = a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. Length-prefixing (over, say, newline-delimited
+// JSON) lets the server size-check a frame *before* buffering it, which
+// is the whole point for a robustness-first service: an oversized
+// declaration is rejected after 4 bytes, not after 64 MiB of buffering.
+// The byte ceiling reuses the XML parser's 64 MiB convention
+// (xml::kMaxDocumentBytes) so "largest accepted input" means one thing
+// tool-wide.
+//
+// Read outcomes are deliberately three-valued: a clean EOF between frames
+// is a normal disconnect (nullopt), while EOF *inside* a frame is a
+// truncation error — the serve loop answers the former with silence and
+// the latter with a structured `invalid` response when the connection is
+// still writable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.hpp"
+
+namespace ezrt::serve {
+
+/// Hard ceiling on one frame's payload (the XML 64 MiB convention).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// Reads one length-prefixed frame from `fd`. Returns the payload,
+/// nullopt on clean EOF before any byte of a frame, kInvalidArgument when
+/// the declared length exceeds `max_bytes`, or kParseError on a frame
+/// truncated mid-read. Oversized frames are rejected without buffering;
+/// the declared bytes are drained (up to a small bound) so the follow-up
+/// error response is not interleaved with stale payload.
+[[nodiscard]] Result<std::optional<std::string>> read_frame(
+    int fd, std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame (4-byte big-endian length + payload). Payloads above
+/// kMaxFrameBytes are refused — the server must never emit a frame its
+/// own reader would reject.
+[[nodiscard]] Status write_frame(int fd, std::string_view payload);
+
+/// Parses "unix:/path/to.sock" or "tcp:host:port" and connects a blocking
+/// client socket (used by loadgen and the CLI self-test). Returns the
+/// connected fd; the caller owns it.
+[[nodiscard]] Result<int> connect_endpoint(const std::string& endpoint);
+
+/// Parses and binds+listens the server side of the same endpoint syntax.
+/// For unix sockets a stale socket file is unlinked first.
+[[nodiscard]] Result<int> listen_endpoint(const std::string& endpoint,
+                                          int backlog = 64);
+
+}  // namespace ezrt::serve

@@ -334,4 +334,26 @@ spec::Specification uav_autopilot_specification() {
   return system;
 }
 
+std::vector<spec::Specification> serve_mix(const ServeMixConfig& config) {
+  std::vector<spec::Specification> mix;
+  for (std::uint32_t i = 0; i < config.distinct; ++i) {
+    WorkloadConfig workload;
+    workload.tasks = config.tasks;
+    workload.utilization = config.utilization;
+    workload.seed = config.seed + i;
+    auto generated = generate(workload);
+    if (generated.ok()) {
+      mix.push_back(std::move(generated).value());
+    }
+    // Unsatisfiable seeds are simply skipped: the mix is a load shape,
+    // not a coverage contract, and generate() already clamps the common
+    // degenerate cases.
+  }
+  if (config.include_examples) {
+    mix.push_back(mine_pump_specification());
+    mix.push_back(uav_autopilot_specification());
+  }
+  return mix;
+}
+
 }  // namespace ezrt::workload

@@ -106,4 +106,21 @@ struct WorkloadConfig {
 /// feasible interleaving of this set.
 [[nodiscard]] spec::Specification uav_autopilot_specification();
 
+/// Request mix for serve load generation (tools/loadgen, the BM_Serve_*
+/// BENCH rows): `distinct` generated task sets with consecutive seeds,
+/// plus the two checked-in case studies (mine pump, UAV autopilot) when
+/// `include_examples` — the examples are cheap to schedule, so repeating
+/// the mix exercises the schedule cache rather than saturating workers.
+/// Deterministic in the config, like everything else here.
+struct ServeMixConfig {
+  std::uint32_t distinct = 4;
+  std::uint32_t tasks = 4;
+  double utilization = 0.4;
+  std::uint64_t seed = 1;
+  bool include_examples = true;
+};
+
+[[nodiscard]] std::vector<spec::Specification> serve_mix(
+    const ServeMixConfig& config);
+
 }  // namespace ezrt::workload

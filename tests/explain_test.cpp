@@ -4,11 +4,13 @@
 // short-circuit, and byte-determinism of the schema-v5 report.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "core/project.hpp"
 #include "obs/explain.hpp"
 #include "pnml/ezspec_io.hpp"
 #include "workload/generator.hpp"
@@ -203,6 +205,61 @@ TEST_F(ExplainTest, NoMinimizeSkipsCulpritsAndSlack) {
   EXPECT_EQ(text.find("culprits"), std::string::npos) << text;
   EXPECT_EQ(text.find("reduce "), std::string::npos);
   EXPECT_NE(text.find("blame (search attribution):"), std::string::npos);
+}
+
+// Guard interplay (docs/serve.md / docs/explain.md §4): --wall-limit is
+// converted to one absolute deadline spanning the primary search AND every
+// layer-3 re-run probe. When that deadline expires inside culprit
+// minimization, each remaining probe trips kTimeLimit, the probe result is
+// treated as inconclusive (never misread as infeasible), and the
+// explanation degrades honestly: `minimized` is false, the sync budget is
+// not blamed, and the report stays schema-valid.
+TEST_F(ExplainTest, DeadlineExpiringInsideProbesDegradesHonestly) {
+  spec::Specification spec = workload::uav_autopilot_specification();
+  spec.set_sync_budget(1);
+  sched::SchedulerOptions scheduler;
+  scheduler.pruning = sched::PruningMode::kNone;
+  scheduler.collect_attribution = true;
+  core::Project project(spec, {}, scheduler);
+  // The primary search runs to completion — no deadline yet.
+  (void)project.schedule();
+  ASSERT_TRUE(project.scheduled());
+  ASSERT_EQ(project.outcome().status, sched::SearchStatus::kInfeasible);
+
+  // Every minimization probe inherits an already-expired deadline, so its
+  // engine returns kTimeLimit at the first masked guard check.
+  obs::ExplainOptions options;
+  options.scheduler = scheduler;
+  options.scheduler.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const obs::Explanation e =
+      obs::build_explanation(spec, &project.model().net, &project.outcome(),
+                             nullptr, options);
+
+  EXPECT_EQ(e.status, sched::SearchStatus::kInfeasible);
+  ASSERT_TRUE(e.culprits.has_value());
+  EXPECT_FALSE(e.culprits->minimized);
+  EXPECT_FALSE(e.culprits->sync_budget_culprit);
+  const std::string text = obs::render_explanation(e);
+  EXPECT_NE(text.find("verdict: infeasible"), std::string::npos) << text;
+  EXPECT_NE(text.find("minimization inconclusive"), std::string::npos)
+      << text;
+}
+
+// CLI-level: a tiny --wall-limit must terminate `ezrt explain` with a
+// documented code (2 when the primary verdict landed before the deadline,
+// 3 when a guard tripped first) and the report file must stay a valid v5
+// document either way — never a hang, never a truncated report.
+TEST_F(ExplainTest, WallLimitBoundsExplainEndToEnd) {
+  const std::string report = (dir_ / "limited.json").string();
+  const int code = run_cli({"explain", uav_path_, "--sync-budget", "1",
+                            "--complete", "--wall-limit", "1", "--report",
+                            report});
+  EXPECT_TRUE(code == 2 || code == 3) << code;
+  const std::string body = slurp(report);
+  EXPECT_NE(body.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(body.find("\"explanation\":"), std::string::npos);
+  EXPECT_NE(out_.str().find("verdict:"), std::string::npos) << out_.str();
 }
 
 }  // namespace

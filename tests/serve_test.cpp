@@ -1,0 +1,694 @@
+// `ezrt serve` robustness contract (docs/serve.md): JSON/framing strictness,
+// content-addressed caching with single-flight deduplication, deadline-aware
+// admission control and shedding, graceful degradation under queue pressure,
+// and drain semantics. Socket tests run the real Server on a unix socket in
+// a temp dir; the cache and parser layers are exercised directly.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/project.hpp"
+#include "core/response.hpp"
+#include "obs/json.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "serve/cache.hpp"
+#include "serve/json_in.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "workload/generator.hpp"
+
+namespace ezrt::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- json_in
+
+TEST(JsonIn, ParsesScalarsObjectsAndArrays) {
+  auto v = parse_json(R"({"a": [1, 2.5, "x\n", true, null], "b": {}})");
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const JsonValue* a = v.value().find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 5u);
+  EXPECT_TRUE(a->array[0].is_uint);
+  EXPECT_EQ(a->array[0].uint_value, 1u);
+  EXPECT_FALSE(a->array[1].is_uint);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].string, "x\n");
+  EXPECT_TRUE(a->array[3].boolean);
+  EXPECT_EQ(a->array[4].kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(v.value().find("b")->is_object());
+}
+
+TEST(JsonIn, LargeIntegersKeepExactUint64) {
+  auto v = parse_json("18446744073709551615");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_uint);
+  EXPECT_EQ(v.value().uint_value, 18446744073709551615ull);
+}
+
+TEST(JsonIn, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.", "1e",
+        "\"unterminated", "\"bad \\q escape\"", "{} trailing", "nan",
+        "'single'"}) {
+    EXPECT_FALSE(parse_json(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonIn, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) {
+    deep += "[";
+  }
+  const auto result = parse_json(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("nesting"), std::string::npos);
+}
+
+TEST(JsonIn, DecodesEscapesAndSurrogatePairs) {
+  auto v = parse_json(R"("Aé€😀")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string, "A\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+// ----------------------------------------------------------------- digest
+
+TEST(Digest, CanonicalizationCollapsesFormattingOnly) {
+  ServeRequest request;
+  request.spec_text =
+      pnml::write_ezspec(workload::mine_pump_specification()).value();
+  auto a = prepare_request(request);
+  ASSERT_TRUE(a.ok());
+  // Same document with cosmetic whitespace changes parses to the same
+  // model, so the canonical digest must match.
+  ServeRequest reformatted = request;
+  reformatted.spec_text.insert(reformatted.spec_text.find('\n'), "   ");
+  auto b = prepare_request(reformatted);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().digest.hex(), b.value().digest.hex());
+  // A different model must not.
+  ServeRequest other = request;
+  other.spec_text =
+      pnml::write_ezspec(workload::uav_autopilot_specification()).value();
+  auto c = prepare_request(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().digest.hex(), c.value().digest.hex());
+}
+
+TEST(Digest, EveryOptionKnobMovesTheFingerprint) {
+  const ServeRequest base;
+  const auto baseline = option_fingerprint(base);
+  std::vector<ServeRequest> variants(9, base);
+  variants[0].complete = true;
+  variants[1].optimize = "makespan";
+  variants[2].engine = sched::SearchEngine::kBestFirst;
+  variants[3].state_classes = sched::StateClassMode::kOff;
+  variants[4].max_states = base.max_states + 1;
+  variants[5].threads = 2;
+  variants[6].beam_width = 9;
+  variants[7].widen = true;
+  variants[8].has_sync_budget = true;
+  for (const ServeRequest& variant : variants) {
+    EXPECT_NE(option_fingerprint(variant), baseline);
+  }
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(Cache, HitAfterPublishAndLruEviction) {
+  ScheduleCache cache(2);
+  const Digest d1{1, 1};
+  const Digest d2{2, 2};
+  const Digest d3{3, 3};
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  for (const Digest& d : {d1, d2, d3}) {
+    auto ticket = cache.acquire(d, deadline);
+    ASSERT_EQ(ticket.role, ScheduleCache::Role::kOwner);
+    cache.publish(d, "report-" + d.hex().substr(31), 0, "feasible");
+  }
+  // d1 is the LRU victim of publishing d3 into a capacity-2 cache.
+  EXPECT_EQ(cache.acquire(d1, deadline).role, ScheduleCache::Role::kOwner);
+  cache.abandon(d1);
+  EXPECT_EQ(cache.acquire(d2, deadline).role, ScheduleCache::Role::kHit);
+  EXPECT_EQ(cache.acquire(d3, deadline).role, ScheduleCache::Role::kHit);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Cache, SingleFlightExactlyOneOwnerPerDigest) {
+  ScheduleCache cache(8);
+  const Digest digest{42, 43};
+  constexpr int kThreads = 8;
+  std::atomic<int> owners{0};
+  std::atomic<int> shared{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto ticket =
+          cache.acquire(digest, Clock::now() + std::chrono::seconds(10));
+      if (ticket.role == ScheduleCache::Role::kOwner) {
+        ++owners;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        cache.publish(digest, "the-report", 0, "feasible");
+      } else {
+        ASSERT_EQ(ticket.role, ScheduleCache::Role::kShared);
+        EXPECT_EQ(ticket.report_json, "the-report");
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(owners.load(), 1);
+  EXPECT_EQ(shared.load(), kThreads - 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, AbandonPromotesAWaiterToOwner) {
+  ScheduleCache cache(8);
+  const Digest digest{7, 9};
+  auto owner = cache.acquire(digest, Clock::now() + std::chrono::seconds(5));
+  ASSERT_EQ(owner.role, ScheduleCache::Role::kOwner);
+  std::thread waiter([&] {
+    auto ticket =
+        cache.acquire(digest, Clock::now() + std::chrono::seconds(5));
+    // The abandoning owner hands the digest to this waiter.
+    EXPECT_EQ(ticket.role, ScheduleCache::Role::kOwner);
+    cache.publish(digest, "second-try", 2, "infeasible");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.abandon(digest);
+  waiter.join();
+  auto hit = cache.acquire(digest, Clock::now());
+  EXPECT_EQ(hit.role, ScheduleCache::Role::kHit);
+  EXPECT_EQ(hit.report_json, "second-try");
+  EXPECT_EQ(hit.exit_code, 2);
+}
+
+TEST(Cache, WaiterTimesOutWhenOwnerIsSlow) {
+  ScheduleCache cache(8);
+  const Digest digest{5, 5};
+  auto owner = cache.acquire(digest, Clock::now() + std::chrono::seconds(5));
+  ASSERT_EQ(owner.role, ScheduleCache::Role::kOwner);
+  auto ticket =
+      cache.acquire(digest, Clock::now() + std::chrono::milliseconds(30));
+  EXPECT_EQ(ticket.role, ScheduleCache::Role::kTimeout);
+  cache.abandon(digest);
+}
+
+// --------------------------------------------------------------- envelope
+
+TEST(Envelope, CarriesCodesVerdictAndSplicedReport) {
+  core::ServeResponseInfo info;
+  info.id = "req-1";
+  info.status = "ok";
+  info.code = core::kExitOk;
+  info.verdict = "feasible";
+  info.cache = "hit";
+  info.queue_ms = 3;
+  const std::string report = R"({"schema":"ezrt-run-report"})";
+  const std::string json = core::serve_response_json(info, &report);
+  auto parsed = parse_json(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed.value().find("schema")->string, "ezrt-serve-response");
+  EXPECT_EQ(parsed.value().find("id")->string, "req-1");
+  EXPECT_EQ(parsed.value().find("code")->uint_value, 0u);
+  EXPECT_EQ(parsed.value().find("cache")->string, "hit");
+  EXPECT_EQ(parsed.value().find("report")->find("schema")->string,
+            "ezrt-run-report");
+}
+
+TEST(Envelope, ExitCodeContractMatchesTheCli) {
+  EXPECT_EQ(core::exit_code_for(sched::SearchStatus::kFeasible), 0);
+  EXPECT_EQ(core::exit_code_for(sched::SearchStatus::kInfeasible), 2);
+  EXPECT_EQ(core::exit_code_for(sched::SearchStatus::kTimeLimit), 3);
+  EXPECT_EQ(core::exit_code_for(sched::SearchStatus::kMemoryLimit), 3);
+  EXPECT_EQ(core::exit_code_for(sched::SearchStatus::kCancelled), 130);
+  EXPECT_EQ(
+      core::exit_code_for(make_error(ErrorCode::kParseError, "x")), 4);
+  EXPECT_EQ(
+      core::exit_code_for(make_error(ErrorCode::kInfeasible, "x")), 2);
+  EXPECT_EQ(core::exit_code_for(make_error(ErrorCode::kIoError, "x")), 1);
+}
+
+// ------------------------------------------------------- request parsing
+
+TEST(Request, RejectsUnknownOptionsAndBadShapes) {
+  auto must_fail = [](const char* json) {
+    auto doc = parse_json(json);
+    ASSERT_TRUE(doc.ok()) << json;
+    EXPECT_FALSE(parse_request(doc.value()).ok()) << json;
+  };
+  must_fail(R"([1,2,3])");
+  must_fail(R"({"op":"schedule"})");                      // missing spec
+  must_fail(R"({"op":"frobnicate","spec":"x"})");
+  must_fail(R"({"schema":"wrong","op":"ping"})");
+  must_fail(R"({"version":2,"op":"ping"})");
+  must_fail(R"({"op":"schedule","spec":"x","options":{"max_staets":1}})");
+  must_fail(R"({"op":"schedule","spec":"x","options":{"engine":"warp"}})");
+  must_fail(
+      R"({"op":"schedule","spec":"x","options":{"max_states":-1}})");
+}
+
+// ------------------------------------------------------------ socket e2e
+
+class ServeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ezrt_serve_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    mine_pump_ =
+        pnml::write_ezspec(workload::mine_pump_specification()).value();
+    uav_ = pnml::write_ezspec(workload::uav_autopilot_specification())
+               .value();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string endpoint(const std::string& name) const {
+    return "unix:" + (dir_ / (name + ".sock")).string();
+  }
+
+  [[nodiscard]] static std::string schedule_request(
+      const std::string& spec, const std::string& id,
+      std::uint64_t budget_ms = 0, bool complete = false) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.member("schema", "ezrt-serve-request");
+    w.member("version", std::uint64_t{1});
+    w.member("id", id);
+    w.member("op", "schedule");
+    if (budget_ms != 0) {
+      w.member("budget_ms", budget_ms);
+    }
+    if (complete) {
+      w.key("options");
+      w.begin_object();
+      w.member("complete", true);
+      w.end_object();
+    }
+    w.member("spec", spec);
+    w.end_object();
+    return w.take();
+  }
+
+  /// Sends one frame on a fresh connection and returns the parsed
+  /// response.
+  [[nodiscard]] JsonValue roundtrip(const std::string& endpoint,
+                                    const std::string& payload) {
+    auto fd = connect_endpoint(endpoint);
+    EXPECT_TRUE(fd.ok()) << fd.ok();
+    EXPECT_TRUE(write_frame(fd.value(), payload).ok());
+    auto frame = read_frame(fd.value());
+    ::close(fd.value());
+    EXPECT_TRUE(frame.ok());
+    EXPECT_TRUE(frame.value().has_value());
+    auto parsed = parse_json(*frame.value());
+    EXPECT_TRUE(parsed.ok());
+    return std::move(parsed).value();
+  }
+
+  fs::path dir_;
+  std::string mine_pump_;
+  std::string uav_;
+};
+
+TEST_F(ServeTest, SchedulesCachesAndServesByteIdenticalReports) {
+  ServerOptions options;
+  options.endpoint = endpoint("cache");
+  options.workers = 2;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  const JsonValue first =
+      roundtrip(server.endpoint(), schedule_request(mine_pump_, "a"));
+  EXPECT_EQ(first.find("status")->string, "ok");
+  EXPECT_EQ(first.find("verdict")->string, "feasible");
+  EXPECT_EQ(first.find("cache")->string, "miss");
+  EXPECT_EQ(first.find("code")->uint_value, 0u);
+  ASSERT_NE(first.find("report"), nullptr);
+  EXPECT_EQ(first.find("report")->find("schema")->string, "ezrt-run-report");
+
+  const JsonValue second =
+      roundtrip(server.endpoint(), schedule_request(mine_pump_, "b"));
+  EXPECT_EQ(second.find("cache")->string, "hit");
+  // The cached report is byte-identical to the fresh one (deterministic
+  // emission) — compare a stable, content-bearing field.
+  EXPECT_EQ(first.find("report")->find("verdict")->string,
+            second.find("report")->find("verdict")->string);
+
+  server.shutdown();
+  server.wait();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+TEST_F(ServeTest, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  ServerOptions options;
+  options.endpoint = endpoint("flight");
+  options.workers = 2;
+  options.queue_depth = 16;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  constexpr int kClients = 6;
+  std::atomic<int> misses{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const JsonValue response = roundtrip(
+          server.endpoint(),
+          schedule_request(uav_, "c" + std::to_string(i), 30'000, true));
+      EXPECT_EQ(response.find("status")->string, "ok") << i;
+      ++served;
+      const std::string cache = response.find("cache")->string;
+      if (cache == "miss") {
+        ++misses;
+      } else {
+        EXPECT_TRUE(cache == "hit" || cache == "coalesced") << cache;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(served.load(), kClients);
+  // The acceptance criterion: concurrent identical requests trigger
+  // exactly one search.
+  EXPECT_EQ(misses.load(), 1);
+  server.shutdown();
+  server.wait();
+  EXPECT_EQ(server.stats().cache.misses, 1u);
+}
+
+TEST_F(ServeTest, PingStatsAndInvalidPayloads) {
+  ServerOptions options;
+  options.endpoint = endpoint("misc");
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  EXPECT_EQ(roundtrip(server.endpoint(), R"({"op":"ping","id":"p"})")
+                .find("status")
+                ->string,
+            "ok");
+
+  const JsonValue stats =
+      roundtrip(server.endpoint(), R"({"op":"stats"})");
+  ASSERT_NE(stats.find("stats"), nullptr);
+  EXPECT_GE(stats.find("stats")->find("requests")->uint_value, 1u);
+
+  const JsonValue garbage = roundtrip(server.endpoint(), "this is not json");
+  EXPECT_EQ(garbage.find("status")->string, "invalid");
+  EXPECT_EQ(garbage.find("code")->uint_value, 4u);
+
+  const JsonValue bad_spec = roundtrip(
+      server.endpoint(), schedule_request("<system name='x'/>", "s"));
+  EXPECT_EQ(bad_spec.find("status")->string, "invalid");
+  EXPECT_EQ(bad_spec.find("code")->uint_value, 4u);
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST_F(ServeTest, OversizedFrameIsRejectedWithExitCode4Equivalent) {
+  ServerOptions options;
+  options.endpoint = endpoint("oversize");
+  options.max_request_bytes = 4096;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  auto fd = connect_endpoint(server.endpoint());
+  ASSERT_TRUE(fd.ok());
+  // Declare a payload beyond the server's cap; the server must answer
+  // with a structured `invalid` response without buffering the body.
+  const std::uint32_t declared = 1u << 20;
+  const char header[4] = {
+      static_cast<char>((declared >> 24) & 0xFF),
+      static_cast<char>((declared >> 16) & 0xFF),
+      static_cast<char>((declared >> 8) & 0xFF),
+      static_cast<char>(declared & 0xFF),
+  };
+  ASSERT_EQ(::send(fd.value(), header, sizeof header, MSG_NOSIGNAL), 4);
+  const std::string junk(declared, 'x');
+  (void)::send(fd.value(), junk.data(), junk.size(), MSG_NOSIGNAL);
+  auto frame = read_frame(fd.value());
+  ::close(fd.value());
+  ASSERT_TRUE(frame.ok() && frame.value().has_value());
+  auto response = parse_json(*frame.value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().find("status")->string, "invalid");
+  EXPECT_EQ(response.value().find("code")->uint_value, 4u);
+  EXPECT_NE(response.value().find("error")->string.find("exceeds"),
+            std::string::npos);
+
+  // A truncated frame (connection closed mid-payload) must not wedge the
+  // server: the next connection is served normally.
+  auto truncated = connect_endpoint(server.endpoint());
+  ASSERT_TRUE(truncated.ok());
+  const char half[4] = {0, 0, 1, 0};  // declare 256 bytes, send none
+  ASSERT_EQ(::send(truncated.value(), half, sizeof half, MSG_NOSIGNAL), 4);
+  ::close(truncated.value());
+  EXPECT_EQ(roundtrip(server.endpoint(), R"({"op":"ping"})")
+                .find("status")
+                ->string,
+            "ok");
+
+  server.shutdown();
+  server.wait();
+  EXPECT_GE(server.stats().invalid, 1u);
+}
+
+TEST_F(ServeTest, OverloadBurstShedsWithStructuredResponses) {
+  ServerOptions options;
+  options.endpoint = endpoint("overload");
+  options.workers = 1;
+  options.queue_depth = 1;
+  options.cache_entries = 0;  // no cross-request reuse: every request works
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  // Distinct digests (different budgets do not change the digest, so vary
+  // the spec via sync_budget) keep single-flight out of the picture.
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("op", "schedule");
+      w.member("id", "burst" + std::to_string(i));
+      w.member("budget_ms", std::uint64_t{10'000});
+      w.key("options");
+      w.begin_object();
+      w.member("complete", true);
+      w.member("sync_budget", std::uint64_t{8} + i);  // digest diversity
+      w.end_object();
+      w.member("spec", uav_);
+      w.end_object();
+      const JsonValue response = roundtrip(server.endpoint(), w.take());
+      const std::string status = response.find("status")->string;
+      if (status == "ok") {
+        ++ok;
+      } else if (status == "overloaded") {
+        // Structured shed: exit-code-3 equivalent plus a backoff hint.
+        EXPECT_EQ(response.find("code")->uint_value, 3u);
+        EXPECT_GT(response.find("retry_after_ms")->uint_value, 0u);
+        ++overloaded;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  // Every request got a structured answer (no hangs, no crashes), and the
+  // burst exceeded queue capacity so at least one was shed.
+  EXPECT_EQ(ok.load() + overloaded.load() + other.load(), kClients);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_GE(ok.load(), 1);
+  server.shutdown();
+  server.wait();
+  EXPECT_GE(server.stats().sheds, 1u);
+}
+
+TEST_F(ServeTest, ExpiredBudgetIsShedBeforeAnyWork) {
+  ServerOptions options;
+  options.endpoint = endpoint("expired");
+  options.workers = 1;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+  // Prime the EWMA so admission has a service-time estimate.
+  (void)roundtrip(server.endpoint(), schedule_request(mine_pump_, "prime"));
+  // A 1 ms budget cannot cover even a cached... distinct spec: the
+  // admission estimate (EWMA > 0) exceeds the remaining budget, so the
+  // request is shed as `overloaded` without a worker touching it.
+  const JsonValue response = roundtrip(
+      server.endpoint(), schedule_request(uav_, "tight", /*budget_ms=*/1));
+  EXPECT_EQ(response.find("status")->string, "overloaded");
+  server.shutdown();
+  server.wait();
+}
+
+TEST_F(ServeTest, QueuePressureDegradesExhaustiveRequestsHonestly) {
+  ServerOptions options;
+  options.endpoint = endpoint("degrade");
+  options.workers = 1;
+  options.queue_depth = 8;
+  options.degrade_queue = 1;  // any queued work triggers degradation
+  options.degrade_max_states = 10'000;
+  options.cache_entries = 0;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  constexpr int kClients = 4;
+  std::atomic<int> degraded{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("op", "schedule");
+      w.member("id", "d" + std::to_string(i));
+      w.key("options");
+      w.begin_object();
+      w.member("complete", true);
+      w.member("sync_budget", std::uint64_t{8} + i);
+      w.end_object();
+      w.member("spec", uav_);
+      w.end_object();
+      const JsonValue response = roundtrip(server.endpoint(), w.take());
+      if (response.find("status")->string == "ok") {
+        ++answered;
+        if (response.find("degraded")->boolean) {
+          ++degraded;
+          // The downgrade is reported honestly in the echoed report
+          // options: the guided engine replaced the exhaustive DFS.
+          const JsonValue* report = response.find("report");
+          ASSERT_NE(report, nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_GE(answered.load(), 1);
+  // With one worker and four near-simultaneous exhaustive requests, at
+  // least one was dequeued with a non-empty queue behind it.
+  EXPECT_GE(degraded.load(), 1);
+  server.shutdown();
+  server.wait();
+  EXPECT_GE(server.stats().degrades, 1u);
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
+  ServerOptions options;
+  options.endpoint = endpoint("drain");
+  options.workers = 1;
+  options.queue_depth = 8;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  // Launch requests, then begin the drain while they are in flight. Every
+  // client must still receive a structured response — completed or
+  // shutting-down, never a dropped connection mid-frame.
+  constexpr int kClients = 4;
+  std::atomic<int> responded{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto fd = connect_endpoint(server.endpoint());
+      if (!fd.ok()) {
+        return;  // accept raced the drain: connection refused is fine
+      }
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("op", "schedule");
+      w.member("id", "drain" + std::to_string(i));
+      w.key("options");
+      w.begin_object();
+      w.member("complete", true);
+      w.member("sync_budget", std::uint64_t{8} + i);
+      w.end_object();
+      w.member("spec", uav_);
+      w.end_object();
+      if (!write_frame(fd.value(), w.take()).ok()) {
+        ::close(fd.value());
+        return;
+      }
+      auto frame = read_frame(fd.value());
+      ::close(fd.value());
+      if (frame.ok() && frame.value().has_value()) {
+        auto parsed = parse_json(*frame.value());
+        ASSERT_TRUE(parsed.ok());
+        const std::string status = parsed.value().find("status")->string;
+        EXPECT_TRUE(status == "ok" || status == "shutting-down" ||
+                    status == "overloaded")
+            << status;
+        ++responded;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.shutdown();
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  server.wait();
+  // At least the request a worker had picked up must have been answered.
+  EXPECT_GE(responded.load(), 1);
+}
+
+// ------------------------------------------------- guard deadline plumbing
+
+TEST(DeadlineGuard, AbsoluteDeadlineTerminatesEveryEngine) {
+  // A deadline already in the past must trip kTimeLimit at the first
+  // masked guard check in all engines — this is what makes serve queue
+  // time count against the search budget.
+  spec::Specification spec = workload::uav_autopilot_specification();
+  spec.set_sync_budget(1);
+  for (const sched::SearchEngine engine :
+       {sched::SearchEngine::kDfs, sched::SearchEngine::kBestFirst,
+        sched::SearchEngine::kBeam}) {
+    sched::SchedulerOptions scheduler;
+    scheduler.pruning = sched::PruningMode::kNone;
+    scheduler.search_engine = engine;
+    scheduler.deadline = Clock::now() - std::chrono::milliseconds(1);
+    core::Project project(spec, {}, scheduler);
+    const Status status = project.schedule();
+    ASSERT_TRUE(project.scheduled());
+    EXPECT_EQ(project.outcome().status, sched::SearchStatus::kTimeLimit)
+        << sched::to_string(engine);
+    EXPECT_FALSE(status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace ezrt::serve

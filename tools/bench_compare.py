@@ -10,14 +10,17 @@ reproducible with:
     cmake --build build -t bench_all          # or:
     tools/bench_compare.py --label after
 
-A second mode compares two `ezrt schedule --report` JSON documents
-(docs/observability.md) instead of running benchmarks:
+A second mode compares report documents instead of running benchmarks:
 
     tools/bench_compare.py --report before=base.json --report after=new.json
 
-which prints search effort, prune breakdown and visited-set load side by
-side — the A/B view for search-strategy changes where wall clock alone
-is too noisy to interpret.
+Two document kinds are accepted and auto-detected by their "schema" field:
+`ezrt schedule`/`ezrt explain` run reports ("ezrt-run-report",
+docs/observability.md) — search effort, prune breakdown, visited-set load,
+verdict provenance — and loadgen summaries ("ezrt-serve-load",
+docs/serve.md §7) — throughput, latency percentiles, cache-hit/coalesce/
+shed/degrade counters. Both files must be the same kind. This is the A/B
+view for changes where wall clock alone is too noisy to interpret.
 """
 
 import argparse
@@ -91,10 +94,33 @@ def print_table(results):
         print(row)
 
 
+def serve_load_metrics(report):
+    """Flattens one ezrt-serve-load (loadgen --json) document into rows."""
+    rows = {}
+    for key in ("requests", "concurrency", "elapsed_ms", "throughput_rps",
+                "ok", "sent", "retries", "cache_hits", "coalesced",
+                "overloaded", "degraded", "invalid", "failures",
+                "latency_p50_ms", "latency_p90_ms", "latency_p99_ms"):
+        if key in report:
+            rows[key] = report[key]
+    # Derived ratios: the interesting A/B signals for server changes.
+    if report.get("ok"):
+        rows["cache_hit_ratio"] = (
+            (report.get("cache_hits", 0) + report.get("coalesced", 0))
+            / report["ok"])
+    if report.get("sent"):
+        rows["shed_ratio"] = report.get("overloaded", 0) / report["sent"]
+    return rows
+
+
 def report_metrics(report):
-    """Flattens one ezrt-run-report document into comparable rows."""
+    """Flattens one report document (run report or loadgen summary) into
+    comparable rows, dispatching on its "schema" field."""
+    if report.get("schema") == "ezrt-serve-load":
+        return serve_load_metrics(report)
     if report.get("schema") != "ezrt-run-report":
-        raise SystemExit("[bench_compare] not an ezrt-run-report document")
+        raise SystemExit("[bench_compare] not an ezrt-run-report or "
+                         "ezrt-serve-load document")
     rows = {}
     search = report.get("search", {})
     for key in ("states_visited", "transitions_fired", "backtracks",
@@ -235,8 +261,10 @@ def main():
                         help="--benchmark_min_time passed through")
     parser.add_argument("--report", action="append", default=[],
                         metavar="LABEL=PATH",
-                        help="compare `ezrt schedule --report` JSON files "
-                             "instead of running benchmarks (repeatable)")
+                        help="compare report JSON files instead of running "
+                             "benchmarks (repeatable): `ezrt schedule/"
+                             "explain --report` run reports or `loadgen "
+                             "--json` serve-load summaries")
     args = parser.parse_args()
 
     if args.report:

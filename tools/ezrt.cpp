@@ -1,4 +1,5 @@
 // Thin process entry point for the ezrt command-line tool (src/cli).
+#include <atomic>
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -11,20 +12,33 @@ namespace {
 
 // Cooperative cancellation (docs/robustness.md): the handler only flips
 // an atomic flag (async-signal-safe); the engines poll it and unwind with
-// a `cancelled` verdict, so ^C still produces the run report. A second
-// SIGINT restores the default disposition, so ^C ^C force-kills a tool
-// that is stuck outside the polled loops.
+// a `cancelled` verdict, so ^C or a service manager's SIGTERM still
+// produces the run report (and lets `ezrt serve` drain in-flight
+// requests). A second delivery of the same signal restores the default
+// disposition, so ^C ^C (or a double TERM) force-kills a tool that is
+// stuck outside the polled loops.
 ezrt::base::CancelToken g_cancel;
+std::atomic<int> g_signal{0};
 
-void handle_sigint(int) {
+void handle_cancel_signal(int sig) {
   g_cancel.request();
-  std::signal(SIGINT, SIG_DFL);
+  g_signal.store(sig, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::signal(SIGINT, handle_sigint);
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ezrt::cli::run(args, std::cout, std::cerr, &g_cancel);
+  const int code = ezrt::cli::run(args, std::cout, std::cerr, &g_cancel);
+  // The 130-family convention: a cancelled run exits 128 + the signal
+  // that cancelled it (130 SIGINT, 143 SIGTERM), so service managers see
+  // the usual shell-style status for the signal they sent.
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (code == 130 && sig != 0) {
+    return 128 + sig;
+  }
+  return code;
 }

@@ -1,0 +1,408 @@
+// Load generator / robustness client for `ezrt serve` (docs/serve.md §7).
+//
+// Drives a serve endpoint with a deterministic request mix (spec files
+// from the command line, or the workload generator's serve_mix), from N
+// concurrent connections, with the retry discipline a well-behaved
+// client owes an overloaded server: capped exponential backoff with
+// decorrelated jitter, honoring the `retry_after_ms` hint in structured
+// `overloaded` responses. Collects a latency histogram and
+// throughput/outcome counters, printed as text and optionally written as
+// an "ezrt-serve-load" JSON document (tools/bench_compare.py diffs these;
+// the BM_Serve_* rows in BENCH_search.json are produced this way).
+//
+// Exit codes follow the tool-wide contract: 0 when every request got a
+// definitive answer (cache hits included), 1 when any request exhausted
+// its retries or the transport failed, 4 for bad usage.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "pnml/ezspec_io.hpp"
+#include "serve/json_in.hpp"
+#include "serve/protocol.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string socket;
+  std::vector<std::string> spec_paths;
+  std::uint64_t requests = 32;     // total across all connections
+  std::uint32_t concurrency = 4;   // client connections
+  std::uint64_t budget_ms = 30'000;
+  std::uint32_t retries = 5;
+  std::uint64_t backoff_ms = 50;   // base; doubles per attempt, capped
+  std::uint64_t backoff_cap_ms = 2'000;
+  std::uint64_t seed = 1;
+  bool complete = false;
+  std::uint32_t threads = 0;       // server-side search threads option
+  std::uint32_t mix_distinct = 2;  // serve_mix size when no files given
+  std::uint32_t mix_tasks = 4;
+  std::string json_path;
+};
+
+struct Tally {
+  std::vector<double> latencies_ms;  // definitive answers only
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t overloaded = 0;  // shed responses seen (before retry)
+  std::uint64_t degraded = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t retries_spent = 0;
+  std::uint64_t failures = 0;  // requests that exhausted retries
+
+  void merge(const Tally& other) {
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+    sent += other.sent;
+    ok += other.ok;
+    cache_hits += other.cache_hits;
+    coalesced += other.coalesced;
+    overloaded += other.overloaded;
+    degraded += other.degraded;
+    invalid += other.invalid;
+    retries_spent += other.retries_spent;
+    failures += other.failures;
+  }
+};
+
+std::string build_request(const Options& options, const std::string& spec,
+                          const std::string& id) {
+  ezrt::obs::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "ezrt-serve-request");
+  w.member("version", std::uint64_t{1});
+  w.member("id", id);
+  w.member("op", "schedule");
+  w.member("budget_ms", options.budget_ms);
+  w.key("options");
+  w.begin_object();
+  if (options.complete) {
+    w.member("complete", true);
+  }
+  if (options.threads != 0) {
+    w.member("threads", std::uint64_t{options.threads});
+  }
+  w.end_object();
+  w.member("spec", spec);
+  w.end_object();
+  return w.take();
+}
+
+/// One request with the retry discipline. Returns true on a definitive
+/// answer.
+bool run_request(const Options& options, const std::string& payload, int& fd,
+                 std::mt19937_64& rng, Tally& tally) {
+  std::uint64_t backoff = options.backoff_ms;
+  for (std::uint32_t attempt = 0; attempt <= options.retries; ++attempt) {
+    if (attempt > 0) {
+      ++tally.retries_spent;
+    }
+    if (fd < 0) {
+      auto connected = ezrt::serve::connect_endpoint(options.socket);
+      if (!connected.ok()) {
+        // Decorrelated jitter: sleep uniform in [base, backoff*3).
+        std::uniform_int_distribution<std::uint64_t> jitter(
+            options.backoff_ms, std::max<std::uint64_t>(
+                                    backoff * 3, options.backoff_ms + 1));
+        backoff = std::min(jitter(rng), options.backoff_cap_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        continue;
+      }
+      fd = connected.value();
+    }
+    const Clock::time_point t0 = Clock::now();
+    ++tally.sent;
+    if (auto status = ezrt::serve::write_frame(fd, payload); !status.ok()) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    auto frame = ezrt::serve::read_frame(fd);
+    if (!frame.ok() || !frame.value().has_value()) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    auto response = ezrt::serve::parse_json(*frame.value());
+    if (!response.ok()) {
+      ++tally.invalid;
+      continue;
+    }
+    const ezrt::serve::JsonValue& root = response.value();
+    const ezrt::serve::JsonValue* status_field = root.find("status");
+    const std::string status =
+        status_field != nullptr && status_field->is_string()
+            ? status_field->string
+            : "";
+    if (status == "ok") {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      tally.latencies_ms.push_back(ms);
+      ++tally.ok;
+      if (const auto* cache = root.find("cache");
+          cache != nullptr && cache->is_string()) {
+        if (cache->string == "hit") {
+          ++tally.cache_hits;
+        } else if (cache->string == "coalesced") {
+          ++tally.coalesced;
+        }
+      }
+      if (const auto* degraded = root.find("degraded");
+          degraded != nullptr && degraded->boolean) {
+        ++tally.degraded;
+      }
+      return true;
+    }
+    if (status == "invalid") {
+      ++tally.invalid;
+      return false;  // retrying malformed input would repeat the answer
+    }
+    // overloaded / shutting-down / error: back off and retry. Honor the
+    // server's retry_after_ms as the floor.
+    ++tally.overloaded;
+    std::uint64_t floor_ms = options.backoff_ms;
+    if (const auto* hint = root.find("retry_after_ms");
+        hint != nullptr && hint->is_uint) {
+      floor_ms = std::max(floor_ms, hint->uint_value);
+    }
+    std::uniform_int_distribution<std::uint64_t> jitter(
+        floor_ms, std::max<std::uint64_t>(backoff * 3, floor_ms + 1));
+    backoff = std::min(jitter(rng), options.backoff_cap_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  ++tally.failures;
+  return false;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --socket unix:PATH|tcp:HOST:PORT [spec.xml ...]\n"
+         "  [--requests N]      total requests (default 32)\n"
+         "  [--concurrency C]   client connections (default 4)\n"
+         "  [--budget MS]       per-request budget (default 30000)\n"
+         "  [--retries R]       retry budget per request (default 5)\n"
+         "  [--backoff MS]      backoff base, doubled+jittered (default "
+         "50)\n"
+         "  [--seed S]          jitter/mix seed (default 1)\n"
+         "  [--complete]        request the exhaustive search mode\n"
+         "  [--threads N]       server-side search threads per request\n"
+         "  [--mix N]           generated specs when no files given "
+         "(default 2)\n"
+         "  [--tasks N]         tasks per generated spec (default 4)\n"
+         "  [--json FILE]       write an ezrt-serve-load JSON summary\n"
+         "With no spec files, the workload generator's serve mix (plus "
+         "the\nmine-pump and UAV examples) is used.\n";
+  return 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&](std::uint64_t& out) {
+      if (i + 1 >= args.size()) {
+        return false;
+      }
+      out = std::strtoull(args[++i].c_str(), nullptr, 10);
+      return true;
+    };
+    std::uint64_t parsed = 0;
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      options.socket = args[++i];
+    } else if (args[i] == "--requests" && value(parsed)) {
+      options.requests = parsed;
+    } else if (args[i] == "--concurrency" && value(parsed) && parsed > 0) {
+      options.concurrency = static_cast<std::uint32_t>(parsed);
+    } else if (args[i] == "--budget" && value(parsed) && parsed > 0) {
+      options.budget_ms = parsed;
+    } else if (args[i] == "--retries" && value(parsed)) {
+      options.retries = static_cast<std::uint32_t>(parsed);
+    } else if (args[i] == "--backoff" && value(parsed) && parsed > 0) {
+      options.backoff_ms = parsed;
+    } else if (args[i] == "--seed" && value(parsed)) {
+      options.seed = parsed;
+    } else if (args[i] == "--complete") {
+      options.complete = true;
+    } else if (args[i] == "--threads" && value(parsed)) {
+      options.threads = static_cast<std::uint32_t>(parsed);
+    } else if (args[i] == "--mix" && value(parsed)) {
+      options.mix_distinct = static_cast<std::uint32_t>(parsed);
+    } else if (args[i] == "--tasks" && value(parsed) && parsed > 0) {
+      options.mix_tasks = static_cast<std::uint32_t>(parsed);
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      options.json_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      options.spec_paths.push_back(args[i]);
+    }
+  }
+  if (options.socket.empty()) {
+    return usage(argv[0]);
+  }
+
+  // Assemble the spec documents: files given on the command line, or the
+  // generator's deterministic serve mix.
+  std::vector<std::string> specs;
+  for (const std::string& path : options.spec_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot read " << path << "\n";
+      return 4;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    specs.push_back(buffer.str());
+  }
+  if (specs.empty()) {
+    ezrt::workload::ServeMixConfig mix;
+    mix.distinct = options.mix_distinct;
+    mix.tasks = options.mix_tasks;
+    mix.seed = options.seed;
+    for (const auto& specification : ezrt::workload::serve_mix(mix)) {
+      auto document = ezrt::pnml::write_ezspec(specification);
+      if (document.ok()) {
+        specs.push_back(std::move(document).value());
+      }
+    }
+  }
+  if (specs.empty()) {
+    std::cerr << "error: no specs to send\n";
+    return 4;
+  }
+
+  const Clock::time_point started = Clock::now();
+  std::vector<Tally> tallies(options.concurrency);
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < options.concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      Tally& tally = tallies[c];
+      std::mt19937_64 rng(options.seed * 1000003 + c);
+      int fd = -1;
+      // Static sharding: client c sends requests c, c+C, c+2C, … so the
+      // total is exact and the per-spec sequence is deterministic.
+      for (std::uint64_t r = c; r < options.requests;
+           r += options.concurrency) {
+        const std::string& spec = specs[r % specs.size()];
+        const std::string id =
+            "req-" + std::to_string(r) + "-c" + std::to_string(c);
+        const std::string payload = build_request(options, spec, id);
+        run_request(options, payload, fd, rng, tally);
+      }
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - started)
+          .count();
+
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.merge(t);
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double throughput =
+      elapsed_ms > 0.0 ? static_cast<double>(total.ok) * 1000.0 / elapsed_ms
+                       : 0.0;
+
+  std::cout << "loadgen: " << total.ok << "/" << options.requests
+            << " definitive answers in " << elapsed_ms << " ms ("
+            << throughput << " req/s)\n"
+            << "  sends " << total.sent << " (retries " << total.retries_spent
+            << "), cache hits " << total.cache_hits << ", coalesced "
+            << total.coalesced << ", overloaded " << total.overloaded
+            << ", degraded " << total.degraded << ", invalid "
+            << total.invalid << ", failures " << total.failures << "\n";
+  if (!total.latencies_ms.empty()) {
+    std::cout << "  latency ms: p50 " << percentile(total.latencies_ms, 0.50)
+              << "  p90 " << percentile(total.latencies_ms, 0.90)
+              << "  p99 " << percentile(total.latencies_ms, 0.99) << "  max "
+              << total.latencies_ms.back() << "\n";
+    // Log2-bucketed histogram, one line per non-empty bucket.
+    std::vector<std::uint64_t> buckets;
+    for (const double ms : total.latencies_ms) {
+      std::size_t bucket = 0;
+      double upper = 1.0;
+      while (ms >= upper && bucket < 20) {
+        upper *= 2.0;
+        ++bucket;
+      }
+      if (buckets.size() <= bucket) {
+        buckets.resize(bucket + 1, 0);
+      }
+      ++buckets[bucket];
+    }
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) {
+        continue;
+      }
+      std::cout << "    <" << (1u << b) << " ms: " << buckets[b] << "\n";
+    }
+  }
+
+  if (!options.json_path.empty()) {
+    ezrt::obs::JsonWriter w;
+    w.begin_object();
+    w.member("schema", "ezrt-serve-load");
+    w.member("version", std::uint64_t{1});
+    w.member("requests", options.requests);
+    w.member("concurrency", std::uint64_t{options.concurrency});
+    w.member("elapsed_ms", elapsed_ms);
+    w.member("throughput_rps", throughput);
+    w.member("ok", total.ok);
+    w.member("sent", total.sent);
+    w.member("retries", total.retries_spent);
+    w.member("cache_hits", total.cache_hits);
+    w.member("coalesced", total.coalesced);
+    w.member("overloaded", total.overloaded);
+    w.member("degraded", total.degraded);
+    w.member("invalid", total.invalid);
+    w.member("failures", total.failures);
+    w.member("latency_p50_ms", percentile(total.latencies_ms, 0.50));
+    w.member("latency_p90_ms", percentile(total.latencies_ms, 0.90));
+    w.member("latency_p99_ms", percentile(total.latencies_ms, 0.99));
+    w.end_object();
+    std::ofstream out(options.json_path, std::ios::binary);
+    out << w.take() << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write " << options.json_path << "\n";
+      return 1;
+    }
+    std::cout << "summary written to " << options.json_path << "\n";
+  }
+  return total.failures == 0 && total.invalid == 0 ? 0 : 1;
+}
